@@ -1,0 +1,93 @@
+// Experiment E1 (Section 1 + Section 9 discussion): the ancestor query.
+//
+// Reproduces the paper's motivating observation: bottom-up evaluation of the
+// original program computes the complete anc relation, while the rewritten
+// (magic) program computes only the facts relevant to the query's constant.
+// Also reproduces the Section 9 discussion of the n-vs-n^2 fact counts on a
+// chain: magic computes the ancestor relationships of every ancestor (n^2/2
+// facts), an oracle method would compute n.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace magic {
+namespace bench {
+namespace {
+
+void RelevanceTable() {
+  // Query at 3/4 of the chain: only the tail quarter is relevant.
+  for (int n : {128, 256, 512}) {
+    Workload w = MakeAncestorChain(n);
+    Universe& u = *w.universe;
+    w.query.goal.args[0] = u.Constant("c" + std::to_string(3 * n / 4));
+    PrintHeader("E1 ancestor chain n=" + std::to_string(n) +
+                ", query anc(c" + std::to_string(3 * n / 4) + ", Y)");
+    for (Strategy strategy :
+         {Strategy::kNaiveBottomUp, Strategy::kSemiNaiveBottomUp,
+          Strategy::kMagic, Strategy::kSupplementaryMagic,
+          Strategy::kTopDown}) {
+      PrintRow(RunStrategy(w, strategy));
+    }
+    Note("naive/semi-naive compute the full closure (~n^2/2 facts); the "
+         "rewritten programs only explore the queried suffix (~(n/4)^2/2).");
+  }
+
+  for (int depth : {8, 10}) {
+    Workload w = MakeAncestorTree(depth, 2);
+    Universe& u = *w.universe;
+    // Query one child of the root: half the tree is relevant.
+    w.query.goal.args[0] = u.Constant("c1");
+    PrintHeader("E1 ancestor binary tree depth=" + std::to_string(depth) +
+                ", query anc(c1, Y)");
+    for (Strategy strategy :
+         {Strategy::kSemiNaiveBottomUp, Strategy::kMagic,
+          Strategy::kSupplementaryMagic, Strategy::kTopDown}) {
+      PrintRow(RunStrategy(w, strategy));
+    }
+    Note("magic explores exactly the queried subtree.");
+  }
+}
+
+void NSquaredTable() {
+  std::printf("\n=== E1/Section 9: magic computes n^2, an oracle computes n "
+              "(chain, query at the root) ===\n");
+  std::printf("%8s %12s %14s %14s %12s\n", "n", "answers(n)",
+              "anc facts", "n(n+1)/2", "magic facts");
+  for (int n : {32, 64, 128, 256}) {
+    Workload w = MakeAncestorChain(n);
+    EngineOptions options;
+    options.strategy = Strategy::kMagic;
+    QueryAnswer answer = QueryEngine(options).Run(w.program, w.query, w.db);
+    // anc facts and magic facts from the totals: answers + magic.
+    size_t anc_facts = 0;
+    size_t magic_facts = 0;
+    {
+      FullSipStrategy sip;
+      auto adorned = Adorn(w.program, w.query, sip);
+      auto gms = MagicSetsRewrite(*adorned);
+      EvalResult result = Evaluator().Run(
+          gms->program, w.db, MakeSeeds(*gms, adorned->query, *w.universe));
+      anc_facts = result.FactCount(gms->answer_pred);
+      for (const auto& [pred, magic_pred] : gms->magic_of) {
+        magic_facts += result.FactCount(magic_pred);
+      }
+    }
+    std::printf("%8d %12zu %14zu %14d %12zu\n", n, answer.tuples.size(),
+                anc_facts, (n - 1) * n / 2, magic_facts);
+  }
+  std::printf("  -> the anc facts follow the n^2/2 curve the paper "
+              "describes: each ancestor's ancestors are computed; the magic "
+              "set itself stays linear (one subquery per node).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace magic
+
+int main() {
+  std::printf("E1: ancestor — relevance restriction and the n^2 discussion\n");
+  magic::bench::RelevanceTable();
+  magic::bench::NSquaredTable();
+  return 0;
+}

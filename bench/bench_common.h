@@ -1,0 +1,73 @@
+#ifndef MAGIC_BENCH_BENCH_COMMON_H_
+#define MAGIC_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/query_engine.h"
+#include "workload/generators.h"
+
+namespace magic {
+namespace bench {
+
+/// One measured row of an experiment table.
+struct RunRow {
+  std::string label;
+  std::string status = "ok";
+  size_t answers = 0;
+  size_t facts = 0;       // total derived facts (relevant-fact metric)
+  uint64_t firings = 0;   // rule firings (bottom-up)
+  uint64_t probes = 0;    // join probes (duplicate-work metric)
+  double ms = 0.0;
+};
+
+inline RunRow RunStrategy(const Workload& w, Strategy strategy,
+                          const std::string& sip = "full",
+                          uint64_t max_facts = 20'000'000) {
+  EngineOptions options;
+  options.strategy = strategy;
+  options.sip = sip;
+  options.eval.max_facts = max_facts;
+  QueryEngine engine(options);
+  QueryAnswer answer = engine.Run(w.program, w.query, w.db);
+  RunRow row;
+  row.label = StrategyName(strategy);
+  if (!answer.status.ok()) {
+    row.status = Status::CodeName(answer.status.code());
+  }
+  row.answers = answer.tuples.size();
+  if (strategy == Strategy::kTopDown) {
+    row.facts = answer.topdown_stats.answers;
+    row.probes = 0;
+    row.ms = answer.topdown_stats.seconds * 1e3;
+  } else {
+    row.facts = answer.total_facts;
+    row.firings = answer.eval_stats.rule_firings;
+    row.probes = answer.eval_stats.join_probes;
+    row.ms = answer.eval_stats.seconds * 1e3;
+  }
+  return row;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-12s %-18s %10s %10s %10s %12s %9s\n", "strategy", "status",
+              "answers", "facts", "firings", "probes", "ms");
+}
+
+inline void PrintRow(const RunRow& row) {
+  std::printf("%-12s %-18s %10zu %10zu %10llu %12llu %9.2f\n",
+              row.label.c_str(), row.status.c_str(), row.answers, row.facts,
+              static_cast<unsigned long long>(row.firings),
+              static_cast<unsigned long long>(row.probes), row.ms);
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  -> %s\n", text.c_str());
+}
+
+}  // namespace bench
+}  // namespace magic
+
+#endif  // MAGIC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,50 @@
+// Experiment E3 (Sections 6-8, Examples 6-8): the counting strategies with
+// and without the semijoin optimization, against the magic strategies, on
+// acyclic data with bounded index depth (counting's sweet spot). The
+// semijoin optimization narrows the indexed predicates (bound arguments are
+// dropped) and deletes joins replayed by the indices.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace magic {
+namespace bench {
+namespace {
+
+void CompareOn(const Workload& w) {
+  PrintHeader("E3 " + w.name);
+  for (Strategy strategy :
+       {Strategy::kMagic, Strategy::kSupplementaryMagic, Strategy::kCounting,
+        Strategy::kSupplementaryCounting, Strategy::kCountingSemijoin,
+        Strategy::kSupCountingSemijoin}) {
+    PrintRow(RunStrategy(w, strategy));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace magic
+
+int main() {
+  std::printf("E3: counting and the semijoin optimization (Sections 6-8)\n");
+  using namespace magic;
+  using namespace magic::bench;
+  // Linear ancestor chains: counting indices encode the depth; the
+  // semijoin-optimized program collapses to index-only propagation
+  // (appendix A.5.1/A.6.1).
+  for (int n : {24, 40}) {
+    CompareOn(MakeAncestorChain(n));
+  }
+  // Same-generation grids: bounded derivation depth, unique-ish paths.
+  for (int depth : {6, 10}) {
+    CompareOn(MakeSameGenNonlinear(depth, 6));
+  }
+  CompareOn(MakeSameGenNested(8, 6));
+  magic::bench::Note(
+      "counting trades joins for index arithmetic; with the semijoin "
+      "optimization the recursive rules carry fewer/narrower columns than "
+      "the magic variants. Index depth is bounded by the data depth, so "
+      "the K/H encodings stay within 64 bits on these workloads.");
+  return 0;
+}

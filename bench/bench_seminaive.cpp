@@ -1,0 +1,87 @@
+// Experiment E8 (Section 1.1 substrate ablation): naive vs semi-naive
+// bottom-up evaluation, timed with google-benchmark. Naive re-derives every
+// fact every round (quadratic blowup in rule firings on recursive
+// workloads); semi-naive restricts each rule to the last round's deltas.
+
+#include <benchmark/benchmark.h>
+
+#include "core/magic_sets.h"
+#include "eval/evaluator.h"
+#include "workload/generators.h"
+
+namespace magic {
+namespace {
+
+void RunEval(benchmark::State& state, const Workload& w, bool seminaive) {
+  EvalOptions options;
+  options.seminaive = seminaive;
+  Evaluator evaluator(options);
+  uint64_t firings = 0;
+  for (auto _ : state) {
+    EvalResult result = evaluator.Run(w.program, w.db);
+    if (!result.status.ok()) {
+      state.SkipWithError(result.status.ToString().c_str());
+      return;
+    }
+    firings = result.stats.rule_firings;
+    benchmark::DoNotOptimize(result.TotalFacts());
+  }
+  state.counters["firings"] = static_cast<double>(firings);
+}
+
+void BM_NaiveChain(benchmark::State& state) {
+  Workload w = MakeAncestorChain(static_cast<int>(state.range(0)));
+  RunEval(state, w, /*seminaive=*/false);
+}
+BENCHMARK(BM_NaiveChain)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SemiNaiveChain(benchmark::State& state) {
+  Workload w = MakeAncestorChain(static_cast<int>(state.range(0)));
+  RunEval(state, w, /*seminaive=*/true);
+}
+BENCHMARK(BM_SemiNaiveChain)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_NaiveTree(benchmark::State& state) {
+  Workload w = MakeAncestorTree(static_cast<int>(state.range(0)), 2);
+  RunEval(state, w, /*seminaive=*/false);
+}
+BENCHMARK(BM_NaiveTree)->Arg(6)->Arg(8);
+
+void BM_SemiNaiveTree(benchmark::State& state) {
+  Workload w = MakeAncestorTree(static_cast<int>(state.range(0)), 2);
+  RunEval(state, w, /*seminaive=*/true);
+}
+BENCHMARK(BM_SemiNaiveTree)->Arg(6)->Arg(8);
+
+void BM_NaiveSameGen(benchmark::State& state) {
+  Workload w = MakeSameGenNonlinear(static_cast<int>(state.range(0)), 4);
+  RunEval(state, w, /*seminaive=*/false);
+}
+BENCHMARK(BM_NaiveSameGen)->Arg(4)->Arg(6);
+
+void BM_SemiNaiveSameGen(benchmark::State& state) {
+  Workload w = MakeSameGenNonlinear(static_cast<int>(state.range(0)), 4);
+  RunEval(state, w, /*seminaive=*/true);
+}
+BENCHMARK(BM_SemiNaiveSameGen)->Arg(4)->Arg(6);
+
+// Magic-rewritten evaluation end to end, as a timing reference for the
+// other experiments' tables.
+void BM_MagicChainQuery(benchmark::State& state) {
+  Workload w = MakeAncestorChain(static_cast<int>(state.range(0)));
+  FullSipStrategy sip;
+  auto adorned = Adorn(w.program, w.query, sip);
+  auto gms = MagicSetsRewrite(*adorned);
+  std::vector<Fact> seeds = MakeSeeds(*gms, adorned->query, *w.universe);
+  Evaluator evaluator;
+  for (auto _ : state) {
+    EvalResult result = evaluator.Run(gms->program, w.db, seeds);
+    benchmark::DoNotOptimize(result.TotalFacts());
+  }
+}
+BENCHMARK(BM_MagicChainQuery)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace magic
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Graph analytics on a random DAG: reachability queries under different
+// binding patterns and sip strategies, with the work each choice costs.
+// This is the "restrict computation to tuples related to the query" story
+// of the paper's introduction, measured.
+
+#include <cstdio>
+
+#include "engine/query_engine.h"
+#include "workload/generators.h"
+
+int main() {
+  using namespace magic;
+
+  Workload w = MakeAncestorRandom(/*nodes=*/300, /*edges=*/700, /*seed=*/42);
+  Universe& u = *w.universe;
+  std::printf("random DAG: 300 nodes, %zu edges; program: transitive "
+              "closure anc over par.\n\n",
+              w.db.TotalFacts());
+
+  // Whole-relation query: nothing to restrict, rewriting buys nothing.
+  {
+    EngineOptions options;
+    options.strategy = Strategy::kSemiNaiveBottomUp;
+    QueryAnswer all = QueryEngine(options).Run(w.program, w.query, w.db);
+    std::printf("full closure (semi-naive): %zu anc facts in %.2f ms\n",
+                all.total_facts, all.eval_stats.seconds * 1e3);
+  }
+
+  // Point queries: magic explores only the reachable cone.
+  std::printf("\n%-24s %10s %10s %9s\n", "query", "answers", "facts", "ms");
+  for (const char* node : {"c0", "c100", "c250"}) {
+    Query query;
+    query.goal = w.query.goal;
+    query.goal.args[0] = u.Constant(node);
+    EngineOptions options;
+    options.strategy = Strategy::kMagic;
+    QueryAnswer answer = QueryEngine(options).Run(w.program, query, w.db);
+    std::printf("anc(%-6s Y)            %10zu %10zu %9.2f\n",
+                (std::string(node) + ",").c_str(), answer.tuples.size(),
+                answer.total_facts, answer.eval_stats.seconds * 1e3);
+  }
+
+  // Sip strategies are evaluation plans: compare them on one query.
+  std::printf("\nsip strategies on anc(c100, Y) under GMS:\n");
+  std::printf("%-20s %10s %10s %12s\n", "sip", "answers", "facts", "probes");
+  for (const char* sip : {"full", "chain", "head-only", "greedy"}) {
+    Query query;
+    query.goal = w.query.goal;
+    query.goal.args[0] = u.Constant("c100");
+    EngineOptions options;
+    options.strategy = Strategy::kMagic;
+    options.sip = sip;
+    QueryAnswer answer = QueryEngine(options).Run(w.program, query, w.db);
+    std::printf("%-20s %10zu %10zu %12llu\n", sip, answer.tuples.size(),
+                answer.total_facts,
+                static_cast<unsigned long long>(
+                    answer.eval_stats.join_probes));
+  }
+  std::printf("\nsame answers under every sip; partial sips simply do more "
+              "work (Lemma 9.3).\n");
+  return 0;
+}

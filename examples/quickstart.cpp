@@ -1,0 +1,70 @@
+// Quickstart: parse a Datalog program, ask a query, and evaluate it with
+// the generalized magic-sets rewriting — the paper's introduction example.
+//
+//   $ ./quickstart
+//
+// Shows the full pipeline: parse -> adorn -> rewrite -> evaluate -> answers,
+// plus the rewritten program the engine actually ran.
+
+#include <cstdio>
+
+#include "ast/parser.h"
+#include "engine/query_engine.h"
+
+int main() {
+  using namespace magic;
+
+  // The ancestor program from Section 1, with a small family database.
+  const char* source = R"(
+    % Derived relation: anc(X, Y) <=> Y is an ancestor-descendant of X.
+    anc(X, Y) :- par(X, Y).
+    anc(X, Y) :- par(X, Z), anc(Z, Y).
+
+    % The parenthood relation (EDB).
+    par(john, mary).
+    par(john, ken).
+    par(mary, sue).
+    par(sue, bob).
+    par(alice, carol).   % unrelated family: never explored by magic
+    par(carol, dave).
+
+    ?- anc(john, Y).
+  )";
+
+  auto parsed = ParseUnit(source);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  Database db(parsed->program.universe());
+  for (const Fact& fact : parsed->facts) {
+    Status st = db.AddFact(fact);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  EngineOptions options;
+  options.strategy = Strategy::kMagic;  // Section 4's rewriting
+  options.explain = true;
+  QueryEngine engine(options);
+  QueryAnswer answer = engine.Run(parsed->program, *parsed->query, db);
+  if (!answer.status.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("query: anc(john, Y)?\n\nrewritten program evaluated "
+              "bottom-up (plus seed magic_anc_bf(john)):\n%s\n",
+              answer.rewritten_text.c_str());
+  std::printf("answers (%zu):\n", answer.tuples.size());
+  Universe& u = *parsed->program.universe();
+  for (const auto& tuple : answer.tuples) {
+    std::printf("  Y = %s\n", u.TermToString(tuple[0]).c_str());
+  }
+  std::printf("\nderived %zu facts in %.3f ms — the alice/carol family was "
+              "never touched.\n",
+              answer.total_facts, answer.eval_stats.seconds * 1e3);
+  return 0;
+}

@@ -1,0 +1,95 @@
+#include "analysis/argument_graph.h"
+
+#include "core/rewrite_common.h"
+
+namespace magic {
+
+ArgumentGraph BuildArgumentGraph(const AdornedProgram& adorned) {
+  const Universe& u = *adorned.program.universe();
+  ArgumentGraph graph;
+
+  // Nodes: bound positions of every adorned derived predicate.
+  for (PredId pred : adorned.program.HeadPredicates()) {
+    const Adornment& a = PredAdornment(u, pred);
+    for (size_t p = 0; p < a.size(); ++p) {
+      if (a.bound(p)) {
+        graph.nodes.push_back(ArgumentGraph::Node{pred, static_cast<int>(p)});
+      }
+    }
+  }
+  graph.edges.assign(graph.nodes.size(), {});
+  for (size_t i = 0; i < graph.nodes.size(); ++i) {
+    if (graph.nodes[i].pred == adorned.query_pred) {
+      graph.roots.push_back(static_cast<int>(i));
+    }
+  }
+
+  for (const Rule& rule : adorned.program.rules()) {
+    const Adornment& head_ad = PredAdornment(u, rule.head.pred);
+    for (size_t hp = 0; hp < rule.head.args.size(); ++hp) {
+      if (hp >= head_ad.size() || !head_ad.bound(hp)) continue;
+      int from = graph.IndexOf(rule.head.pred, static_cast<int>(hp));
+      if (from < 0) continue;
+      std::vector<SymbolId> head_vars;
+      u.terms().AppendVariables(rule.head.args[hp], &head_vars);
+      for (const Literal& lit : rule.body) {
+        if (!IsBoundAdorned(u, lit.pred)) continue;
+        const Adornment& body_ad = PredAdornment(u, lit.pred);
+        for (size_t bp = 0; bp < lit.args.size(); ++bp) {
+          if (bp >= body_ad.size() || !body_ad.bound(bp)) continue;
+          bool shares = false;
+          for (SymbolId v : head_vars) {
+            if (u.terms().ContainsVariable(lit.args[bp], v)) {
+              shares = true;
+              break;
+            }
+          }
+          if (!shares) continue;
+          int to = graph.IndexOf(lit.pred, static_cast<int>(bp));
+          if (to >= 0) graph.edges[from].push_back(to);
+        }
+      }
+    }
+  }
+  return graph;
+}
+
+bool HasReachableCycle(const ArgumentGraph& graph, const Universe& u,
+                       std::vector<std::string>* witness) {
+  const size_t n = graph.nodes.size();
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (size_t i = 0; i < n; ++i) {
+    for (int j : graph.edges[i]) reach[i][j] = true;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (!reach[i][i]) continue;  // not on a cycle
+    bool reachable = false;
+    for (int root : graph.roots) {
+      if (static_cast<size_t>(root) == i || reach[root][i]) {
+        reachable = true;
+        break;
+      }
+    }
+    if (reachable) {
+      if (witness != nullptr) {
+        const PredicateInfo& info = u.predicates().info(graph.nodes[i].pred);
+        witness->push_back(
+            "cyclic reachable argument-graph node: " +
+            u.symbols().Name(info.name) + " argument " +
+            std::to_string(graph.nodes[i].position + 1));
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace magic

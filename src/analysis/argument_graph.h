@@ -1,0 +1,45 @@
+#ifndef MAGIC_ANALYSIS_ARGUMENT_GRAPH_H_
+#define MAGIC_ANALYSIS_ARGUMENT_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adorn.h"
+
+namespace magic {
+
+/// The argument graph of Theorem 10.3: nodes are (adorned predicate, bound
+/// argument position) pairs; there is an edge when a variable occupies bound
+/// argument m of a rule's head and bound argument n of a body occurrence.
+/// A cycle reachable from the query's node means the counting strategies
+/// regenerate the corresponding counting fact with ever-growing indices and
+/// therefore do not terminate, regardless of the data.
+struct ArgumentGraph {
+  struct Node {
+    PredId pred = kInvalidPred;
+    int position = 0;
+  };
+  std::vector<Node> nodes;
+  std::vector<std::vector<int>> edges;  // adjacency
+  std::vector<int> roots;               // the query predicate's bound nodes
+
+  int IndexOf(PredId pred, int position) const {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].pred == pred && nodes[i].position == position) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+};
+
+ArgumentGraph BuildArgumentGraph(const AdornedProgram& adorned);
+
+/// True if some cycle of the argument graph is reachable from a root; a
+/// description of one offending node is appended to `witness`.
+bool HasReachableCycle(const ArgumentGraph& graph, const Universe& u,
+                       std::vector<std::string>* witness);
+
+}  // namespace magic
+
+#endif  // MAGIC_ANALYSIS_ARGUMENT_GRAPH_H_

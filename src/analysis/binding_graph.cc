@@ -1,0 +1,113 @@
+#include "analysis/binding_graph.h"
+
+#include "core/rewrite_common.h"
+
+namespace magic {
+
+BindingGraph BuildBindingGraph(const AdornedProgram& adorned) {
+  const Universe& u = *adorned.program.universe();
+  BindingGraph graph;
+  graph.nodes = adorned.program.HeadPredicates();
+  graph.root = graph.IndexOf(adorned.query_pred);
+
+  for (size_t ri = 0; ri < adorned.program.rules().size(); ++ri) {
+    const Rule& rule = adorned.program.rules()[ri];
+    int from = graph.IndexOf(rule.head.pred);
+    if (from < 0) continue;
+    const Adornment& head_ad = PredAdornment(u, rule.head.pred);
+    LengthExpr head_len;
+    for (TermId arg : BoundArgs(rule.head, head_ad)) {
+      head_len += LengthExpr::OfTerm(u, arg);
+    }
+    for (size_t occ = 0; occ < rule.body.size(); ++occ) {
+      const Literal& lit = rule.body[occ];
+      if (!IsBoundAdorned(u, lit.pred)) continue;
+      int to = graph.IndexOf(lit.pred);
+      if (to < 0) continue;
+      BindingArc arc;
+      arc.from = from;
+      arc.to = to;
+      arc.rule = static_cast<int>(ri);
+      arc.occurrence = static_cast<int>(occ);
+      arc.length = head_len;
+      LengthExpr body_len;
+      for (TermId arg : BoundArgs(lit, PredAdornment(u, lit.pred))) {
+        body_len += LengthExpr::OfTerm(u, arg);
+      }
+      arc.length -= body_len;
+      arc.lower_bound = arc.length.LowerBound();
+      graph.arcs.push_back(std::move(arc));
+    }
+  }
+  return graph;
+}
+
+std::optional<bool> AllCyclesPositive(const BindingGraph& graph,
+                                      const Universe& u,
+                                      std::vector<std::string>* witness) {
+  const size_t n = graph.nodes.size();
+  auto describe = [&](const BindingArc& arc) {
+    const PredicateInfo& f = u.predicates().info(graph.nodes[arc.from]);
+    const PredicateInfo& t = u.predicates().info(graph.nodes[arc.to]);
+    return u.symbols().Name(f.name) + " -> " + u.symbols().Name(t.name) +
+           " (rule " + std::to_string(arc.rule + 1) + ", length " +
+           arc.length.ToString(u) + ")";
+  };
+
+  // Reachability for "is this arc on a cycle".
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (const BindingArc& arc : graph.arcs) {
+    reach[arc.from][arc.to] = true;
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+
+  for (const BindingArc& arc : graph.arcs) {
+    bool on_cycle = reach[arc.to][arc.from] ||
+                    (arc.from == arc.to);
+    if (on_cycle && !arc.lower_bound.has_value()) {
+      if (witness != nullptr) {
+        witness->push_back("arc with unbounded-below length on a cycle: " +
+                           describe(arc));
+      }
+      return std::nullopt;
+    }
+  }
+
+  // Scaled Bellman-Ford: a cycle with (original) weight <= 0 exists iff the
+  // graph with weights w*V - 1 has a negative cycle (V bounds cycle length:
+  // if sum(w) <= 0 then V*sum(w) - len < 0; if sum(w) >= 1 then
+  // V*sum(w) - len >= V - len >= 0).
+  const int64_t kScale = static_cast<int64_t>(n) + 1;
+  std::vector<int64_t> dist(n, 0);  // virtual source at distance 0 to all
+  int relaxed_arc = -1;
+  for (size_t pass = 0; pass <= n; ++pass) {
+    relaxed_arc = -1;
+    for (size_t a = 0; a < graph.arcs.size(); ++a) {
+      const BindingArc& arc = graph.arcs[a];
+      if (!arc.lower_bound.has_value()) continue;  // not on any cycle
+      int64_t w = *arc.lower_bound * kScale - 1;
+      if (dist[arc.from] + w < dist[arc.to]) {
+        dist[arc.to] = dist[arc.from] + w;
+        relaxed_arc = static_cast<int>(a);
+      }
+    }
+    if (relaxed_arc == -1) break;
+  }
+  if (relaxed_arc != -1) {
+    if (witness != nullptr) {
+      witness->push_back("non-positive cycle through arc: " +
+                         describe(graph.arcs[relaxed_arc]));
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace magic

@@ -1,0 +1,53 @@
+#ifndef MAGIC_ANALYSIS_BINDING_GRAPH_H_
+#define MAGIC_ANALYSIS_BINDING_GRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "analysis/length_expr.h"
+#include "core/adorn.h"
+
+namespace magic {
+
+/// One arc of the binding graph (paper, Section 10): from the head's adorned
+/// predicate to a bound-adorned body occurrence, weighted by the symbolic
+/// difference between the total length of the head's bound arguments and the
+/// total length of the occurrence's bound arguments.
+struct BindingArc {
+  int from = 0;  // node index
+  int to = 0;
+  int rule = 0;        // adorned rule index
+  int occurrence = 0;  // body occurrence
+  LengthExpr length;
+  /// LowerBound() of `length` under |v| >= 1; nullopt = unbounded below.
+  std::optional<int64_t> lower_bound;
+};
+
+/// The binding graph of an adorned program; nodes are the adorned derived
+/// predicates, the root is the adorned query predicate.
+struct BindingGraph {
+  std::vector<PredId> nodes;
+  std::vector<BindingArc> arcs;
+  int root = -1;
+
+  int IndexOf(PredId pred) const {
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == pred) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+BindingGraph BuildBindingGraph(const AdornedProgram& adorned);
+
+/// Theorem 10.1's premise: is every cycle of the binding graph of positive
+/// length? Returns nullopt ("cannot tell") when some cycle crosses an arc
+/// with an unbounded-below length; otherwise true/false. On false/unknown a
+/// description of the offending cycle is appended to `witness`.
+std::optional<bool> AllCyclesPositive(const BindingGraph& graph,
+                                      const Universe& u,
+                                      std::vector<std::string>* witness);
+
+}  // namespace magic
+
+#endif  // MAGIC_ANALYSIS_BINDING_GRAPH_H_

@@ -1,0 +1,59 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+
+namespace magic {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  preds_ = program.AllPredicates();
+  std::sort(preds_.begin(), preds_.end());
+  const size_t n = preds_.size();
+  reach_.assign(n, std::vector<bool>(n, false));
+  for (const Rule& rule : program.rules()) {
+    int h = IndexOf(rule.head.pred);
+    for (const Literal& lit : rule.body) {
+      int b = IndexOf(lit.pred);
+      if (h >= 0 && b >= 0) reach_[h][b] = true;
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach_[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach_[k][j]) reach_[i][j] = true;
+      }
+    }
+  }
+  std::vector<bool> used(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    if (used[i]) continue;
+    std::vector<int> scc = {static_cast<int>(i)};
+    used[i] = true;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (!used[j] && reach_[i][j] && reach_[j][i]) {
+        scc.push_back(static_cast<int>(j));
+        used[j] = true;
+      }
+    }
+    sccs_.push_back(std::move(scc));
+  }
+}
+
+int DependencyGraph::IndexOf(PredId pred) const {
+  auto it = std::lower_bound(preds_.begin(), preds_.end(), pred);
+  if (it == preds_.end() || *it != pred) return -1;
+  return static_cast<int>(it - preds_.begin());
+}
+
+bool DependencyGraph::IsRecursive(PredId pred) const {
+  int i = IndexOf(pred);
+  return i >= 0 && reach_[i][i];
+}
+
+bool DependencyGraph::DependsOn(PredId a, PredId b) const {
+  int i = IndexOf(a);
+  int j = IndexOf(b);
+  return i >= 0 && j >= 0 && reach_[i][j];
+}
+
+}  // namespace magic

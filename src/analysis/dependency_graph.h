@@ -1,0 +1,38 @@
+#ifndef MAGIC_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define MAGIC_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <vector>
+
+#include "ast/program.h"
+
+namespace magic {
+
+/// The predicate dependency graph of a program (head depends on body) with
+/// its strongly connected components. Used for recursion detection, the
+/// semijoin optimization's blocks, and reporting.
+class DependencyGraph {
+ public:
+  explicit DependencyGraph(const Program& program);
+
+  const std::vector<PredId>& preds() const { return preds_; }
+
+  int IndexOf(PredId pred) const;
+
+  /// SCCs in some order; each is a list of predicate indices.
+  const std::vector<std::vector<int>>& sccs() const { return sccs_; }
+
+  /// True if `pred` is part of a dependency cycle (mutual or self recursion).
+  bool IsRecursive(PredId pred) const;
+
+  /// True if `a` depends (transitively) on `b`.
+  bool DependsOn(PredId a, PredId b) const;
+
+ private:
+  std::vector<PredId> preds_;
+  std::vector<std::vector<bool>> reach_;
+  std::vector<std::vector<int>> sccs_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_ANALYSIS_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,36 @@
+#ifndef MAGIC_ANALYSIS_LENGTH_EXPR_H_
+#define MAGIC_ANALYSIS_LENGTH_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ast/universe.h"
+
+namespace magic {
+
+/// A symbolic term length (paper, Section 10): |t| = 1 for a constant,
+/// |f(t1..tn)| = 1 + sum |ti|, and |X| for a variable is unknown except
+/// that |X| >= 1. A LengthExpr is a linear combination of variable lengths
+/// plus a constant.
+struct LengthExpr {
+  std::map<SymbolId, int64_t> coeff;
+  int64_t constant = 0;
+
+  static LengthExpr OfTerm(const Universe& u, TermId term);
+
+  LengthExpr& operator+=(const LengthExpr& other);
+  LengthExpr& operator-=(const LengthExpr& other);
+
+  /// The greatest lower bound given |v| >= 1 for every variable, or nullopt
+  /// when a negative coefficient makes the expression unbounded below
+  /// (variable lengths are unbounded above).
+  std::optional<int64_t> LowerBound() const;
+
+  std::string ToString(const Universe& u) const;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_ANALYSIS_LENGTH_EXPR_H_

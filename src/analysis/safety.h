@@ -1,0 +1,51 @@
+#ifndef MAGIC_ANALYSIS_SAFETY_H_
+#define MAGIC_ANALYSIS_SAFETY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adorn.h"
+
+namespace magic {
+
+enum class SafetyVerdict {
+  /// Theorem 10.2: Datalog (no function symbols) + magic sets terminates.
+  kSafeDatalog,
+  /// Theorem 10.1: every binding-graph cycle has positive length.
+  kSafePositiveCycles,
+  /// Theorem 10.3 applies: counting regenerates facts with growing indices.
+  kUnsafeCountingCycle,
+  /// Counting over an acyclic argument graph: terminates unless the *data*
+  /// contains cycles (a dynamic property the static check cannot rule out).
+  kSafeIfDataAcyclic,
+  /// The sufficient conditions do not apply; nothing is claimed.
+  kUnknown,
+};
+
+std::string SafetyVerdictName(SafetyVerdict verdict);
+
+struct SafetyReport {
+  SafetyVerdict verdict = SafetyVerdict::kUnknown;
+  std::string explanation;
+  std::vector<std::string> witness;
+
+  bool IsSafe() const {
+    return verdict == SafetyVerdict::kSafeDatalog ||
+           verdict == SafetyVerdict::kSafePositiveCycles;
+  }
+};
+
+/// True if any rule of the program uses a compound term.
+bool ProgramHasFunctionSymbols(const Program& program);
+
+/// Safety of bottom-up evaluation of the magic-sets rewriting for this
+/// adorned program (Theorems 10.1 and 10.2).
+SafetyReport CheckMagicSafety(const AdornedProgram& adorned);
+
+/// Safety of the counting rewritings (Theorem 10.3 plus the cyclic-data
+/// caveat).
+SafetyReport CheckCountingSafety(const AdornedProgram& adorned);
+
+}  // namespace magic
+
+#endif  // MAGIC_ANALYSIS_SAFETY_H_

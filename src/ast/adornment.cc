@@ -1,0 +1,20 @@
+#include "ast/adornment.h"
+
+#include <algorithm>
+
+namespace magic {
+
+std::optional<Adornment> Adornment::Parse(std::string_view text) {
+  for (char c : text) {
+    if (c != 'b' && c != 'f') return std::nullopt;
+  }
+  Adornment a;
+  a.bits_.assign(text.begin(), text.end());
+  return a;
+}
+
+size_t Adornment::bound_count() const {
+  return static_cast<size_t>(std::count(bits_.begin(), bits_.end(), 'b'));
+}
+
+}  // namespace magic

@@ -1,0 +1,52 @@
+#ifndef MAGIC_AST_ADORNMENT_H_
+#define MAGIC_AST_ADORNMENT_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace magic {
+
+/// An adornment for an n-ary predicate: a string over {b, f} marking each
+/// argument position bound or free (paper, Section 3).
+class Adornment {
+ public:
+  Adornment() = default;
+
+  static Adornment AllFree(size_t n) { return Adornment(std::string(n, 'f')); }
+  static Adornment AllBound(size_t n) { return Adornment(std::string(n, 'b')); }
+
+  /// Parses "bf", "bbf", ... Returns nullopt on any character outside {b,f}.
+  static std::optional<Adornment> Parse(std::string_view text);
+
+  size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  bool bound(size_t i) const { return bits_.at(i) == 'b'; }
+  void set_bound(size_t i, bool value = true) { bits_.at(i) = value ? 'b' : 'f'; }
+
+  size_t bound_count() const;
+  bool all_free() const { return bound_count() == 0; }
+  bool all_bound() const { return bound_count() == size(); }
+
+  /// The paper's superscript notation, e.g. "bf" for sg^bf.
+  const std::string& ToString() const { return bits_; }
+
+  bool operator==(const Adornment& other) const = default;
+
+ private:
+  explicit Adornment(std::string bits) : bits_(std::move(bits)) {}
+
+  std::string bits_;
+};
+
+struct AdornmentHash {
+  size_t operator()(const Adornment& a) const {
+    return std::hash<std::string>()(a.ToString());
+  }
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_ADORNMENT_H_

@@ -1,0 +1,51 @@
+#ifndef MAGIC_AST_PARSER_H_
+#define MAGIC_AST_PARSER_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace magic {
+
+/// The result of parsing one source text: the rules, the extensional facts,
+/// and the (optional) query. Facts are kept out of the Program, following the
+/// paper's separation of program and database.
+struct ParsedUnit {
+  Program program;
+  std::vector<Fact> facts;
+  std::optional<Query> query;
+};
+
+/// Parses a Datalog-with-function-symbols source text.
+///
+/// Grammar (Prolog-flavoured):
+///
+///   unit      := statement*
+///   statement := atom [ ":-" atom ("," atom)* ] "."
+///              | "?-" atom "."
+///   atom      := ident [ "(" term ("," term)* ")" ]
+///   term      := variable | integer | ident [ "(" term ("," term)* ")" ]
+///              | "[" "]" | "[" term ("," term)* [ "|" term ] "]"
+///
+/// Identifiers starting with a lowercase letter are constants/functors/
+/// predicate names; identifiers starting with an uppercase letter or "_"
+/// are variables; a bare "_" is an anonymous variable (fresh per
+/// occurrence). Comments run from "%" or "#" to end of line.
+///
+/// Classification: a unit clause (no body) that is ground is a database
+/// fact; a non-ground unit clause is a rule with an empty body (e.g. the
+/// appendix's `append(V,[],[V]).`). Predicates heading a rule are derived;
+/// all others are base.
+Result<ParsedUnit> ParseUnit(std::string_view text,
+                             std::shared_ptr<Universe> universe);
+
+/// Convenience for tests: parses with a fresh Universe.
+Result<ParsedUnit> ParseUnit(std::string_view text);
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_PARSER_H_

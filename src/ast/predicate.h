@@ -1,0 +1,115 @@
+#ifndef MAGIC_AST_PREDICATE_H_
+#define MAGIC_AST_PREDICATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/adornment.h"
+#include "ast/symbol_table.h"
+#include "util/check.h"
+
+namespace magic {
+
+/// Id of a declared predicate (dense index into the PredicateTable).
+using PredId = uint32_t;
+inline constexpr PredId kInvalidPred = 0xFFFFFFFFu;
+
+/// Role of a predicate. Base predicates name database relations; everything
+/// else is derived (paper, Section 1.1). The remaining kinds tag the
+/// auxiliary predicates introduced by the rewriting algorithms so that
+/// provenance survives into benchmarks and the semijoin optimizer.
+enum class PredKind : uint8_t {
+  kBase,         // EDB relation
+  kDerived,      // IDB predicate (including adorned versions p^a)
+  kMagic,        // magic_p^a (Section 4)
+  kSupMagic,     // supmagic_i^r (Section 5)
+  kCounting,     // cnt_p_ind^a (Section 6)
+  kSupCounting,  // supcnt_i^r (Section 7)
+  kLabel,        // label_q_j for multi-arc sips (Section 4)
+};
+
+/// Metadata for one predicate.
+struct PredicateInfo {
+  SymbolId name = 0;
+  uint32_t arity = 0;
+  PredKind kind = PredKind::kBase;
+  /// Provenance: for an adorned version p^a this is p; for magic_p^a /
+  /// cnt_p_ind^a this is the adorned p^a; for supplementary predicates the
+  /// adorned head predicate of the originating rule.
+  PredId parent = kInvalidPred;
+  /// Nonempty iff this predicate is an adorned version of `parent`. For
+  /// magic/counting predicates this is the adornment of the adorned parent.
+  Adornment adornment;
+  /// Number of leading index arguments (3 for the counting method's
+  /// p_ind/cnt predicates, else 0). Index arguments precede all others.
+  uint32_t index_fields = 0;
+
+  bool IsAdorned() const { return !adornment.empty(); }
+};
+
+/// Registry of predicates, keyed by (name, arity).
+class PredicateTable {
+ public:
+  PredicateTable() = default;
+  PredicateTable(const PredicateTable&) = delete;
+  PredicateTable& operator=(const PredicateTable&) = delete;
+
+  /// Declares a new predicate; the (name, arity) pair must be unused.
+  PredId Declare(SymbolId name, uint32_t arity, PredKind kind) {
+    MAGIC_CHECK_MSG(!Find(name, arity).has_value(),
+                    "predicate already declared");
+    PredId id = static_cast<PredId>(infos_.size());
+    PredicateInfo info;
+    info.name = name;
+    info.arity = arity;
+    info.kind = kind;
+    infos_.push_back(std::move(info));
+    index_.emplace(Key(name, arity), id);
+    return id;
+  }
+
+  /// Returns the existing id or declares a new one. If the predicate exists,
+  /// kDerived upgrades kBase (a predicate first seen in a body, later seen
+  /// in a head); any other kind mismatch is a caller bug.
+  PredId GetOrDeclare(SymbolId name, uint32_t arity, PredKind kind) {
+    if (std::optional<PredId> found = Find(name, arity)) {
+      PredicateInfo& info = infos_[*found];
+      if (kind == PredKind::kDerived && info.kind == PredKind::kBase) {
+        info.kind = PredKind::kDerived;
+      }
+      return *found;
+    }
+    return Declare(name, arity, kind);
+  }
+
+  std::optional<PredId> Find(SymbolId name, uint32_t arity) const {
+    auto it = index_.find(Key(name, arity));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const PredicateInfo& info(PredId id) const {
+    MAGIC_CHECK(id < infos_.size());
+    return infos_[id];
+  }
+  PredicateInfo& mutable_info(PredId id) {
+    MAGIC_CHECK(id < infos_.size());
+    return infos_[id];
+  }
+
+  size_t size() const { return infos_.size(); }
+
+ private:
+  static uint64_t Key(SymbolId name, uint32_t arity) {
+    return (static_cast<uint64_t>(name) << 32) | arity;
+  }
+
+  std::vector<PredicateInfo> infos_;
+  std::unordered_map<uint64_t, PredId> index_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_PREDICATE_H_

@@ -1,0 +1,40 @@
+#ifndef MAGIC_AST_PRINTER_H_
+#define MAGIC_AST_PRINTER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+
+namespace magic {
+
+/// Renders `p(t1,...,tn)`.
+std::string LiteralToString(const Universe& u, const Literal& lit);
+
+/// Renders `head :- b1, b2.` (or `head.` for an empty body).
+std::string RuleToString(const Universe& u, const Rule& rule);
+
+std::string FactToString(const Universe& u, const Fact& fact);
+
+/// Renders all rules, one per line, in program order.
+std::string ProgramToString(const Program& program);
+
+/// Renders a sip as the paper writes it:
+///   {sg_h, up} ->[Z1] sg.1
+/// One line per arc; `sg_h` denotes the head node.
+std::string SipToString(const Universe& u, const Rule& rule,
+                        const SipGraph& sip);
+
+/// Canonical per-rule strings: variables are renamed V1, V2, ... in
+/// first-occurrence order (head first), so two alpha-equivalent rules print
+/// identically. Used by the appendix gold tests.
+std::vector<std::string> CanonicalRuleStrings(const Program& program);
+
+/// Sorted canonical rule strings joined with newlines: a canonical form for
+/// whole-program comparison that ignores rule order and variable names.
+std::string CanonicalProgramString(const Program& program);
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_PRINTER_H_

@@ -1,0 +1,41 @@
+#include "ast/sip_graph.h"
+
+#include <algorithm>
+
+namespace magic {
+
+namespace {
+
+bool IsSubset(const std::vector<int>& a, const std::vector<int>& b) {
+  for (int x : a) {
+    if (std::find(b.begin(), b.end(), x) == b.end()) return false;
+  }
+  return true;
+}
+
+bool IsSubsetSym(const std::vector<SymbolId>& a,
+                 const std::vector<SymbolId>& b) {
+  for (SymbolId x : a) {
+    if (std::find(b.begin(), b.end(), x) == b.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SipContainedIn(const SipGraph& inner, const SipGraph& outer) {
+  for (const SipArc& arc : inner.arcs) {
+    bool found = false;
+    for (const SipArc& candidate : outer.arcs) {
+      if (candidate.target == arc.target && IsSubset(arc.tail, candidate.tail) &&
+          IsSubsetSym(arc.label, candidate.label)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace magic

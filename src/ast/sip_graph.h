@@ -1,0 +1,65 @@
+#ifndef MAGIC_AST_SIP_GRAPH_H_
+#define MAGIC_AST_SIP_GRAPH_H_
+
+#include <vector>
+
+#include "ast/symbol_table.h"
+
+namespace magic {
+
+/// Sentinel occurrence index for the special head node p_h (paper, Section 2:
+/// the head predicate restricted to its bound arguments).
+inline constexpr int kSipHead = -1;
+
+/// One sip arc `N ->_chi q`: evaluating the join of the tail predicates binds
+/// the label variables, which are passed to the target occurrence.
+struct SipArc {
+  /// Tail N: body-occurrence indices, possibly including kSipHead for p_h.
+  std::vector<int> tail;
+  /// Label chi: the variables whose bindings are passed along the arc.
+  std::vector<SymbolId> label;
+  /// Target: index of the body occurrence receiving the bindings.
+  int target = 0;
+
+  bool operator==(const SipArc&) const = default;
+};
+
+/// A sideways information passing strategy for one rule (paper, Section 2).
+///
+/// The `order` field stores a total order of all body occurrences compatible
+/// with the sip's precedence relation (condition (3') of the paper):
+/// occurrences in arc tails precede the arc's target, and occurrences that do
+/// not participate in the sip come last. Rewriting algorithms that are
+/// order-based (GSMS, GC, GSC) follow this order.
+struct SipGraph {
+  std::vector<SipArc> arcs;
+  std::vector<int> order;
+
+  /// Indices into `arcs` of the arcs entering `occurrence`.
+  std::vector<int> ArcsInto(int occurrence) const {
+    std::vector<int> result;
+    for (int i = 0; i < static_cast<int>(arcs.size()); ++i) {
+      if (arcs[i].target == occurrence) result.push_back(i);
+    }
+    return result;
+  }
+
+  bool HasArcInto(int occurrence) const {
+    for (const SipArc& arc : arcs) {
+      if (arc.target == occurrence) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const SipGraph&) const = default;
+};
+
+/// Containment of sips (paper, Section 2.1): `inner` is contained in `outer`
+/// if every arc of `inner` has a counterpart in `outer` with a superset tail
+/// and a superset label. A sip is *partial* if it is properly contained in
+/// another sip for the same rule.
+bool SipContainedIn(const SipGraph& inner, const SipGraph& outer);
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_SIP_GRAPH_H_

@@ -1,0 +1,27 @@
+#include "ast/symbol_table.h"
+
+#include "util/check.h"
+
+namespace magic {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<SymbolId> SymbolTable::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& SymbolTable::Name(SymbolId id) const {
+  MAGIC_CHECK(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace magic

@@ -1,0 +1,46 @@
+#ifndef MAGIC_AST_SYMBOL_TABLE_H_
+#define MAGIC_AST_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace magic {
+
+/// Id of an interned string (predicate name, constant name, variable name,
+/// function symbol). Ids are dense indices into the owning SymbolTable.
+using SymbolId = uint32_t;
+
+/// Interns strings so the rest of the engine works with small integer ids.
+///
+/// Every Universe owns exactly one SymbolTable; SymbolIds from different
+/// tables must never be mixed (enforced only by convention, as in most
+/// interning designs).
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id for `name` if it has been interned.
+  std::optional<SymbolId> Find(std::string_view name) const;
+
+  /// Returns the string for an interned id.
+  const std::string& Name(SymbolId id) const;
+
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_SYMBOL_TABLE_H_

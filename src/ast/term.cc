@@ -1,0 +1,119 @@
+#include "ast/term.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace magic {
+
+TermId TermArena::MakeConstant(SymbolId name) {
+  TermData data;
+  data.kind = TermKind::kConstant;
+  data.ground = true;
+  data.symbol = name;
+  return Intern(std::move(data));
+}
+
+TermId TermArena::MakeInteger(int64_t value) {
+  TermData data;
+  data.kind = TermKind::kInteger;
+  data.ground = true;
+  data.value = value;
+  return Intern(std::move(data));
+}
+
+TermId TermArena::MakeVariable(SymbolId name) {
+  TermData data;
+  data.kind = TermKind::kVariable;
+  data.ground = false;
+  data.symbol = name;
+  return Intern(std::move(data));
+}
+
+TermId TermArena::MakeCompound(SymbolId functor, std::vector<TermId> args) {
+  TermData data;
+  data.kind = TermKind::kCompound;
+  data.symbol = functor;
+  data.ground = true;
+  for (TermId arg : args) {
+    MAGIC_CHECK(arg < terms_.size());
+    data.ground = data.ground && terms_[arg].ground;
+  }
+  data.children = std::move(args);
+  return Intern(std::move(data));
+}
+
+TermId TermArena::MakeAffine(TermId variable, int64_t mul, int64_t add) {
+  MAGIC_CHECK_MSG(mul >= 1, "affine multiplier must be positive");
+  MAGIC_CHECK(Get(variable).kind == TermKind::kVariable);
+  TermData data;
+  data.kind = TermKind::kAffine;
+  data.ground = false;
+  data.mul = mul;
+  data.add = add;
+  data.children = {variable};
+  return Intern(std::move(data));
+}
+
+const TermData& TermArena::Get(TermId id) const {
+  MAGIC_CHECK(id < terms_.size());
+  return terms_[id];
+}
+
+void TermArena::AppendVariables(TermId id, std::vector<SymbolId>* out) const {
+  const TermData& data = Get(id);
+  if (data.ground) return;
+  switch (data.kind) {
+    case TermKind::kVariable: {
+      if (std::find(out->begin(), out->end(), data.symbol) == out->end()) {
+        out->push_back(data.symbol);
+      }
+      return;
+    }
+    case TermKind::kCompound:
+    case TermKind::kAffine: {
+      for (TermId child : data.children) AppendVariables(child, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+bool TermArena::ContainsVariable(TermId id, SymbolId var) const {
+  const TermData& data = Get(id);
+  if (data.ground) return false;
+  if (data.kind == TermKind::kVariable) return data.symbol == var;
+  for (TermId child : data.children) {
+    if (ContainsVariable(child, var)) return true;
+  }
+  return false;
+}
+
+uint64_t TermArena::HashOf(const TermData& data) {
+  uint64_t h = HashCombine(static_cast<uint64_t>(data.kind), data.symbol);
+  h = HashCombine(h, static_cast<uint64_t>(data.value));
+  h = HashCombine(h, static_cast<uint64_t>(data.mul));
+  h = HashCombine(h, static_cast<uint64_t>(data.add));
+  return HashRange(data.children.begin(), data.children.end(), h);
+}
+
+bool TermArena::Equal(const TermData& a, const TermData& b) {
+  return a.kind == b.kind && a.symbol == b.symbol && a.value == b.value &&
+         a.mul == b.mul && a.add == b.add && a.children == b.children;
+}
+
+TermId TermArena::Intern(TermData data) {
+  uint64_t h = HashOf(data);
+  auto& bucket = dedup_[h];
+  for (TermId candidate : bucket) {
+    if (Equal(terms_[candidate], data)) return candidate;
+  }
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(std::move(data));
+  bucket.push_back(id);
+  return id;
+}
+
+}  // namespace magic

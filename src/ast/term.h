@@ -1,0 +1,92 @@
+#ifndef MAGIC_AST_TERM_H_
+#define MAGIC_AST_TERM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/symbol_table.h"
+
+namespace magic {
+
+/// Id of a hash-consed term. Structural equality of terms in the same arena
+/// is id equality, which is what makes bottom-up matching cheap.
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = 0xFFFFFFFFu;
+
+/// The five term shapes of the paper's language.
+///
+///   * kConstant / kInteger — ground atoms of the Herbrand universe.
+///   * kVariable            — rule variables (uppercase in the paper).
+///   * kCompound            — n-ary function symbols (used by the appendix
+///                            list-reverse problem; lists are '.'/2 + '[]').
+///   * kAffine              — counting-index expressions `mul*V + add`
+///                            (the paper's `K x m + i`, `H x t + j`, `I + 1`).
+///                            Only valid in index positions of counting
+///                            predicates; the evaluator both evaluates and
+///                            inverts them.
+enum class TermKind : uint8_t {
+  kConstant,
+  kInteger,
+  kVariable,
+  kCompound,
+  kAffine,
+};
+
+/// Immutable node of the term arena.
+struct TermData {
+  TermKind kind = TermKind::kConstant;
+  bool ground = true;
+  /// Constant name / variable name / compound functor. Unused for kInteger
+  /// and kAffine.
+  SymbolId symbol = 0;
+  /// kInteger: the value. kAffine: unused (see mul/add).
+  int64_t value = 0;
+  /// kAffine coefficients: denotes mul * var + add, mul >= 1.
+  int64_t mul = 0;
+  int64_t add = 0;
+  /// kCompound: argument terms. kAffine: exactly one kVariable child.
+  std::vector<TermId> children;
+};
+
+/// Arena of hash-consed terms. Also caches groundness and exposes variable
+/// collection, which the rewrite algorithms use constantly (sip labels,
+/// supplementary argument lists, adornment computation).
+class TermArena {
+ public:
+  TermArena() = default;
+  TermArena(const TermArena&) = delete;
+  TermArena& operator=(const TermArena&) = delete;
+
+  TermId MakeConstant(SymbolId name);
+  TermId MakeInteger(int64_t value);
+  TermId MakeVariable(SymbolId name);
+  TermId MakeCompound(SymbolId functor, std::vector<TermId> args);
+  /// Builds `mul * variable + add`; `variable` must be a kVariable term and
+  /// mul must be >= 1 so the expression is invertible.
+  TermId MakeAffine(TermId variable, int64_t mul, int64_t add);
+
+  const TermData& Get(TermId id) const;
+  bool IsGround(TermId id) const { return Get(id).ground; }
+
+  /// Appends the variables of `id` to `out` in first-occurrence order,
+  /// skipping variables already present in `out`.
+  void AppendVariables(TermId id, std::vector<SymbolId>* out) const;
+
+  /// True if `id` contains the variable `var`.
+  bool ContainsVariable(TermId id, SymbolId var) const;
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  TermId Intern(TermData data);
+  static uint64_t HashOf(const TermData& data);
+  static bool Equal(const TermData& a, const TermData& b);
+
+  std::vector<TermData> terms_;
+  std::unordered_map<uint64_t, std::vector<TermId>> dedup_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_TERM_H_

@@ -1,0 +1,83 @@
+#ifndef MAGIC_AST_UNIVERSE_H_
+#define MAGIC_AST_UNIVERSE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/predicate.h"
+#include "ast/symbol_table.h"
+#include "ast/term.h"
+
+namespace magic {
+
+/// The shared interning context: symbols, hash-consed terms, and the
+/// predicate registry. A Program and the Database it is evaluated against
+/// must share one Universe so term ids are comparable.
+class Universe {
+ public:
+  Universe() = default;
+  Universe(const Universe&) = delete;
+  Universe& operator=(const Universe&) = delete;
+
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  TermArena& terms() { return terms_; }
+  const TermArena& terms() const { return terms_; }
+  PredicateTable& predicates() { return predicates_; }
+  const PredicateTable& predicates() const { return predicates_; }
+
+  // -- Term construction conveniences -------------------------------------
+
+  SymbolId Sym(std::string_view name) { return symbols_.Intern(name); }
+  TermId Constant(std::string_view name) {
+    return terms_.MakeConstant(Sym(name));
+  }
+  TermId Integer(int64_t value) { return terms_.MakeInteger(value); }
+  TermId Variable(std::string_view name) {
+    return terms_.MakeVariable(Sym(name));
+  }
+  TermId Compound(std::string_view functor, std::vector<TermId> args) {
+    return terms_.MakeCompound(Sym(functor), std::move(args));
+  }
+  TermId Affine(TermId variable, int64_t mul, int64_t add) {
+    return terms_.MakeAffine(variable, mul, add);
+  }
+
+  /// Returns a variable guaranteed not to collide with any variable interned
+  /// so far (used for anonymous variables and counting-index variables).
+  TermId FreshVariable(std::string_view prefix);
+
+  // -- Lists (sugar for the appendix list-reverse problem) ----------------
+
+  /// The empty list constant `[]`.
+  TermId NilTerm() { return Constant("[]"); }
+  /// The cons cell `[head | tail]`, functor '.'/2.
+  TermId Cons(TermId head, TermId tail) {
+    return terms_.MakeCompound(Sym("."), {head, tail});
+  }
+  /// Builds a proper list of `items`.
+  TermId MakeList(const std::vector<TermId>& items);
+
+  /// Renders a term with list sugar and affine-index formatting; used by the
+  /// printer and error messages.
+  std::string TermToString(TermId id) const;
+
+  /// Picks a predicate name based on `desired` that is unused at `arity`,
+  /// appending numeric suffixes if needed (rewrites mangle names like
+  /// "magic_sg_bf" which could in principle collide with user predicates).
+  SymbolId UniquePredicateName(std::string_view desired, uint32_t arity);
+
+ private:
+  void TermToStringImpl(TermId id, std::string* out) const;
+
+  SymbolTable symbols_;
+  TermArena terms_;
+  PredicateTable predicates_;
+  uint64_t fresh_counter_ = 0;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_UNIVERSE_H_

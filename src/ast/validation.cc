@@ -1,0 +1,282 @@
+#include "ast/validation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace magic {
+
+namespace {
+
+/// Union-find over variable symbols, used for connectivity checks.
+class VarUnionFind {
+ public:
+  void Add(SymbolId v) { parent_.emplace(v, v); }
+
+  SymbolId Find(SymbolId v) {
+    Add(v);
+    SymbolId root = v;
+    while (parent_[root] != root) root = parent_[root];
+    while (parent_[v] != root) {
+      SymbolId next = parent_[v];
+      parent_[v] = root;
+      v = next;
+    }
+    return root;
+  }
+
+  void Union(SymbolId a, SymbolId b) { parent_[Find(a)] = Find(b); }
+
+  bool Connected(SymbolId a, SymbolId b) { return Find(a) == Find(b); }
+
+ private:
+  std::map<SymbolId, SymbolId> parent_;
+};
+
+std::vector<SymbolId> HeadBoundVariables(const Universe& u, const Rule& rule,
+                                         const Adornment& head_adornment) {
+  std::vector<SymbolId> vars;
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (i < head_adornment.size() && head_adornment.bound(i)) {
+      u.terms().AppendVariables(rule.head.args[i], &vars);
+    }
+  }
+  return vars;
+}
+
+}  // namespace
+
+Status CheckWellFormed(const Universe& u, const Rule& rule) {
+  std::vector<SymbolId> body_vars;
+  for (const Literal& lit : rule.body) {
+    AppendLiteralVariables(u, lit, &body_vars);
+  }
+  std::vector<SymbolId> head_vars = LiteralVariables(u, rule.head);
+  for (SymbolId v : head_vars) {
+    if (std::find(body_vars.begin(), body_vars.end(), v) == body_vars.end()) {
+      return Status::InvalidArgument(
+          "rule violates (WF): head variable '" + u.symbols().Name(v) +
+          "' does not appear in the body");
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckConnected(const Universe& u, const Rule& rule) {
+  if (rule.body.empty()) return Status::OK();
+  VarUnionFind uf;
+  auto link_literal = [&](const Literal& lit) {
+    std::vector<SymbolId> vars = LiteralVariables(u, lit);
+    for (size_t i = 1; i < vars.size(); ++i) uf.Union(vars[0], vars[i]);
+    return vars;
+  };
+  std::vector<SymbolId> head_vars = link_literal(rule.head);
+  std::vector<std::vector<SymbolId>> body_vars;
+  body_vars.reserve(rule.body.size());
+  for (const Literal& lit : rule.body) body_vars.push_back(link_literal(lit));
+
+  if (head_vars.empty()) {
+    // A ground head: accept any body (rare; nothing to pass sideways).
+    return Status::OK();
+  }
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (body_vars[i].empty()) continue;  // ground literal: pure constraint
+    if (!uf.Connected(head_vars[0], body_vars[i][0])) {
+      return Status::InvalidArgument(
+          "rule violates (C): body literal " + std::to_string(i) +
+          " is not connected to the head");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ValidateProgram(const Program& program) {
+  std::vector<std::string> warnings;
+  const Universe& u = program.u();
+  for (size_t i = 0; i < program.rules().size(); ++i) {
+    const Rule& rule = program.rules()[i];
+    if (Status st = CheckWellFormed(u, rule); !st.ok()) {
+      warnings.push_back("rule " + std::to_string(i) + ": " + st.message());
+    }
+    if (Status st = CheckConnected(u, rule); !st.ok()) {
+      warnings.push_back("rule " + std::to_string(i) + ": " + st.message());
+    }
+  }
+  return warnings;
+}
+
+Status ValidateSip(const Universe& u, const Rule& rule,
+                   const Adornment& head_adornment, const SipGraph& sip) {
+  const int n = static_cast<int>(rule.body.size());
+  std::vector<SymbolId> head_bound = HeadBoundVariables(u, rule, head_adornment);
+
+  for (const SipArc& arc : sip.arcs) {
+    if (arc.target < 0 || arc.target >= n) {
+      return Status::InvalidArgument("sip arc target out of range");
+    }
+    if (arc.label.empty()) {
+      return Status::InvalidArgument("sip arc with empty label");
+    }
+    std::set<int> seen;
+    for (int member : arc.tail) {
+      if (member != kSipHead && (member < 0 || member >= n)) {
+        return Status::InvalidArgument("sip arc tail member out of range");
+      }
+      if (member == arc.target) {
+        return Status::InvalidArgument("sip arc target appears in its own tail");
+      }
+      if (!seen.insert(member).second) {
+        return Status::InvalidArgument("duplicate member in sip arc tail");
+      }
+    }
+
+    // Condition (2)(i): each label variable appears in the tail.
+    std::vector<SymbolId> tail_vars;
+    std::vector<std::vector<SymbolId>> member_vars;
+    VarUnionFind uf;
+    for (int member : arc.tail) {
+      std::vector<SymbolId> vars =
+          member == kSipHead
+              ? head_bound
+              : LiteralVariables(u, rule.body[member]);
+      for (SymbolId v : vars) {
+        if (std::find(tail_vars.begin(), tail_vars.end(), v) ==
+            tail_vars.end()) {
+          tail_vars.push_back(v);
+        }
+      }
+      for (size_t i = 1; i < vars.size(); ++i) uf.Union(vars[0], vars[i]);
+      member_vars.push_back(std::move(vars));
+    }
+    for (SymbolId v : arc.label) {
+      if (std::find(tail_vars.begin(), tail_vars.end(), v) ==
+          tail_vars.end()) {
+        return Status::InvalidArgument(
+            "sip condition (2)(i) violated: label variable '" +
+            u.symbols().Name(v) + "' does not appear in the tail");
+      }
+    }
+
+    // Condition (2)(ii): each tail member is connected (within the tail's
+    // variable-sharing graph) to some label variable.
+    for (size_t m = 0; m < arc.tail.size(); ++m) {
+      const std::vector<SymbolId>& vars = member_vars[m];
+      if (vars.empty()) {
+        return Status::InvalidArgument(
+            "sip condition (2)(ii) violated: ground tail member");
+      }
+      bool connected = false;
+      for (SymbolId v : vars) {
+        for (SymbolId l : arc.label) {
+          if (uf.Connected(v, l)) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) break;
+      }
+      if (!connected) {
+        return Status::InvalidArgument(
+            "sip condition (2)(ii) violated: tail member not connected to "
+            "any label variable");
+      }
+    }
+
+    // Condition (2)(iii): each label variable appears in an argument of the
+    // target all of whose variables are labeled.
+    const Literal& target = rule.body[arc.target];
+    for (SymbolId v : arc.label) {
+      bool covered = false;
+      for (TermId arg : target.args) {
+        if (!u.terms().ContainsVariable(arg, v)) continue;
+        std::vector<SymbolId> arg_vars;
+        u.terms().AppendVariables(arg, &arg_vars);
+        bool all_labeled = true;
+        for (SymbolId av : arg_vars) {
+          if (std::find(arc.label.begin(), arc.label.end(), av) ==
+              arc.label.end()) {
+            all_labeled = false;
+            break;
+          }
+        }
+        if (all_labeled) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return Status::InvalidArgument(
+            "sip condition (2)(iii) violated: label variable '" +
+            u.symbols().Name(v) +
+            "' does not cover any argument of the target");
+      }
+    }
+  }
+
+  // Condition (3): acyclic precedence.
+  Result<std::vector<int>> order = ComputeSipOrder(rule.body.size(), sip);
+  if (!order.ok()) return order.status();
+  return Status::OK();
+}
+
+Result<std::vector<int>> ComputeSipOrder(size_t body_size,
+                                         const SipGraph& sip) {
+  const int n = static_cast<int>(body_size);
+  std::vector<bool> participates(n, false);
+  std::vector<std::set<int>> preds(n);  // occurrence -> must-precede set
+  for (const SipArc& arc : sip.arcs) {
+    if (arc.target < 0 || arc.target >= n) {
+      return Status::InvalidArgument("sip arc target out of range");
+    }
+    participates[arc.target] = true;
+    for (int member : arc.tail) {
+      if (member == kSipHead) continue;
+      if (member < 0 || member >= n) {
+        return Status::InvalidArgument("sip arc tail member out of range");
+      }
+      participates[member] = true;
+      preds[arc.target].insert(member);
+    }
+  }
+
+  std::vector<int> order;
+  order.reserve(body_size);
+  std::vector<bool> placed(n, false);
+  // Kahn's algorithm over participating occurrences, min-index tie break so
+  // the order is stable with respect to the written rule.
+  int remaining = 0;
+  for (int i = 0; i < n; ++i) {
+    if (participates[i]) ++remaining;
+  }
+  while (remaining > 0) {
+    int chosen = -1;
+    for (int i = 0; i < n; ++i) {
+      if (!participates[i] || placed[i]) continue;
+      bool ready = true;
+      for (int p : preds[i]) {
+        if (!placed[p]) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        chosen = i;
+        break;
+      }
+    }
+    if (chosen == -1) {
+      return Status::InvalidArgument(
+          "sip condition (3) violated: cyclic precedence relation");
+    }
+    placed[chosen] = true;
+    order.push_back(chosen);
+    --remaining;
+  }
+  // Occurrences outside the sip follow all others (condition (3')).
+  for (int i = 0; i < n; ++i) {
+    if (!participates[i]) order.push_back(i);
+  }
+  return order;
+}
+
+}  // namespace magic

@@ -1,0 +1,43 @@
+#ifndef MAGIC_AST_VALIDATION_H_
+#define MAGIC_AST_VALIDATION_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/status.h"
+
+namespace magic {
+
+/// Condition (WF) of the paper: every variable in the head also appears in
+/// the body. For definite clauses this coincides with range restriction,
+/// which is what bottom-up evaluation needs to produce ground facts.
+Status CheckWellFormed(const Universe& u, const Rule& rule);
+
+/// Condition (C) of the paper: the predicate occurrences of the rule form a
+/// single connected component (head included) under shared variables.
+/// Ground literals are considered connected to everything (they are
+/// constraints, not existential subqueries with bindings to pass).
+Status CheckConnected(const Universe& u, const Rule& rule);
+
+/// Returns human-readable warnings for rules violating (WF) or (C).
+/// Violations are warnings, not errors: the appendix list-reverse program
+/// violates (WF) in `append(V,[],[V])` and the paper still rewrites it — the
+/// magic-rewritten program is range restricted even though the original is
+/// not (Corollary 9.2 in action).
+std::vector<std::string> ValidateProgram(const Program& program);
+
+/// Validates a sip against conditions (1), (2)(i)-(iii) and (3) of Section 2.
+/// `head_adornment` determines the variables of the special node p_h.
+Status ValidateSip(const Universe& u, const Rule& rule,
+                   const Adornment& head_adornment, const SipGraph& sip);
+
+/// Computes a total order of all body occurrences compatible with the sip's
+/// precedence relation (condition (3')): tails precede targets, occurrences
+/// outside the sip come last, ties broken by original body position. Fails
+/// if the precedence relation is cyclic.
+Result<std::vector<int>> ComputeSipOrder(size_t body_size, const SipGraph& sip);
+
+}  // namespace magic
+
+#endif  // MAGIC_AST_VALIDATION_H_

@@ -1,0 +1,148 @@
+#include "core/adorn.h"
+
+#include <deque>
+
+#include "util/check.h"
+
+namespace magic {
+
+namespace {
+
+bool ContainsSym(const std::vector<SymbolId>& vars, SymbolId v) {
+  for (SymbolId x : vars) {
+    if (x == v) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<AdornedProgram> Adorn(const Program& program, const Query& query,
+                             SipStrategy& strategy) {
+  const auto& universe = program.universe();
+  Universe& u = *universe;
+
+  if (query.goal.pred == kInvalidPred) {
+    return Status::InvalidArgument("query has no predicate");
+  }
+  if (!program.IsHeadPredicate(query.goal.pred)) {
+    return Status::InvalidArgument(
+        "query predicate is not derived by the program; base-predicate "
+        "queries are answered directly from the database");
+  }
+
+  AdornedProgram out;
+  out.program = Program(universe);
+  out.query = query;
+  out.query_adornment = QueryAdornment(u, query);
+
+  std::deque<std::pair<PredId, Adornment>> worklist;
+
+  // Creates (once) the adorned version of `base` for adornment `a` and
+  // schedules it for rule generation.
+  auto adorned_pred_for = [&](PredId base, const Adornment& a) -> PredId {
+    auto key = std::make_pair(base, a.ToString());
+    auto it = out.adorned_preds.find(key);
+    if (it != out.adorned_preds.end()) return it->second;
+    const PredicateInfo& info = u.predicates().info(base);
+    std::string name = u.symbols().Name(info.name) + "_" + a.ToString();
+    SymbolId sym = u.UniquePredicateName(name, info.arity);
+    PredId id = u.predicates().Declare(sym, info.arity, PredKind::kDerived);
+    PredicateInfo& pinfo = u.predicates().mutable_info(id);
+    pinfo.parent = base;
+    pinfo.adornment = a;
+    out.adorned_preds.emplace(std::move(key), id);
+    worklist.emplace_back(base, a);
+    return id;
+  };
+
+  out.query_pred = adorned_pred_for(query.goal.pred, out.query_adornment);
+
+  while (!worklist.empty()) {
+    auto [base, head_adornment] = worklist.front();
+    worklist.pop_front();
+    PredId head_pred =
+        out.adorned_preds.at(std::make_pair(base, head_adornment.ToString()));
+
+    for (int ri : program.RulesFor(base)) {
+      const Rule& rule = program.rules()[ri];
+      Result<SipGraph> sip_result =
+          strategy.BuildSip(u, rule, head_adornment, program);
+      if (!sip_result.ok()) return sip_result.status();
+      SipGraph sip = std::move(*sip_result);
+      MAGIC_RETURN_IF_ERROR(ValidateSip(u, rule, head_adornment, sip));
+      MAGIC_CHECK_MSG(sip.order.size() == rule.body.size(),
+                      "sip strategies must produce a total order");
+
+      // New physical position of each original occurrence.
+      std::vector<int> new_pos(rule.body.size());
+      for (size_t i = 0; i < sip.order.size(); ++i) {
+        new_pos[sip.order[i]] = static_cast<int>(i);
+      }
+
+      Rule adorned_rule;
+      adorned_rule.head = Literal{head_pred, rule.head.args};
+      adorned_rule.provenance.origin = RuleOrigin::kOriginal;
+
+      for (int old_occ : sip.order) {
+        const Literal& lit = rule.body[old_occ];
+        Literal new_lit = lit;
+        if (program.IsHeadPredicate(lit.pred)) {
+          // chi_i: the union of the labels of arcs entering this occurrence.
+          std::vector<SymbolId> chi;
+          bool has_arc = false;
+          for (const SipArc& arc : sip.arcs) {
+            if (arc.target != old_occ) continue;
+            has_arc = true;
+            for (SymbolId v : arc.label) {
+              if (!ContainsSym(chi, v)) chi.push_back(v);
+            }
+          }
+          Adornment body_adornment = Adornment::AllFree(lit.args.size());
+          if (has_arc) {
+            for (size_t a = 0; a < lit.args.size(); ++a) {
+              std::vector<SymbolId> arg_vars;
+              u.terms().AppendVariables(lit.args[a], &arg_vars);
+              bool all_in_chi = true;
+              for (SymbolId v : arg_vars) {
+                if (!ContainsSym(chi, v)) {
+                  all_in_chi = false;
+                  break;
+                }
+              }
+              // Ground arguments (no variables) count as bound when the
+              // occurrence receives bindings at all.
+              if (all_in_chi) body_adornment.set_bound(a);
+            }
+          }
+          new_lit.pred = adorned_pred_for(lit.pred, body_adornment);
+        }
+        adorned_rule.body.push_back(std::move(new_lit));
+      }
+
+      // Remap the sip onto the reordered body.
+      SipGraph remapped;
+      for (const SipArc& arc : sip.arcs) {
+        SipArc na;
+        na.label = arc.label;
+        na.target = new_pos[arc.target];
+        for (int member : arc.tail) {
+          na.tail.push_back(member == kSipHead ? kSipHead : new_pos[member]);
+        }
+        remapped.arcs.push_back(std::move(na));
+      }
+      remapped.order.resize(rule.body.size());
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        remapped.order[i] = static_cast<int>(i);
+      }
+      adorned_rule.sip = std::move(remapped);
+
+      int idx = out.program.AddRule(std::move(adorned_rule));
+      out.program.rules()[idx].provenance.adorned_rule = idx;
+    }
+  }
+
+  return out;
+}
+
+}  // namespace magic

@@ -1,0 +1,38 @@
+#ifndef MAGIC_CORE_ADORN_H_
+#define MAGIC_CORE_ADORN_H_
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/sip_strategies.h"
+
+namespace magic {
+
+/// The adorned program P^ad (paper, Section 3) together with the bookkeeping
+/// the rewriting stages need. Rule bodies are physically reordered to the
+/// total order induced by their sips (condition (3')), and each adorned rule
+/// carries its sip with occurrence indices remapped to the new order.
+struct AdornedProgram {
+  Program program;
+  /// The original query and its adorned predicate/adornment.
+  Query query;
+  PredId query_pred = kInvalidPred;
+  Adornment query_adornment;
+  /// (original predicate, adornment string) -> adorned predicate.
+  std::map<std::pair<PredId, std::string>, PredId> adorned_preds;
+};
+
+/// Builds the adorned program for (program, query) under `strategy`.
+///
+/// Derived predicates are the program's head predicates. Adorned versions
+/// are named base_adornment (e.g. sg_bf). Per the paper: a body occurrence
+/// with no incoming sip arc is adorned all-free; an argument is bound in
+/// the adornment only if all its variables are labeled by incoming arcs
+/// (so partially bound arguments count as free, following [21]).
+Result<AdornedProgram> Adorn(const Program& program, const Query& query,
+                             SipStrategy& strategy);
+
+}  // namespace magic
+
+#endif  // MAGIC_CORE_ADORN_H_

@@ -1,0 +1,73 @@
+#ifndef MAGIC_CORE_COUNTING_H_
+#define MAGIC_CORE_COUNTING_H_
+
+#include "core/rewrite_common.h"
+
+namespace magic {
+
+struct CountingOptions {
+  GuardMode guard_mode = GuardMode::kProp42;
+};
+
+/// Per-literal provenance inside a counting-rewritten rule, used by the
+/// Section 8 optimizations.
+struct CountingLiteralMeta {
+  /// The body occurrence of the originating adorned rule this literal stands
+  /// for (index into that rule's sip-ordered body), or -1.
+  int occurrence = -1;
+  /// cnt_p_ind^a(I,K,H,chi^b) for the rule head's node p_h.
+  bool is_cnt_of_head = false;
+  /// A supplementary counting literal (GSC only).
+  bool is_supp = false;
+  /// A cnt guard literal for `occurrence` (GuardMode::kFull only).
+  bool is_cnt_guard = false;
+};
+
+struct CountingRuleMeta {
+  RuleOrigin origin = RuleOrigin::kModifiedRule;
+  int adorned_rule = -1;
+  /// For counting rules: the occurrence whose subqueries the rule generates.
+  int target_occurrence = -1;
+  /// For GSC supplementary rules: the 1-based supplementary index j.
+  int sup_index = -1;
+  std::vector<CountingLiteralMeta> body;
+};
+
+/// A counting-rewritten program: the rewritten rules plus the metadata and
+/// the copy of the adorned program (for sip arcs) that the semijoin
+/// optimizer consumes.
+struct CountingProgram {
+  RewrittenProgram rewritten;
+  AdornedProgram adorned;
+  /// Encoding bases: m = number of adorned rules (1-based rule numbers),
+  /// t = maximum body length (1-based occurrence positions). This matches
+  /// the paper's appendix (K*m+i, H*t+j with i,j starting at 1 covers
+  /// consecutive integer blocks injectively).
+  int m = 0;
+  int t = 0;
+  /// Parallel to rewritten.program.rules().
+  std::vector<CountingRuleMeta> meta;
+  /// adorned pred -> indexed version p_ind^a (only bound-adorned preds).
+  std::unordered_map<PredId, PredId> indexed_of;
+  /// Non-index argument positions of each indexed predicate that are still
+  /// present (the semijoin optimization deletes bound positions).
+  std::unordered_map<PredId, std::vector<int>> kept_positions;
+};
+
+/// Generalized Counting (paper, Section 6): generalized magic sets with
+/// three index arguments (I, K, H) encoding the derivation path — I the
+/// level, K the rule path (base m), H the occurrence path (base t). Index
+/// expressions are affine terms that the evaluator both computes and
+/// inverts. Equivalence (Theorem 6.1) holds after projecting out the index
+/// fields; the indices enable the Section 8 optimizations but may diverge
+/// on cyclic data (Theorem 10.3).
+///
+/// Fails with InvalidArgument for sips the counting method cannot encode
+/// (an arc whose tail contains neither the head node nor an indexed
+/// occurrence leaves the index variables unbound).
+Result<CountingProgram> CountingRewrite(const AdornedProgram& adorned,
+                                        const CountingOptions& options = {});
+
+}  // namespace magic
+
+#endif  // MAGIC_CORE_COUNTING_H_

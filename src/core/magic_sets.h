@@ -1,0 +1,34 @@
+#ifndef MAGIC_CORE_MAGIC_SETS_H_
+#define MAGIC_CORE_MAGIC_SETS_H_
+
+#include "core/rewrite_common.h"
+
+namespace magic {
+
+struct MagicOptions {
+  GuardMode guard_mode = GuardMode::kProp42;
+};
+
+/// Generalized Magic Sets (paper, Section 4): rewrites the adorned program
+/// into P^mg, whose bottom-up evaluation implements the sips attached to the
+/// adorned rules (Theorem 4.1: (P^ad, p^a) is equivalent to (P^mg, p^a)).
+///
+/// For each adorned rule r with head p^a(chi) and each body occurrence
+/// q_i^{a_i} that is derived, has bound arguments and an incoming sip arc
+/// N -> q_i, this generates a magic rule
+///
+///   magic_q^{a_i}(theta_i^b) :- [magic_p^a(chi^b) if p_h in N],
+///                               q_j^{a_j}(theta_j) for q_j in N, ...
+///
+/// plus guard literals per MagicOptions::guard_mode, and the modified rule
+///
+///   p^a(chi) :- magic_p^a(chi^b), q_1^{a_1}(theta_1), ...
+///
+/// Occurrences with several incoming arcs go through label predicates, one
+/// per arc, exactly as in the paper.
+Result<RewrittenProgram> MagicSetsRewrite(const AdornedProgram& adorned,
+                                          const MagicOptions& options = {});
+
+}  // namespace magic
+
+#endif  // MAGIC_CORE_MAGIC_SETS_H_

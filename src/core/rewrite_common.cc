@@ -1,0 +1,105 @@
+#include "core/rewrite_common.h"
+
+#include "util/check.h"
+
+namespace magic {
+
+std::vector<Fact> MakeSeeds(const RewrittenProgram& rewritten,
+                            const Query& query, Universe& u) {
+  std::vector<Fact> seeds;
+  if (!rewritten.seed.has_value()) return seeds;
+  const SeedTemplate& tpl = *rewritten.seed;
+  Fact seed;
+  seed.pred = tpl.pred;
+  if (tpl.counting) {
+    TermId zero = u.Integer(0);
+    seed.args = {zero, zero, zero};
+  }
+  for (TermId arg : query.goal.args) {
+    if (u.terms().IsGround(arg)) seed.args.push_back(arg);
+  }
+  MAGIC_CHECK(seed.args.size() == u.predicates().info(tpl.pred).arity);
+  seeds.push_back(std::move(seed));
+  return seeds;
+}
+
+std::vector<TermId> BoundArgs(const Literal& lit, const Adornment& adornment) {
+  std::vector<TermId> args;
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    if (i < adornment.size() && adornment.bound(i)) args.push_back(lit.args[i]);
+  }
+  return args;
+}
+
+const Adornment& PredAdornment(const Universe& u, PredId pred) {
+  return u.predicates().info(pred).adornment;
+}
+
+bool IsBoundAdorned(const Universe& u, PredId pred) {
+  const PredicateInfo& info = u.predicates().info(pred);
+  return info.kind == PredKind::kDerived && info.IsAdorned() &&
+         info.adornment.bound_count() > 0;
+}
+
+PredId GetOrCreateMagicPred(Universe& u, PredId pred,
+                            std::unordered_map<PredId, PredId>* cache) {
+  auto it = cache->find(pred);
+  if (it != cache->end()) return it->second;
+  // Copy: Declare below may reallocate the predicate table and invalidate
+  // references into it.
+  const PredicateInfo info = u.predicates().info(pred);
+  MAGIC_CHECK_MSG(info.IsAdorned() && info.adornment.bound_count() > 0,
+                  "magic predicates exist only for bound-adorned predicates");
+  std::string name = "magic_" + u.symbols().Name(info.name);
+  uint32_t arity = static_cast<uint32_t>(info.adornment.bound_count());
+  SymbolId sym = u.UniquePredicateName(name, arity);
+  PredId magic = u.predicates().Declare(sym, arity, PredKind::kMagic);
+  PredicateInfo& minfo = u.predicates().mutable_info(magic);
+  minfo.parent = pred;
+  minfo.adornment = info.adornment;
+  cache->emplace(pred, magic);
+  return magic;
+}
+
+bool WantGuard(GuardMode mode, const std::vector<std::vector<bool>>& precedes,
+               const std::vector<int>& holders, int candidate) {
+  switch (mode) {
+    case GuardMode::kFull:
+      return true;
+    case GuardMode::kPhOnly:
+      return false;
+    case GuardMode::kProp42: {
+      size_t to = static_cast<size_t>(candidate) + 1;
+      for (int holder : holders) {
+        size_t from = holder == kSipHead ? 0 : static_cast<size_t>(holder) + 1;
+        if (precedes[from][to]) return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<bool>> SipPrecedes(const SipGraph& sip,
+                                           size_t body_size) {
+  const size_t n = body_size + 1;  // node 0 = p_h, node i+1 = occurrence i
+  std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
+  for (const SipArc& arc : sip.arcs) {
+    for (int member : arc.tail) {
+      size_t from = member == kSipHead ? 0 : static_cast<size_t>(member) + 1;
+      reach[from][static_cast<size_t>(arc.target) + 1] = true;
+    }
+  }
+  // Floyd-Warshall closure (bodies are tiny).
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach[k][j]) reach[i][j] = true;
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace magic

@@ -1,0 +1,37 @@
+#ifndef MAGIC_CORE_SEMIJOIN_H_
+#define MAGIC_CORE_SEMIJOIN_H_
+
+#include "core/counting.h"
+
+namespace magic {
+
+struct SemijoinStats {
+  int blocks_optimized = 0;
+  int literals_deleted = 0;
+  int argument_positions_dropped = 0;
+  int supplementary_positions_trimmed = 0;
+};
+
+/// The Section 8 optimizations for counting-rewritten programs, applied to a
+/// fixpoint:
+///
+///   * Lemma 8.1 — delete the tail literals feeding an indexed occurrence
+///     when their variables serve only to compute its bound arguments (the
+///     indices already replay that join).
+///   * Theorem 8.3 (semijoin optimization) — per block of mutually recursive
+///     indexed predicates, when conditions (1) and (2) hold, delete all the
+///     blocks' bound argument positions program-wide and the now-redundant
+///     tail literals in the rules defining the block.
+///   * Supplementary re-trimming — after argument drops, supplementary
+///     counting predicates shed positions no consumer reads (this is what
+///     turns A.6.3's supcnt(I,k,h,X,Z1) into supcnt(I,k,h,Z1)).
+///
+/// The checks are conservative: if a condition cannot be established the
+/// rule/block is left untouched, so the result is always equivalent to the
+/// input (which the property tests verify against GMS answers).
+Result<CountingProgram> ApplySemijoinOptimization(const CountingProgram& input,
+                                                  SemijoinStats* stats = nullptr);
+
+}  // namespace magic
+
+#endif  // MAGIC_CORE_SEMIJOIN_H_

@@ -1,0 +1,305 @@
+#include "core/sip_strategies.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace magic {
+
+namespace {
+
+bool Contains(const std::vector<SymbolId>& vars, SymbolId v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+void AddUnique(std::vector<SymbolId>* vars, SymbolId v) {
+  if (!Contains(*vars, v)) vars->push_back(v);
+}
+
+std::vector<SymbolId> HeadBoundVars(const Universe& u, const Rule& rule,
+                                    const Adornment& head) {
+  std::vector<SymbolId> vars;
+  for (size_t i = 0; i < rule.head.args.size() && i < head.size(); ++i) {
+    if (head.bound(i)) u.terms().AppendVariables(rule.head.args[i], &vars);
+  }
+  return vars;
+}
+
+/// The label a set of available variables can pass to `target`: variables
+/// from `available` appearing in arguments of `target` that are fully
+/// covered by `available` (condition (2)(iii); partially bound arguments
+/// are treated as free).
+std::vector<SymbolId> CoverLabel(const Universe& u, const Literal& target,
+                                 const std::vector<SymbolId>& available) {
+  std::vector<SymbolId> label;
+  for (TermId arg : target.args) {
+    std::vector<SymbolId> arg_vars;
+    u.terms().AppendVariables(arg, &arg_vars);
+    if (arg_vars.empty()) continue;
+    bool covered = true;
+    for (SymbolId v : arg_vars) {
+      if (!Contains(available, v)) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      for (SymbolId v : arg_vars) AddUnique(&label, v);
+    }
+  }
+  return label;
+}
+
+/// Trims a candidate tail to the members connected to the label variables
+/// within the tail's own variable-sharing graph (condition (2)(ii)).
+/// `member_vars[i]` are the variables of candidate member i; member index
+/// kSipHead is passed via a separate entry.
+std::vector<int> ConnectedTail(const std::vector<int>& members,
+                               const std::vector<std::vector<SymbolId>>& vars,
+                               const std::vector<SymbolId>& label) {
+  // Fixpoint: start from the label variables, absorb members sharing a
+  // variable with the connected set, add their variables, repeat.
+  std::set<SymbolId> connected(label.begin(), label.end());
+  std::vector<bool> in_tail(members.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (in_tail[i]) continue;
+      bool touches = false;
+      for (SymbolId v : vars[i]) {
+        if (connected.count(v) > 0) {
+          touches = true;
+          break;
+        }
+      }
+      if (touches) {
+        in_tail[i] = true;
+        changed = true;
+        for (SymbolId v : vars[i]) connected.insert(v);
+      }
+    }
+  }
+  std::vector<int> tail;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (in_tail[i]) tail.push_back(members[i]);
+  }
+  return tail;
+}
+
+/// Shared engine for order-based full sips: walks `order`, accumulating
+/// available variables, and emits one compressed arc per derived occurrence
+/// that can receive bindings.
+Result<SipGraph> BuildFullSipAlongOrder(const Universe& u, const Rule& rule,
+                                        const Adornment& head,
+                                        const Program& program,
+                                        const std::vector<int>& order) {
+  SipGraph sip;
+  std::vector<SymbolId> head_bound = HeadBoundVars(u, rule, head);
+  std::vector<SymbolId> available = head_bound;
+
+  // Candidate tail members seen so far: kSipHead (if it has variables) plus
+  // processed occurrences, with their variable sets.
+  std::vector<int> members;
+  std::vector<std::vector<SymbolId>> member_vars;
+  if (!head_bound.empty()) {
+    members.push_back(kSipHead);
+    member_vars.push_back(head_bound);
+  }
+
+  for (int occ : order) {
+    const Literal& lit = rule.body[occ];
+    bool derived = program.IsHeadPredicate(lit.pred);
+    if (derived) {
+      std::vector<SymbolId> label = CoverLabel(u, lit, available);
+      if (!label.empty()) {
+        SipArc arc;
+        arc.label = std::move(label);
+        arc.tail = ConnectedTail(members, member_vars, arc.label);
+        arc.target = occ;
+        MAGIC_CHECK_MSG(!arc.tail.empty(), "label variables must have sources");
+        sip.arcs.push_back(std::move(arc));
+      }
+    }
+    std::vector<SymbolId> vars = LiteralVariables(u, lit);
+    for (SymbolId v : vars) AddUnique(&available, v);
+    members.push_back(occ);
+    member_vars.push_back(std::move(vars));
+  }
+
+  // The traversal order is compatible with the arcs built along it; keep it
+  // (rather than the canonical participants-first order) so strategies that
+  // deliberately reorder the body (greedy) see their order realized.
+  Result<std::vector<int>> total = ComputeSipOrder(rule.body.size(), sip);
+  if (!total.ok()) return total.status();
+  sip.order = order;
+  return sip;
+}
+
+}  // namespace
+
+Result<SipGraph> FullSipStrategy::BuildSip(const Universe& u, const Rule& rule,
+                                           const Adornment& head,
+                                           const Program& program) {
+  std::vector<int> order(rule.body.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  return BuildFullSipAlongOrder(u, rule, head, program, order);
+}
+
+Result<SipGraph> ChainSipStrategy::BuildSip(const Universe& u,
+                                            const Rule& rule,
+                                            const Adornment& head,
+                                            const Program& program) {
+  // The paper's sip (II) in generalized notation (V): the tail of the arc
+  // into a derived occurrence is the *previous* derived occurrence (or the
+  // head node for the first one) together with the base literals between
+  // them — "past" bindings are not carried along, which makes this a
+  // partial sip.
+  SipGraph sip;
+  std::vector<SymbolId> head_bound = HeadBoundVars(u, rule, head);
+
+  int prev_derived = kSipHead;
+  for (size_t occ = 0; occ < rule.body.size(); ++occ) {
+    const Literal& lit = rule.body[occ];
+    if (!program.IsHeadPredicate(lit.pred)) continue;
+
+    std::vector<int> members;
+    std::vector<std::vector<SymbolId>> member_vars;
+    std::vector<SymbolId> available;
+    if (prev_derived == kSipHead) {
+      if (!head_bound.empty()) {
+        members.push_back(kSipHead);
+        member_vars.push_back(head_bound);
+        for (SymbolId v : head_bound) AddUnique(&available, v);
+      }
+    } else {
+      members.push_back(prev_derived);
+      std::vector<SymbolId> vars = LiteralVariables(u, rule.body[prev_derived]);
+      for (SymbolId v : vars) AddUnique(&available, v);
+      member_vars.push_back(std::move(vars));
+    }
+    int from = prev_derived == kSipHead ? 0 : prev_derived + 1;
+    for (int j = from; j < static_cast<int>(occ); ++j) {
+      if (program.IsHeadPredicate(rule.body[j].pred)) continue;
+      members.push_back(j);
+      std::vector<SymbolId> vars = LiteralVariables(u, rule.body[j]);
+      for (SymbolId v : vars) AddUnique(&available, v);
+      member_vars.push_back(std::move(vars));
+    }
+
+    std::vector<SymbolId> label = CoverLabel(u, lit, available);
+    if (!label.empty()) {
+      SipArc arc;
+      arc.label = std::move(label);
+      arc.tail = ConnectedTail(members, member_vars, arc.label);
+      arc.target = static_cast<int>(occ);
+      if (!arc.tail.empty()) sip.arcs.push_back(std::move(arc));
+    }
+    prev_derived = static_cast<int>(occ);
+  }
+
+  Result<std::vector<int>> total = ComputeSipOrder(rule.body.size(), sip);
+  if (!total.ok()) return total.status();
+  sip.order = *total;
+  return sip;
+}
+
+Result<SipGraph> HeadOnlySipStrategy::BuildSip(const Universe& u,
+                                               const Rule& rule,
+                                               const Adornment& head,
+                                               const Program& program) {
+  SipGraph sip;
+  std::vector<SymbolId> head_bound = HeadBoundVars(u, rule, head);
+  if (!head_bound.empty()) {
+    for (size_t occ = 0; occ < rule.body.size(); ++occ) {
+      const Literal& lit = rule.body[occ];
+      if (!program.IsHeadPredicate(lit.pred)) continue;
+      std::vector<SymbolId> label = CoverLabel(u, lit, head_bound);
+      if (!label.empty()) {
+        sip.arcs.push_back(
+            SipArc{{kSipHead}, std::move(label), static_cast<int>(occ)});
+      }
+    }
+  }
+  Result<std::vector<int>> total = ComputeSipOrder(rule.body.size(), sip);
+  if (!total.ok()) return total.status();
+  sip.order = *total;
+  return sip;
+}
+
+Result<SipGraph> EmptySipStrategy::BuildSip(const Universe& u,
+                                            const Rule& rule,
+                                            const Adornment& head,
+                                            const Program& program) {
+  (void)u;
+  (void)head;
+  (void)program;
+  SipGraph sip;
+  sip.order.resize(rule.body.size());
+  for (size_t i = 0; i < sip.order.size(); ++i) {
+    sip.order[i] = static_cast<int>(i);
+  }
+  return sip;
+}
+
+Result<SipGraph> GreedySipStrategy::BuildSip(const Universe& u,
+                                             const Rule& rule,
+                                             const Adornment& head,
+                                             const Program& program) {
+  const size_t n = rule.body.size();
+  std::vector<SymbolId> available = HeadBoundVars(u, rule, head);
+  std::vector<bool> placed(n, false);
+  std::vector<int> order;
+  order.reserve(n);
+
+  for (size_t step = 0; step < n; ++step) {
+    int best = -1;
+    int best_score = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (placed[i]) continue;
+      const Literal& lit = rule.body[i];
+      int bound_args = 0;
+      for (TermId arg : lit.args) {
+        std::vector<SymbolId> arg_vars;
+        u.terms().AppendVariables(arg, &arg_vars);
+        if (arg_vars.empty()) continue;
+        bool covered = true;
+        for (SymbolId v : arg_vars) {
+          if (std::find(available.begin(), available.end(), v) ==
+              available.end()) {
+            covered = false;
+            break;
+          }
+        }
+        if (covered) ++bound_args;
+      }
+      // Prefer more bound arguments; break ties in favour of base literals
+      // (directly evaluable), then written order.
+      int score = bound_args * 4 +
+                  (program.IsHeadPredicate(lit.pred) ? 0 : 2);
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    placed[best] = true;
+    order.push_back(best);
+    std::vector<SymbolId> vars = LiteralVariables(u, rule.body[best]);
+    for (SymbolId v : vars) AddUnique(&available, v);
+  }
+  return BuildFullSipAlongOrder(u, rule, head, program, order);
+}
+
+std::unique_ptr<SipStrategy> MakeSipStrategy(const std::string& name) {
+  if (name == "full-left-to-right" || name == "full") {
+    return std::make_unique<FullSipStrategy>();
+  }
+  if (name == "chain") return std::make_unique<ChainSipStrategy>();
+  if (name == "head-only") return std::make_unique<HeadOnlySipStrategy>();
+  if (name == "empty") return std::make_unique<EmptySipStrategy>();
+  if (name == "greedy") return std::make_unique<GreedySipStrategy>();
+  return nullptr;
+}
+
+}  // namespace magic

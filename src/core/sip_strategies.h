@@ -1,0 +1,96 @@
+#ifndef MAGIC_CORE_SIP_STRATEGIES_H_
+#define MAGIC_CORE_SIP_STRATEGIES_H_
+
+#include <memory>
+#include <string>
+
+#include "ast/program.h"
+#include "ast/validation.h"
+
+namespace magic {
+
+/// Produces a sip for each (rule, head adornment) pair encountered while
+/// constructing the adorned program (paper, Section 3: "for each adorned
+/// predicate p^a, and for each rule with p as its head, we choose a sip").
+///
+/// Implementations must return sips that pass ValidateSip. The adornment
+/// stage only uses arcs entering *derived* occurrences (the paper's
+/// generalized notation (IV): bindings passed to base predicates are
+/// selections handled by the evaluator, not by rewriting).
+class SipStrategy {
+ public:
+  virtual ~SipStrategy() = default;
+
+  /// `rule` comes from the original program with its body in written order.
+  /// `derived(pred)` tells the strategy which predicates are derived.
+  virtual Result<SipGraph> BuildSip(const Universe& u, const Rule& rule,
+                                    const Adornment& head,
+                                    const Program& program) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's sip (I)/(IV): left-to-right, compressed, full. Walking the
+/// body in written order, all variables of already-evaluated literals (plus
+/// the head's bound variables) are available; each derived occurrence with
+/// a coverable argument gets one arc whose tail is the set of available
+/// predecessors connected to the label.
+class FullSipStrategy : public SipStrategy {
+ public:
+  Result<SipGraph> BuildSip(const Universe& u, const Rule& rule,
+                            const Adornment& head,
+                            const Program& program) override;
+  std::string name() const override { return "full-left-to-right"; }
+};
+
+/// The paper's sip (II)/(V): "past information is not used". The tail of
+/// each arc is the nearest single predecessor (plus the head node for the
+/// first arc) that can bind an argument of the target, so bindings flow
+/// along a chain instead of accumulating. Produces partial sips.
+class ChainSipStrategy : public SipStrategy {
+ public:
+  Result<SipGraph> BuildSip(const Universe& u, const Rule& rule,
+                            const Adornment& head,
+                            const Program& program) override;
+  std::string name() const override { return "chain"; }
+};
+
+/// Passes only the head's bindings (pure unification, no sideways passing
+/// between body literals). Every arc has tail {p_h}.
+class HeadOnlySipStrategy : public SipStrategy {
+ public:
+  Result<SipGraph> BuildSip(const Universe& u, const Rule& rule,
+                            const Adornment& head,
+                            const Program& program) override;
+  std::string name() const override { return "head-only"; }
+};
+
+/// No information passing at all: the empty sip. Rewriting under this
+/// strategy degenerates to (nearly) the original program — useful as a
+/// baseline and for testing the degenerate paths.
+class EmptySipStrategy : public SipStrategy {
+ public:
+  Result<SipGraph> BuildSip(const Universe& u, const Rule& rule,
+                            const Adornment& head,
+                            const Program& program) override;
+  std::string name() const override { return "empty"; }
+};
+
+/// Greedily reorders the body, repeatedly choosing the literal with the
+/// most bound arguments (ties: base before derived, then written order),
+/// then builds the full compressed sip along that order. This realizes the
+/// paper's observation that the sip, not the written order, determines
+/// evaluation order.
+class GreedySipStrategy : public SipStrategy {
+ public:
+  Result<SipGraph> BuildSip(const Universe& u, const Rule& rule,
+                            const Adornment& head,
+                            const Program& program) override;
+  std::string name() const override { return "greedy"; }
+};
+
+std::unique_ptr<SipStrategy> MakeSipStrategy(const std::string& name);
+
+}  // namespace magic
+
+#endif  // MAGIC_CORE_SIP_STRATEGIES_H_

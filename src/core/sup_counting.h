@@ -1,0 +1,24 @@
+#ifndef MAGIC_CORE_SUP_COUNTING_H_
+#define MAGIC_CORE_SUP_COUNTING_H_
+
+#include "core/counting.h"
+
+namespace magic {
+
+struct SupCountingOptions {
+  /// Replace supcnt_1 (a copy of cnt_p_ind^a) by cnt_p_ind^a itself.
+  bool inline_first_supplementary = true;
+  /// Trim supplementary argument lists to the variables still needed.
+  bool trim_variables = true;
+};
+
+/// Generalized Supplementary Counting (paper, Section 7): the counting
+/// method with the duplicate prefix joins stored in supplementary counting
+/// predicates supcnt_j^r(I,K,H,phi_j). Theorem 7.1: equivalent to P^ad after
+/// projecting out the index fields.
+Result<CountingProgram> SupplementaryCountingRewrite(
+    const AdornedProgram& adorned, const SupCountingOptions& options = {});
+
+}  // namespace magic
+
+#endif  // MAGIC_CORE_SUP_COUNTING_H_

@@ -1,0 +1,34 @@
+#ifndef MAGIC_CORE_SUPPLEMENTARY_H_
+#define MAGIC_CORE_SUPPLEMENTARY_H_
+
+#include "core/rewrite_common.h"
+
+namespace magic {
+
+struct SupMagicOptions {
+  /// Replace supmagic_1 (a copy of magic_p^a) by magic_p^a itself, as the
+  /// paper always does in its examples.
+  bool inline_first_supplementary = true;
+  /// Drop from each supplementary predicate the variables not needed by any
+  /// later literal or the head (the paper's "simple optimizations").
+  bool trim_variables = true;
+};
+
+/// Generalized Supplementary Magic Sets (paper, Section 5): like GMS, but
+/// the prefix joins that GMS re-evaluates in every magic rule and in the
+/// modified rule are stored once in supplementary predicates
+///
+///   supmagic_j^r(phi_j) :- supmagic_{j-1}^r(phi_{j-1}),
+///                          q_{j-1}^{a_{j-1}}(theta_{j-1})
+///
+/// with magic rules  magic_q^{a_i}(theta_i^b) :- supmagic_i^r(phi_i)  and a
+/// modified rule that starts from the last supplementary. Theorem 5.1:
+/// equivalent to P^ad. Requires each rule's body to be in sip order (which
+/// Adorn guarantees); the supplementary chain realizes the compressed form
+/// of the sip along that order.
+Result<RewrittenProgram> SupplementaryMagicRewrite(
+    const AdornedProgram& adorned, const SupMagicOptions& options = {});
+
+}  // namespace magic
+
+#endif  // MAGIC_CORE_SUPPLEMENTARY_H_

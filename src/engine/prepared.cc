@@ -1,0 +1,78 @@
+#include "engine/prepared.h"
+
+#include "util/check.h"
+
+namespace magic {
+
+Result<PreparedQueryForm> PreparedQueryForm::Prepare(
+    const Program& program, const Query& exemplar,
+    const EngineOptions& options) {
+  switch (options.strategy) {
+    case Strategy::kMagic:
+    case Strategy::kSupplementaryMagic:
+    case Strategy::kCounting:
+    case Strategy::kSupplementaryCounting:
+    case Strategy::kCountingSemijoin:
+    case Strategy::kSupCountingSemijoin:
+      break;
+    default:
+      return Status::InvalidArgument(
+          "PreparedQueryForm requires a rewriting strategy (got " +
+          StrategyName(options.strategy) + ")");
+  }
+  std::unique_ptr<SipStrategy> sip = MakeSipStrategy(options.sip);
+  if (sip == nullptr) {
+    return Status::InvalidArgument("unknown sip strategy: " + options.sip);
+  }
+  Result<AdornedProgram> adorned = Adorn(program, exemplar, *sip);
+  if (!adorned.ok()) return adorned.status();
+  Result<RewrittenProgram> rewritten =
+      QueryEngine::Rewrite(*adorned, options.strategy, options.guard_mode);
+  if (!rewritten.ok()) return rewritten.status();
+
+  PreparedQueryForm form;
+  form.universe_ = program.universe();
+  form.exemplar_ = exemplar;
+  form.adornment_ = adorned->query_adornment;
+  for (size_t i = 0; i < exemplar.goal.args.size(); ++i) {
+    if (form.adornment_.bound(i)) {
+      form.bound_positions_.push_back(static_cast<int>(i));
+    }
+  }
+  form.rewritten_ = std::move(*rewritten);
+  form.eval_options_ = options.eval;
+  return form;
+}
+
+QueryAnswer PreparedQueryForm::Answer(const std::vector<TermId>& bound_values,
+                                      const Database& db) const {
+  QueryAnswer answer;
+  answer.strategy_name = rewritten_.strategy_name;
+  if (bound_values.size() != bound_positions_.size()) {
+    answer.status = Status::InvalidArgument(
+        "query form " + adornment_.ToString() + " takes " +
+        std::to_string(bound_positions_.size()) + " bound value(s), got " +
+        std::to_string(bound_values.size()));
+    return answer;
+  }
+  Universe& u = *universe_;
+  Query instance = exemplar_;
+  for (size_t i = 0; i < bound_values.size(); ++i) {
+    if (!u.terms().IsGround(bound_values[i])) {
+      answer.status =
+          Status::InvalidArgument("bound values must be ground terms");
+      return answer;
+    }
+    instance.goal.args[bound_positions_[i]] = bound_values[i];
+  }
+  std::vector<Fact> seeds = MakeSeeds(rewritten_, instance, u);
+  Evaluator evaluator(eval_options_);
+  EvalResult result = evaluator.Run(rewritten_.program, db, seeds);
+  answer.status = result.status;
+  answer.eval_stats = result.stats;
+  answer.total_facts = result.TotalFacts();
+  answer.tuples = ExtractAnswers(u, rewritten_, instance, result);
+  return answer;
+}
+
+}  // namespace magic

@@ -1,0 +1,51 @@
+#ifndef MAGIC_ENGINE_PREPARED_H_
+#define MAGIC_ENGINE_PREPARED_H_
+
+#include "engine/query_engine.h"
+
+namespace magic {
+
+/// A compiled query form (paper, Section 4): "If we choose a different
+/// query with the same query form, then the same magic predicates, magic
+/// predicate-definitions, and modified rules will result, but the seed will
+/// be specific to the query."
+///
+/// Prepare() runs adornment + rewriting once for the binding pattern of an
+/// exemplar query; Answer() then serves any instance of that form by
+/// instantiating only the seed — the paper's compile-once/query-many
+/// reading of the transformation.
+class PreparedQueryForm {
+ public:
+  /// Compiles the query form of `exemplar` (its binding pattern; the actual
+  /// constants are ignored) under a rewriting strategy. Non-rewriting
+  /// strategies (naive/semi-naive/top-down) have no compiled artifact and
+  /// are rejected.
+  static Result<PreparedQueryForm> Prepare(const Program& program,
+                                           const Query& exemplar,
+                                           const EngineOptions& options = {});
+
+  /// Answers one instance: `bound_values` are the constants for the bound
+  /// positions of the form, in position order.
+  QueryAnswer Answer(const std::vector<TermId>& bound_values,
+                     const Database& db) const;
+
+  /// The adornment of the compiled form (e.g. "bf").
+  const Adornment& adornment() const { return adornment_; }
+
+  /// The rewritten program evaluated for every instance.
+  const RewrittenProgram& rewritten() const { return rewritten_; }
+
+ private:
+  PreparedQueryForm() = default;
+
+  std::shared_ptr<Universe> universe_;
+  Query exemplar_;
+  Adornment adornment_;
+  std::vector<int> bound_positions_;
+  RewrittenProgram rewritten_;
+  EvalOptions eval_options_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_ENGINE_PREPARED_H_

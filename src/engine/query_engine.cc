@@ -1,0 +1,245 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/printer.h"
+#include "util/check.h"
+
+namespace magic {
+
+std::string StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNaiveBottomUp: return "naive";
+    case Strategy::kSemiNaiveBottomUp: return "seminaive";
+    case Strategy::kMagic: return "gms";
+    case Strategy::kSupplementaryMagic: return "gsms";
+    case Strategy::kCounting: return "gc";
+    case Strategy::kSupplementaryCounting: return "gsc";
+    case Strategy::kCountingSemijoin: return "gc+sj";
+    case Strategy::kSupCountingSemijoin: return "gsc+sj";
+    case Strategy::kTopDown: return "topdown";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::vector<TermId>> SortedUnique(
+    std::vector<std::vector<TermId>> tuples) {
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  return tuples;
+}
+
+/// Answers from a direct (non-rewritten) evaluation: select rows of the
+/// query predicate matching the bound constants, project free positions.
+std::vector<std::vector<TermId>> ExtractDirect(Universe& u,
+                                               const Query& query,
+                                               const Relation* rel) {
+  std::vector<std::vector<TermId>> out;
+  if (rel == nullptr) return out;
+  std::vector<int> free_positions = QueryFreePositions(u, query);
+  for (size_t row = 0; row < rel->size(); ++row) {
+    std::span<const TermId> tuple = rel->Row(row);
+    bool match = true;
+    for (size_t a = 0; a < query.goal.args.size(); ++a) {
+      if (u.terms().IsGround(query.goal.args[a]) &&
+          tuple[a] != query.goal.args[a]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    std::vector<TermId> answer;
+    for (int p : free_positions) answer.push_back(tuple[p]);
+    out.push_back(std::move(answer));
+  }
+  return SortedUnique(std::move(out));
+}
+
+}  // namespace
+
+std::vector<std::vector<TermId>> ExtractAnswers(
+    Universe& u, const RewrittenProgram& rewritten, const Query& query,
+    const EvalResult& eval) {
+  std::vector<std::vector<TermId>> out;
+  auto it = eval.idb.find(rewritten.answer_pred);
+  if (it == eval.idb.end()) return out;
+  const Relation& rel = it->second;
+  TermId zero = u.Integer(0);
+  std::vector<int> free_positions = QueryFreePositions(u, query);
+  for (size_t row = 0; row < rel.size(); ++row) {
+    std::span<const TermId> tuple = rel.Row(row);
+    bool match = true;
+    for (uint32_t f = 0; f < rewritten.answer_index_fields; ++f) {
+      if (tuple[f] != zero) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    for (size_t p = 0; p < query.goal.args.size() && match; ++p) {
+      if (!u.terms().IsGround(query.goal.args[p])) continue;
+      int col = rewritten.answer_positions[p];
+      if (col >= 0 && tuple[col] != query.goal.args[p]) match = false;
+    }
+    if (!match) continue;
+    std::vector<TermId> answer;
+    bool complete = true;
+    for (int p : free_positions) {
+      int col = rewritten.answer_positions[p];
+      MAGIC_CHECK_MSG(col >= 0, "free query positions are never dropped");
+      answer.push_back(tuple[col]);
+      (void)complete;
+    }
+    out.push_back(std::move(answer));
+  }
+  return SortedUnique(std::move(out));
+}
+
+Result<RewrittenProgram> QueryEngine::Rewrite(const AdornedProgram& adorned,
+                                              Strategy strategy,
+                                              GuardMode guard_mode) {
+  switch (strategy) {
+    case Strategy::kMagic: {
+      MagicOptions options;
+      options.guard_mode = guard_mode;
+      return MagicSetsRewrite(adorned, options);
+    }
+    case Strategy::kSupplementaryMagic: {
+      return SupplementaryMagicRewrite(adorned);
+    }
+    case Strategy::kCounting:
+    case Strategy::kCountingSemijoin: {
+      CountingOptions options;
+      options.guard_mode = guard_mode;
+      Result<CountingProgram> counting = CountingRewrite(adorned, options);
+      if (!counting.ok()) return counting.status();
+      if (strategy == Strategy::kCounting) {
+        return counting->rewritten;
+      }
+      Result<CountingProgram> optimized =
+          ApplySemijoinOptimization(*counting);
+      if (!optimized.ok()) return optimized.status();
+      return optimized->rewritten;
+    }
+    case Strategy::kSupplementaryCounting:
+    case Strategy::kSupCountingSemijoin: {
+      Result<CountingProgram> counting =
+          SupplementaryCountingRewrite(adorned);
+      if (!counting.ok()) return counting.status();
+      if (strategy == Strategy::kSupplementaryCounting) {
+        return counting->rewritten;
+      }
+      Result<CountingProgram> optimized =
+          ApplySemijoinOptimization(*counting);
+      if (!optimized.ok()) return optimized.status();
+      return optimized->rewritten;
+    }
+    default:
+      return Status::InvalidArgument(
+          "strategy is not a rewriting strategy: " + StrategyName(strategy));
+  }
+}
+
+QueryAnswer QueryEngine::Run(const Program& program, const Query& query,
+                             const Database& db) const {
+  QueryAnswer answer;
+  answer.strategy_name = StrategyName(options_.strategy);
+  Universe& u = *program.universe();
+
+  // Base-predicate queries are direct selections (any strategy).
+  if (!program.IsHeadPredicate(query.goal.pred)) {
+    answer.tuples = ExtractDirect(u, query, db.Find(query.goal.pred));
+    answer.status = Status::OK();
+    return answer;
+  }
+
+  if (options_.strategy == Strategy::kNaiveBottomUp ||
+      options_.strategy == Strategy::kSemiNaiveBottomUp) {
+    EvalOptions eval_options = options_.eval;
+    eval_options.seminaive =
+        options_.strategy == Strategy::kSemiNaiveBottomUp;
+    Evaluator evaluator(eval_options);
+    EvalResult result = evaluator.Run(program, db);
+    answer.status = result.status;
+    answer.eval_stats = result.stats;
+    answer.total_facts = result.TotalFacts();
+    auto it = result.idb.find(query.goal.pred);
+    answer.tuples = ExtractDirect(
+        u, query, it == result.idb.end() ? nullptr : &it->second);
+    if (options_.explain) {
+      answer.rewritten_text = ProgramToString(program);
+    }
+    return answer;
+  }
+
+  // All remaining strategies start from the adorned program.
+  std::unique_ptr<SipStrategy> sip = MakeSipStrategy(options_.sip);
+  if (sip == nullptr) {
+    answer.status =
+        Status::InvalidArgument("unknown sip strategy: " + options_.sip);
+    return answer;
+  }
+  Result<AdornedProgram> adorned = Adorn(program, query, *sip);
+  if (!adorned.ok()) {
+    answer.status = adorned.status();
+    return answer;
+  }
+
+  if (options_.static_safety_check) {
+    bool counting = options_.strategy == Strategy::kCounting ||
+                    options_.strategy == Strategy::kSupplementaryCounting ||
+                    options_.strategy == Strategy::kCountingSemijoin ||
+                    options_.strategy == Strategy::kSupCountingSemijoin;
+    SafetyReport report = counting ? CheckCountingSafety(*adorned)
+                                   : CheckMagicSafety(*adorned);
+    answer.safety_note = SafetyVerdictName(report.verdict) + ": " +
+                         report.explanation;
+    if (report.verdict == SafetyVerdict::kUnsafeCountingCycle) {
+      answer.status = Status::Unsafe(answer.safety_note);
+      return answer;
+    }
+  }
+
+  if (options_.strategy == Strategy::kTopDown) {
+    TopDownEngine engine(options_.eval);
+    TopDownResult result = engine.Run(*adorned, db);
+    answer.status = result.status;
+    answer.topdown_stats = result.stats;
+    answer.total_facts = result.stats.answers;
+    std::vector<int> free_positions = QueryFreePositions(u, query);
+    for (const std::vector<TermId>& row :
+         result.QueryAnswers(u, *adorned, adorned->query_pred)) {
+      std::vector<TermId> tuple;
+      for (int p : free_positions) tuple.push_back(row[p]);
+      answer.tuples.push_back(std::move(tuple));
+    }
+    answer.tuples = SortedUnique(std::move(answer.tuples));
+    if (options_.explain) {
+      answer.rewritten_text = ProgramToString(adorned->program);
+    }
+    return answer;
+  }
+
+  Result<RewrittenProgram> rewritten =
+      Rewrite(*adorned, options_.strategy, options_.guard_mode);
+  if (!rewritten.ok()) {
+    answer.status = rewritten.status();
+    return answer;
+  }
+  std::vector<Fact> seeds = MakeSeeds(*rewritten, query, u);
+  Evaluator evaluator(options_.eval);
+  EvalResult result = evaluator.Run(rewritten->program, db, seeds);
+  answer.status = result.status;
+  answer.eval_stats = result.stats;
+  answer.total_facts = result.TotalFacts();
+  answer.tuples = ExtractAnswers(u, *rewritten, query, result);
+  if (options_.explain) {
+    answer.rewritten_text = ProgramToString(rewritten->program);
+  }
+  return answer;
+}
+
+}  // namespace magic

@@ -1,0 +1,95 @@
+#ifndef MAGIC_ENGINE_QUERY_ENGINE_H_
+#define MAGIC_ENGINE_QUERY_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/safety.h"
+#include "core/counting.h"
+#include "core/magic_sets.h"
+#include "core/semijoin.h"
+#include "core/sup_counting.h"
+#include "core/supplementary.h"
+#include "eval/evaluator.h"
+#include "eval/topdown.h"
+
+namespace magic {
+
+/// Every query evaluation strategy the library implements. The rewriting
+/// strategies are the paper's contribution; the others are the substrate
+/// baselines it argues against/with.
+enum class Strategy {
+  kNaiveBottomUp,          // Section 1's strawman
+  kSemiNaiveBottomUp,      // delta-driven bottom-up on the original program
+  kMagic,                  // Section 4 (GMS)
+  kSupplementaryMagic,     // Section 5 (GSMS)
+  kCounting,               // Section 6 (GC)
+  kSupplementaryCounting,  // Section 7 (GSC)
+  kCountingSemijoin,       // GC + Section 8 optimizations
+  kSupCountingSemijoin,    // GSC + Section 8 optimizations
+  kTopDown,                // QSQR-style sip strategy (Section 9's baseline)
+};
+
+std::string StrategyName(Strategy strategy);
+
+struct EngineOptions {
+  Strategy strategy = Strategy::kSupplementaryMagic;
+  /// Sip strategy name, resolved by MakeSipStrategy: "full", "chain",
+  /// "head-only", "empty", "greedy".
+  std::string sip = "full";
+  GuardMode guard_mode = GuardMode::kProp42;
+  EvalOptions eval;
+  /// Run the Section 10 static checks first and refuse strategies the
+  /// analysis proves divergent (counting with a cyclic argument graph).
+  bool static_safety_check = false;
+  /// Attach the rewritten program's text to the answer (for explain output).
+  bool explain = false;
+};
+
+/// The result of answering one query.
+struct QueryAnswer {
+  Status status;
+  /// Answer tuples over the query's free positions, sorted and deduplicated.
+  std::vector<std::vector<TermId>> tuples;
+  /// Bottom-up statistics (empty for the top-down strategy).
+  EvalStats eval_stats;
+  /// Top-down statistics (kTopDown only).
+  TopDownStats topdown_stats;
+  /// Total facts in the evaluated program's IDB (relevant-fact metric).
+  size_t total_facts = 0;
+  /// The rewritten program, printed, when EngineOptions::explain is set.
+  std::string rewritten_text;
+  std::string safety_note;
+  std::string strategy_name;
+};
+
+/// One-stop facade: validate -> adorn -> rewrite -> (safety-check) ->
+/// evaluate -> extract answers.
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options = {}) : options_(options) {}
+
+  QueryAnswer Run(const Program& program, const Query& query,
+                  const Database& db) const;
+
+  /// Rewrites an adorned program under any of the rewriting strategies
+  /// (exposed for tests and benchmarks that inspect the programs).
+  static Result<RewrittenProgram> Rewrite(const AdornedProgram& adorned,
+                                          Strategy strategy,
+                                          GuardMode guard_mode);
+
+ private:
+  EngineOptions options_;
+};
+
+/// Selects/projects the answers to `query` out of an evaluation of
+/// `rewritten` (rows of the answer predicate whose index fields are zero and
+/// whose surviving bound columns match the query constants, projected onto
+/// the free positions).
+std::vector<std::vector<TermId>> ExtractAnswers(
+    Universe& u, const RewrittenProgram& rewritten, const Query& query,
+    const EvalResult& eval);
+
+}  // namespace magic
+
+#endif  // MAGIC_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,300 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+
+#include "eval/matcher.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace magic {
+
+namespace {
+
+/// Variables an affine term depends on count as head variables that must be
+/// bound by the body; plain CheckWellFormed covers them because
+/// AppendVariables descends into affine children.
+Status CheckRangeRestrictedForEval(const Universe& u, const Rule& rule,
+                                   int rule_index) {
+  std::vector<SymbolId> body_vars;
+  for (const Literal& lit : rule.body) {
+    AppendLiteralVariables(u, lit, &body_vars);
+  }
+  std::vector<SymbolId> head_vars = LiteralVariables(u, rule.head);
+  for (SymbolId v : head_vars) {
+    if (std::find(body_vars.begin(), body_vars.end(), v) == body_vars.end()) {
+      return Status::InvalidArgument(
+          "rule " + std::to_string(rule_index) +
+          " is not range restricted (head variable '" + u.symbols().Name(v) +
+          "' unbound); bottom-up evaluation would be unsafe");
+    }
+  }
+  return Status::OK();
+}
+
+/// Evaluation-time view of one body literal.
+struct LiteralPlan {
+  const Literal* literal = nullptr;
+  bool idb = false;  // reads a derived relation
+};
+
+struct RulePlan {
+  const Rule* rule = nullptr;
+  std::vector<LiteralPlan> body;
+  std::vector<int> idb_positions;  // body positions reading IDB relations
+};
+
+}  // namespace
+
+EvalResult Evaluator::Run(const Program& program, const Database& edb,
+                          const std::vector<Fact>& seeds) const {
+  EvalResult result;
+  result.status = Status::OK();
+  Stopwatch watch;
+  Universe& u = program.u();
+
+  // Determine the IDB: head predicates plus seed predicates.
+  std::vector<PredId> idb_preds = program.HeadPredicates();
+  for (const Fact& seed : seeds) {
+    if (std::find(idb_preds.begin(), idb_preds.end(), seed.pred) ==
+        idb_preds.end()) {
+      idb_preds.push_back(seed.pred);
+    }
+  }
+  for (PredId pred : idb_preds) {
+    result.idb.emplace(pred, Relation(u.predicates().info(pred).arity));
+  }
+  auto is_idb = [&result](PredId pred) {
+    return result.idb.find(pred) != result.idb.end();
+  };
+
+  if (options_.check_range_restriction) {
+    for (size_t i = 0; i < program.rules().size(); ++i) {
+      Status st = CheckRangeRestrictedForEval(u, program.rules()[i],
+                                              static_cast<int>(i));
+      if (!st.ok()) {
+        result.status = st;
+        return result;
+      }
+    }
+  }
+
+  // Load seeds.
+  for (const Fact& seed : seeds) {
+    Relation& rel = result.idb.at(seed.pred);
+    for (TermId arg : seed.args) {
+      MAGIC_CHECK_MSG(u.terms().IsGround(arg), "seed facts must be ground");
+    }
+    if (rel.Insert(seed.args)) ++result.stats.new_facts;
+  }
+
+  // Compile rule plans.
+  std::vector<RulePlan> plans;
+  plans.reserve(program.rules().size());
+  for (const Rule& rule : program.rules()) {
+    RulePlan plan;
+    plan.rule = &rule;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      LiteralPlan lp;
+      lp.literal = &rule.body[i];
+      lp.idb = is_idb(rule.body[i].pred);
+      if (lp.idb) plan.idb_positions.push_back(static_cast<int>(i));
+      plan.body.push_back(lp);
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  // Watermarks for semi-naive deltas: prev = IDB size before the previous
+  // round's insertions became visible, cur = size at the start of this round.
+  std::unordered_map<PredId, size_t> prev_size;
+  std::unordered_map<PredId, size_t> cur_size;
+  for (PredId pred : idb_preds) {
+    prev_size[pred] = 0;
+    cur_size[pred] = result.idb.at(pred).size();  // seeds are round-0 deltas
+  }
+
+  Substitution subst;
+  std::vector<uint32_t> candidates;
+  bool budget_hit = false;
+
+  // Evaluates `plan` with literal `delta_pos` (or -1) restricted to the
+  // delta rows; returns false if a budget was exhausted.
+  std::vector<FactRef> match_trace;
+  auto eval_rule = [&](const RulePlan& plan, int delta_pos,
+                       int rule_index) -> bool {
+    const Rule& rule = *plan.rule;
+    subst.Clear();
+    if (options_.track_provenance) {
+      match_trace.assign(plan.body.size(), FactRef{});
+    }
+
+    // Resolve, per literal, the relation and visible row range.
+    struct View {
+      const Relation* rel = nullptr;
+      size_t from = 0;
+      size_t to = 0;
+    };
+    std::vector<View> views(plan.body.size());
+    for (size_t i = 0; i < plan.body.size(); ++i) {
+      const LiteralPlan& lp = plan.body[i];
+      View view;
+      if (lp.idb) {
+        view.rel = &result.idb.at(lp.literal->pred);
+        int pos = static_cast<int>(i);
+        if (!options_.seminaive || delta_pos < 0) {
+          view.from = 0;
+          view.to = cur_size.at(lp.literal->pred);
+        } else if (pos == delta_pos) {
+          view.from = prev_size.at(lp.literal->pred);
+          view.to = cur_size.at(lp.literal->pred);
+        } else if (pos < delta_pos) {
+          view.from = 0;
+          view.to = cur_size.at(lp.literal->pred);
+        } else {
+          view.from = 0;
+          view.to = prev_size.at(lp.literal->pred);
+        }
+      } else {
+        view.rel = edb.Find(lp.literal->pred);
+        view.from = 0;
+        view.to = view.rel == nullptr ? 0 : view.rel->size();
+      }
+      views[i] = view;
+    }
+
+    // Recursive backtracking join over the body in written (sip) order.
+    std::vector<TermId> key;
+    std::vector<TermId> head_tuple;
+    auto fire_head = [&]() -> bool {
+      head_tuple.clear();
+      for (TermId arg : rule.head.args) {
+        TermId ground = SubstituteGround(u, arg, subst);
+        MAGIC_CHECK_MSG(ground != kInvalidTerm,
+                        "non-ground head after body match");
+        head_tuple.push_back(ground);
+      }
+      ++result.stats.rule_firings;
+      Relation& rel = result.idb.at(rule.head.pred);
+      if (rel.Insert(head_tuple)) {
+        ++result.stats.new_facts;
+        if (options_.track_provenance) {
+          FactRef ref{rule.head.pred,
+                      static_cast<uint32_t>(rel.size() - 1), false};
+          result.provenance.emplace(ref,
+                                    Justification{rule_index, match_trace});
+        }
+        if (result.stats.new_facts + result.stats.duplicate_facts >
+            options_.max_facts) {
+          return false;
+        }
+      } else {
+        ++result.stats.duplicate_facts;
+      }
+      return true;
+    };
+
+    auto join = [&](auto&& self, size_t i) -> bool {
+      if (i == plan.body.size()) return fire_head();
+      const Literal& lit = *plan.body[i].literal;
+      const View& view = views[i];
+      if (view.rel == nullptr || view.from >= view.to) return true;
+
+      // Build the index key from arguments that are ground under subst.
+      uint64_t mask = 0;
+      key.clear();
+      for (size_t a = 0; a < lit.args.size(); ++a) {
+        TermId ground = SubstituteGround(u, lit.args[a], subst);
+        if (ground != kInvalidTerm) {
+          mask |= uint64_t{1} << a;
+          key.push_back(ground);
+        }
+      }
+
+      std::vector<uint32_t> rows;
+      view.rel->Probe(mask, key, view.from, view.to, &rows);
+      for (uint32_t row : rows) {
+        ++result.stats.join_probes;
+        size_t mark = subst.Mark();
+        std::span<const TermId> tuple = view.rel->Row(row);
+        bool matched = true;
+        for (size_t a = 0; a < lit.args.size(); ++a) {
+          if (mask & (uint64_t{1} << a)) continue;  // verified by the probe
+          if (!MatchTerm(u, lit.args[a], tuple[a], &subst)) {
+            matched = false;
+            break;
+          }
+        }
+        if (matched) {
+          if (options_.track_provenance) {
+            match_trace[i] = FactRef{lit.pred, row, !plan.body[i].idb};
+          }
+          if (!self(self, i + 1)) return false;
+        }
+        subst.UndoTo(mark);
+      }
+      return true;
+    };
+    return join(join, 0);
+  };
+
+  // Fixpoint loop.
+  while (true) {
+    if (result.stats.iterations >= options_.max_iterations) {
+      budget_hit = true;
+      break;
+    }
+    ++result.stats.iterations;
+    uint64_t facts_before = result.stats.new_facts;
+    bool ok = true;
+
+    for (size_t p = 0; p < plans.size(); ++p) {
+      const RulePlan& plan = plans[p];
+      const int rule_index = static_cast<int>(p);
+      if (!options_.seminaive) {
+        ok = eval_rule(plan, -1, rule_index);
+        if (!ok) break;
+        continue;
+      }
+      if (plan.idb_positions.empty()) {
+        // No derived body literal: fires with the EDB only; evaluate in the
+        // first round only (nothing it reads ever changes).
+        if (result.stats.iterations == 1) {
+          ok = eval_rule(plan, -1, rule_index);
+          if (!ok) break;
+        }
+        continue;
+      }
+      for (int delta_pos : plan.idb_positions) {
+        // Skip delta positions with an empty delta.
+        PredId pred = plan.body[delta_pos].literal->pred;
+        if (prev_size.at(pred) == cur_size.at(pred)) continue;
+        ok = eval_rule(plan, delta_pos, rule_index);
+        if (!ok) break;
+      }
+      if (!ok) break;
+    }
+
+    if (!ok) {
+      budget_hit = true;
+      break;
+    }
+
+    // Advance watermarks: this round's insertions become the next deltas.
+    bool any_new = result.stats.new_facts > facts_before;
+    for (PredId pred : idb_preds) {
+      prev_size[pred] = cur_size[pred];
+      cur_size[pred] = result.idb.at(pred).size();
+    }
+    if (!any_new) break;
+  }
+
+  if (budget_hit) {
+    result.status = Status::ResourceExhausted(
+        "evaluation budget exhausted after " +
+        std::to_string(result.stats.new_facts) + " facts, " +
+        std::to_string(result.stats.iterations) + " iterations");
+  }
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace magic

@@ -1,0 +1,81 @@
+#ifndef MAGIC_EVAL_EVALUATOR_H_
+#define MAGIC_EVAL_EVALUATOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/program.h"
+#include "eval/provenance.h"
+#include "storage/database.h"
+#include "util/status.h"
+
+namespace magic {
+
+/// Options for bottom-up fixpoint evaluation.
+struct EvalOptions {
+  /// Semi-naive (delta-driven) vs naive (recompute everything each round).
+  bool seminaive = true;
+  /// Budgets that make divergent programs (counting over cyclic data, naive
+  /// evaluation of non-range-restricted rules) observable instead of fatal.
+  uint64_t max_facts = 10'000'000;
+  uint64_t max_iterations = 1'000'000;
+  /// Reject programs whose rules cannot produce ground heads.
+  bool check_range_restriction = true;
+  /// Record one derivation (rule + body facts) per derived fact, enabling
+  /// ExplainFact to print the paper's derivation trees. Costs memory.
+  bool track_provenance = false;
+};
+
+/// Work counters for one evaluation. `join_probes` counts candidate-tuple
+/// match attempts and is the paper's proxy for "duplicated work" when
+/// comparing GMS against GSMS (Section 5).
+struct EvalStats {
+  uint64_t iterations = 0;
+  uint64_t rule_firings = 0;     // full body matches (incl. duplicates)
+  uint64_t new_facts = 0;
+  uint64_t duplicate_facts = 0;
+  uint64_t join_probes = 0;
+  double seconds = 0.0;
+};
+
+/// Result of a bottom-up evaluation: the derived relations (IDB) and stats.
+/// `status` is ResourceExhausted when a budget was hit; the partial IDB is
+/// still returned so benches can report divergence behaviour.
+struct EvalResult {
+  Status status;
+  std::unordered_map<PredId, Relation> idb;
+  EvalStats stats;
+  /// Populated when EvalOptions::track_provenance is set.
+  ProvenanceMap provenance;
+
+  size_t FactCount(PredId pred) const {
+    auto it = idb.find(pred);
+    return it == idb.end() ? 0 : it->second.size();
+  }
+  size_t TotalFacts() const {
+    size_t total = 0;
+    for (const auto& [pred, rel] : idb) total += rel.size();
+    return total;
+  }
+};
+
+/// Bottom-up evaluation (paper, Section 1.1): start from the database and
+/// empty derived predicates, repeatedly apply all rules until fixpoint.
+///
+/// Derived predicates are the program's head predicates plus the predicates
+/// of `seeds` (the magic/counting seed facts produced from the query).
+/// Everything else reads from `edb`.
+class Evaluator {
+ public:
+  explicit Evaluator(EvalOptions options = {}) : options_(options) {}
+
+  EvalResult Run(const Program& program, const Database& edb,
+                 const std::vector<Fact>& seeds = {}) const;
+
+ private:
+  EvalOptions options_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_EVAL_EVALUATOR_H_

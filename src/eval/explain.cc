@@ -1,0 +1,86 @@
+#include "eval/explain.h"
+
+#include "ast/printer.h"
+
+namespace magic {
+
+namespace {
+
+std::string FactString(const Program& program, const Database& edb,
+                       const EvalResult& result, const FactRef& fact) {
+  const Universe& u = program.u();
+  const Relation* rel = nullptr;
+  if (fact.edb) {
+    rel = edb.Find(fact.pred);
+  } else {
+    auto it = result.idb.find(fact.pred);
+    if (it != result.idb.end()) rel = &it->second;
+  }
+  if (rel == nullptr || fact.row >= rel->size()) return "<unknown fact>";
+  Literal lit;
+  lit.pred = fact.pred;
+  std::span<const TermId> row = rel->Row(fact.row);
+  lit.args.assign(row.begin(), row.end());
+  return LiteralToString(u, lit);
+}
+
+void Render(const Program& program, const Database& edb,
+            const EvalResult& result, const FactRef& fact, int depth,
+            int max_depth, const std::string& indent, std::string* out) {
+  out->append(indent);
+  out->append(FactString(program, edb, result, fact));
+  if (fact.edb) {
+    out->append("   [base fact]\n");
+    return;
+  }
+  auto it = result.provenance.find(fact);
+  if (it == result.provenance.end()) {
+    out->append("   [seed]\n");
+    return;
+  }
+  const Justification& just = it->second;
+  if (just.rule >= 0 &&
+      just.rule < static_cast<int>(program.rules().size())) {
+    out->append("   [rule ");
+    out->append(std::to_string(just.rule + 1));
+    out->append("]");
+  }
+  out->push_back('\n');
+  if (depth >= max_depth) {
+    out->append(indent + "  ...\n");
+    return;
+  }
+  for (const FactRef& child : just.body) {
+    Render(program, edb, result, child, depth + 1, max_depth, indent + "  ",
+           out);
+  }
+}
+
+}  // namespace
+
+std::optional<FactRef> FindFact(const EvalResult& result, const Database& edb,
+                                PredId pred,
+                                const std::vector<TermId>& tuple) {
+  auto it = result.idb.find(pred);
+  if (it != result.idb.end()) {
+    if (std::optional<uint32_t> row = it->second.FindRow(tuple)) {
+      return FactRef{pred, *row, false};
+    }
+  }
+  if (const Relation* rel = edb.Find(pred)) {
+    if (std::optional<uint32_t> row = rel->FindRow(tuple)) {
+      return FactRef{pred, *row, true};
+    }
+  }
+  return std::nullopt;
+}
+
+std::string ExplainFact(const Program& program, const Database& edb,
+                        const EvalResult& result, const FactRef& fact,
+                        int max_depth) {
+  std::string out;
+  Render(program, edb, result, fact, 0, max_depth, "", &out);
+  return out;
+}
+
+}  // namespace magic

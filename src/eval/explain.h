@@ -1,0 +1,26 @@
+#ifndef MAGIC_EVAL_EXPLAIN_H_
+#define MAGIC_EVAL_EXPLAIN_H_
+
+#include <string>
+
+#include "eval/evaluator.h"
+
+namespace magic {
+
+/// Locates a derived or base fact and returns a reference to it, or nullopt
+/// if the tuple was not derived / is not in the database.
+std::optional<FactRef> FindFact(const EvalResult& result, const Database& edb,
+                                PredId pred,
+                                const std::vector<TermId>& tuple);
+
+/// Renders the derivation tree of `fact` (paper, Section 1.1: root labelled
+/// by the fact and the rule that generated it, children the body facts,
+/// leaves base facts). Requires the evaluation to have run with
+/// EvalOptions::track_provenance. Depth is clamped to `max_depth`.
+std::string ExplainFact(const Program& program, const Database& edb,
+                        const EvalResult& result, const FactRef& fact,
+                        int max_depth = 32);
+
+}  // namespace magic
+
+#endif  // MAGIC_EVAL_EXPLAIN_H_

@@ -1,0 +1,102 @@
+#include "eval/matcher.h"
+
+#include "util/check.h"
+
+namespace magic {
+
+// NOTE: interning a term (u.Integer, MakeCompound) may reallocate the term
+// arena and invalidate any TermData references held across the call. Both
+// functions below therefore copy the fields they need *before* creating new
+// terms; do not "simplify" them back to holding references.
+
+bool MatchTerm(Universe& u, TermId pattern, TermId ground,
+               Substitution* subst) {
+  const TermData& p = u.terms().Get(pattern);
+  if (p.ground) {
+    // Hash-consing makes ground equality an id comparison.
+    return pattern == ground;
+  }
+  switch (p.kind) {
+    case TermKind::kVariable: {
+      TermId bound = subst->Lookup(p.symbol);
+      if (bound != kInvalidTerm) return bound == ground;
+      subst->Bind(p.symbol, ground);
+      return true;
+    }
+    case TermKind::kCompound: {
+      const TermData& g = u.terms().Get(ground);
+      if (g.kind != TermKind::kCompound || g.symbol != p.symbol ||
+          g.children.size() != p.children.size()) {
+        return false;
+      }
+      // Recursive matches may intern integers (affine inversion), so work
+      // on copies of the child id lists.
+      std::vector<TermId> p_children = p.children;
+      std::vector<TermId> g_children = g.children;
+      for (size_t i = 0; i < p_children.size(); ++i) {
+        if (!MatchTerm(u, p_children[i], g_children[i], subst)) return false;
+      }
+      return true;
+    }
+    case TermKind::kAffine: {
+      const TermData& g = u.terms().Get(ground);
+      if (g.kind != TermKind::kInteger) return false;
+      const int64_t ground_value = g.value;
+      const int64_t mul = p.mul;
+      const int64_t add = p.add;
+      const SymbolId var = u.terms().Get(p.children[0]).symbol;
+      TermId bound = subst->Lookup(var);
+      if (bound != kInvalidTerm) {
+        const TermData& b = u.terms().Get(bound);
+        return b.kind == TermKind::kInteger &&
+               mul * b.value + add == ground_value;
+      }
+      int64_t delta = ground_value - add;
+      if (delta % mul != 0) return false;
+      TermId binding = u.Integer(delta / mul);  // may reallocate the arena
+      subst->Bind(var, binding);
+      return true;
+    }
+    default:
+      MAGIC_CHECK_MSG(false, "non-ground constant/integer term");
+      return false;
+  }
+}
+
+TermId SubstituteGround(Universe& u, TermId pattern,
+                        const Substitution& subst) {
+  const TermData& p = u.terms().Get(pattern);
+  if (p.ground) return pattern;
+  switch (p.kind) {
+    case TermKind::kVariable:
+      return subst.Lookup(p.symbol);
+    case TermKind::kCompound: {
+      // Recursive substitution interns terms; copy before descending.
+      const SymbolId functor = p.symbol;
+      std::vector<TermId> p_children = p.children;
+      std::vector<TermId> children;
+      children.reserve(p_children.size());
+      for (TermId child : p_children) {
+        TermId sub = SubstituteGround(u, child, subst);
+        if (sub == kInvalidTerm) return kInvalidTerm;
+        children.push_back(sub);
+      }
+      return u.terms().MakeCompound(functor, std::move(children));
+    }
+    case TermKind::kAffine: {
+      const int64_t mul = p.mul;
+      const int64_t add = p.add;
+      const SymbolId var = u.terms().Get(p.children[0]).symbol;
+      TermId bound = subst.Lookup(var);
+      if (bound == kInvalidTerm) return kInvalidTerm;
+      const TermData& b = u.terms().Get(bound);
+      if (b.kind != TermKind::kInteger) return kInvalidTerm;
+      const int64_t value = b.value;
+      return u.Integer(mul * value + add);
+    }
+    default:
+      return kInvalidTerm;
+  }
+}
+
+}  // namespace magic

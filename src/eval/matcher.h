@@ -1,0 +1,65 @@
+#ifndef MAGIC_EVAL_MATCHER_H_
+#define MAGIC_EVAL_MATCHER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ast/universe.h"
+
+namespace magic {
+
+/// Variable bindings with an undo trail, used during backtracking joins.
+/// Bindings always map a variable symbol to a ground term id.
+class Substitution {
+ public:
+  /// Returns the binding of `var`, or kInvalidTerm if unbound.
+  TermId Lookup(SymbolId var) const {
+    auto it = bindings_.find(var);
+    return it == bindings_.end() ? kInvalidTerm : it->second;
+  }
+
+  void Bind(SymbolId var, TermId ground) {
+    bindings_.emplace(var, ground);
+    trail_.push_back(var);
+  }
+
+  size_t Mark() const { return trail_.size(); }
+
+  void UndoTo(size_t mark) {
+    while (trail_.size() > mark) {
+      bindings_.erase(trail_.back());
+      trail_.pop_back();
+    }
+  }
+
+  void Clear() {
+    bindings_.clear();
+    trail_.clear();
+  }
+
+ private:
+  std::unordered_map<SymbolId, TermId> bindings_;
+  std::vector<SymbolId> trail_;
+};
+
+/// One-way structural match of `pattern` against the ground term `ground`,
+/// extending `subst` (bindings made are recorded on its trail, so callers
+/// roll back on failure with UndoTo).
+///
+/// Affine patterns mul*V+add match an integer value g iff g-add is a
+/// non-negative multiple of mul consistent with V's binding; an unbound V is
+/// bound to (g-add)/mul. This is the inversion that lets the evaluator run
+/// the counting method's index arithmetic "backwards" (the paper's h/t
+/// notation in modified rules).
+///
+/// `u` is non-const because successful matches may intern new integer terms.
+bool MatchTerm(Universe& u, TermId pattern, TermId ground, Substitution* subst);
+
+/// Applies `subst` to `pattern` and returns a fully ground term, or
+/// kInvalidTerm if some variable is unbound (or an affine expression is
+/// applied to a non-integer binding).
+TermId SubstituteGround(Universe& u, TermId pattern, const Substitution& subst);
+
+}  // namespace magic
+
+#endif  // MAGIC_EVAL_MATCHER_H_

@@ -1,0 +1,45 @@
+#ifndef MAGIC_EVAL_PROVENANCE_H_
+#define MAGIC_EVAL_PROVENANCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/program.h"
+#include "util/hash.h"
+
+namespace magic {
+
+/// Reference to one fact: a row of either a derived relation (edb == false)
+/// or a database relation (edb == true).
+struct FactRef {
+  PredId pred = kInvalidPred;
+  uint32_t row = 0;
+  bool edb = false;
+
+  bool operator==(const FactRef&) const = default;
+};
+
+struct FactRefHash {
+  size_t operator()(const FactRef& ref) const {
+    return static_cast<size_t>(
+        HashCombine(HashCombine(ref.pred, ref.row), ref.edb ? 1 : 0));
+  }
+};
+
+/// One step of a derivation tree (paper, Section 1.1): the fact at an
+/// internal node is produced by `rule` from the facts labelling its
+/// children. Base facts are leaves (trees of height one).
+struct Justification {
+  int rule = -1;
+  std::vector<FactRef> body;
+};
+
+/// Derivation record for an evaluation run: the first justification found
+/// for each derived fact. Populated when EvalOptions::track_provenance is
+/// set; empty otherwise.
+using ProvenanceMap = std::unordered_map<FactRef, Justification, FactRefHash>;
+
+}  // namespace magic
+
+#endif  // MAGIC_EVAL_PROVENANCE_H_

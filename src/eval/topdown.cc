@@ -1,0 +1,191 @@
+#include "eval/topdown.h"
+
+#include "eval/matcher.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace magic {
+
+std::vector<std::vector<TermId>> TopDownResult::QueryAnswers(
+    const Universe& u, const AdornedProgram& adorned, PredId pred) const {
+  std::vector<std::vector<TermId>> out;
+  auto it = answers.find(pred);
+  if (it == answers.end()) return out;
+  const Relation& rel = it->second;
+  const Literal& goal = adorned.query.goal;
+  for (size_t row = 0; row < rel.size(); ++row) {
+    std::span<const TermId> tuple = rel.Row(row);
+    bool match = true;
+    for (size_t a = 0; a < goal.args.size(); ++a) {
+      if (u.terms().IsGround(goal.args[a]) && tuple[a] != goal.args[a]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.emplace_back(tuple.begin(), tuple.end());
+  }
+  return out;
+}
+
+TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
+                                 const Database& edb) const {
+  TopDownResult result;
+  result.status = Status::OK();
+  Stopwatch watch;
+  Universe& u = *adorned.program.universe();
+
+  // Query and answer tables for every adorned (derived) predicate.
+  std::vector<PredId> derived = adorned.program.HeadPredicates();
+  for (PredId pred : derived) {
+    const PredicateInfo& info = u.predicates().info(pred);
+    result.queries.emplace(
+        pred, Relation(static_cast<uint32_t>(info.adornment.bound_count())));
+    result.answers.emplace(pred, Relation(info.arity));
+  }
+  auto is_derived = [&](PredId pred) {
+    return result.answers.find(pred) != result.answers.end();
+  };
+
+  // Seed with the given query.
+  {
+    std::vector<TermId> seed = QueryBoundArgs(u, adorned.query);
+    result.queries.at(adorned.query_pred).Insert(seed);
+  }
+
+  uint64_t total = 1;
+  bool budget_hit = false;
+  Substitution subst;
+
+  // Solves the body of `rule` from literal `i` under `subst`; on a complete
+  // match, derives the head into the answer table. Returns false when a
+  // budget is exhausted.
+  auto solve = [&](auto&& self, const Rule& rule, size_t i,
+                   bool* changed) -> bool {
+    if (i == rule.body.size()) {
+      std::vector<TermId> head_tuple;
+      for (TermId arg : rule.head.args) {
+        TermId ground = SubstituteGround(u, arg, subst);
+        if (ground == kInvalidTerm) return true;  // non-ground head: skip
+        head_tuple.push_back(ground);
+      }
+      Relation& rel = result.answers.at(rule.head.pred);
+      if (rel.Insert(head_tuple)) {
+        *changed = true;
+        if (++total > options_.max_facts) return false;
+      }
+      return true;
+    }
+    const Literal& lit = rule.body[i];
+    const Relation* rel = nullptr;
+    if (is_derived(lit.pred)) {
+      // Generate the subquery this sip strategy is obliged to ask
+      // (condition (2) of Section 9), then read matching answers.
+      const Adornment& a = u.predicates().info(lit.pred).adornment;
+      std::vector<TermId> bound_tuple;
+      for (size_t p = 0; p < lit.args.size(); ++p) {
+        if (p < a.size() && a.bound(p)) {
+          TermId ground = SubstituteGround(u, lit.args[p], subst);
+          MAGIC_CHECK_MSG(ground != kInvalidTerm,
+                          "sip order left a bound argument unbound");
+          bound_tuple.push_back(ground);
+        }
+      }
+      if (result.queries.at(lit.pred).Insert(bound_tuple)) {
+        *changed = true;
+        if (++total > options_.max_facts) return false;
+      }
+      rel = &result.answers.at(lit.pred);
+    } else {
+      rel = edb.Find(lit.pred);
+      if (rel == nullptr) return true;
+    }
+
+    uint64_t mask = 0;
+    std::vector<TermId> key;
+    for (size_t a = 0; a < lit.args.size(); ++a) {
+      TermId ground = SubstituteGround(u, lit.args[a], subst);
+      if (ground != kInvalidTerm) {
+        mask |= uint64_t{1} << a;
+        key.push_back(ground);
+      }
+    }
+    std::vector<uint32_t> rows;
+    rel->Probe(mask, key, 0, rel->size(), &rows);
+    for (uint32_t row : rows) {
+      size_t mark = subst.Mark();
+      std::span<const TermId> tuple = rel->Row(row);
+      bool matched = true;
+      for (size_t a = 0; a < lit.args.size(); ++a) {
+        if (mask & (uint64_t{1} << a)) continue;
+        if (!MatchTerm(u, lit.args[a], tuple[a], &subst)) {
+          matched = false;
+          break;
+        }
+      }
+      if (matched && !self(self, rule, i + 1, changed)) return false;
+      subst.UndoTo(mark);
+    }
+    return true;
+  };
+
+  // Repeat passes until the query/answer tables stop growing (QSQR's outer
+  // fixpoint handles recursion).
+  bool changed = true;
+  while (changed) {
+    if (result.stats.passes >= options_.max_iterations) {
+      budget_hit = true;
+      break;
+    }
+    ++result.stats.passes;
+    changed = false;
+    bool ok = true;
+    for (PredId pred : derived) {
+      const Adornment& head_ad = u.predicates().info(pred).adornment;
+      Relation& queries = result.queries.at(pred);
+      for (size_t qrow = 0; qrow < queries.size() && ok; ++qrow) {
+        // Copy: the relation may grow (and reallocate) during solving.
+        std::vector<TermId> qtuple(queries.Row(qrow).begin(),
+                                   queries.Row(qrow).end());
+        for (int ri : adorned.program.RulesFor(pred)) {
+          const Rule& rule = adorned.program.rules()[ri];
+          subst.Clear();
+          // Unify the head's bound arguments with the subquery constants.
+          bool head_ok = true;
+          size_t k = 0;
+          for (size_t p = 0; p < rule.head.args.size(); ++p) {
+            if (p < head_ad.size() && head_ad.bound(p)) {
+              if (!MatchTerm(u, rule.head.args[p], qtuple[k++], &subst)) {
+                head_ok = false;
+                break;
+              }
+            }
+          }
+          if (!head_ok) continue;
+          if (!solve(solve, rule, 0, &changed)) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) break;
+    }
+    if (!ok) {
+      budget_hit = true;
+      break;
+    }
+  }
+
+  for (PredId pred : derived) {
+    result.stats.queries += result.queries.at(pred).size();
+    result.stats.answers += result.answers.at(pred).size();
+  }
+  if (budget_hit) {
+    result.status = Status::ResourceExhausted(
+        "top-down budget exhausted after " + std::to_string(total) +
+        " queries+facts");
+  }
+  result.stats.seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace magic

@@ -1,0 +1,61 @@
+#ifndef MAGIC_EVAL_TOPDOWN_H_
+#define MAGIC_EVAL_TOPDOWN_H_
+
+#include <unordered_map>
+
+#include "core/adorn.h"
+#include "eval/evaluator.h"
+#include "storage/database.h"
+
+namespace magic {
+
+/// Statistics of a top-down run, phrased in the vocabulary of Section 9:
+/// `queries` generated (condition (2) of a sip strategy) and `answers`
+/// computed (condition (1)).
+struct TopDownStats {
+  uint64_t passes = 0;
+  uint64_t queries = 0;  // total distinct subqueries over all predicates
+  uint64_t answers = 0;  // total distinct facts over all predicates
+  double seconds = 0.0;
+};
+
+struct TopDownResult {
+  Status status;
+  /// Per adorned predicate: the set of subqueries (tuples over the bound
+  /// positions). Comparable one-to-one with the magic predicates of P^mg
+  /// (Theorem 9.1).
+  std::unordered_map<PredId, Relation> queries;
+  /// Per adorned predicate: all facts derived while answering them.
+  /// Comparable with the adorned relations computed by P^mg.
+  std::unordered_map<PredId, Relation> answers;
+  TopDownStats stats;
+
+  /// The answers to the original query (tuples over the full arity of the
+  /// adorned query predicate, restricted to the query's bound constants).
+  std::vector<std::vector<TermId>> QueryAnswers(const Universe& u,
+                                                const AdornedProgram& adorned,
+                                                PredId pred) const;
+};
+
+/// A memoizing top-down evaluator in the QSQR / extension-table style: the
+/// canonical *sip strategy* of Section 9. Subqueries are (adorned predicate,
+/// bound-argument tuple) pairs; rules are evaluated along their sips; answer
+/// and query tables grow to a simultaneous fixpoint (repeated passes handle
+/// recursion).
+///
+/// Used as the baseline for the sip-optimality experiments: Theorem 9.1 says
+/// bottom-up GMS generates exactly the queries and facts this strategy must
+/// generate.
+class TopDownEngine {
+ public:
+  explicit TopDownEngine(EvalOptions options = {}) : options_(options) {}
+
+  TopDownResult Run(const AdornedProgram& adorned, const Database& edb) const;
+
+ private:
+  EvalOptions options_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_EVAL_TOPDOWN_H_

@@ -1,0 +1,44 @@
+#include "storage/database.h"
+
+namespace magic {
+
+Status Database::AddFact(const Fact& fact) {
+  const PredicateInfo& info = universe_->predicates().info(fact.pred);
+  if (fact.args.size() != info.arity) {
+    return Status::InvalidArgument(
+        "fact arity mismatch for predicate '" +
+        universe_->symbols().Name(info.name) + "'");
+  }
+  for (TermId arg : fact.args) {
+    if (!universe_->terms().IsGround(arg)) {
+      return Status::InvalidArgument("facts must be ground: " +
+                                     universe_->TermToString(arg));
+    }
+  }
+  GetOrCreate(fact.pred).Insert(fact.args);
+  return Status::OK();
+}
+
+Status Database::AddFact(PredId pred, std::vector<TermId> args) {
+  return AddFact(Fact{pred, std::move(args)});
+}
+
+Relation& Database::GetOrCreate(PredId pred) {
+  auto it = relations_.find(pred);
+  if (it != relations_.end()) return it->second;
+  uint32_t arity = universe_->predicates().info(pred).arity;
+  return relations_.emplace(pred, Relation(arity)).first->second;
+}
+
+const Relation* Database::Find(PredId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.size();
+  return total;
+}
+
+}  // namespace magic

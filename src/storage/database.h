@@ -1,0 +1,50 @@
+#ifndef MAGIC_STORAGE_DATABASE_H_
+#define MAGIC_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "ast/program.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace magic {
+
+/// The extensional database D: a finite set of finite relations over a
+/// Universe shared with the programs evaluated against it.
+class Database {
+ public:
+  explicit Database(std::shared_ptr<Universe> universe)
+      : universe_(std::move(universe)) {}
+
+  const std::shared_ptr<Universe>& universe() const { return universe_; }
+  Universe& u() const { return *universe_; }
+
+  /// Adds a ground fact; rejects non-ground or wrong-arity tuples.
+  /// Returns OK for duplicates (idempotent insert).
+  Status AddFact(const Fact& fact);
+
+  /// Convenience: add p(args...) built from constants by name.
+  Status AddFact(PredId pred, std::vector<TermId> args);
+
+  Relation& GetOrCreate(PredId pred);
+  const Relation* Find(PredId pred) const;
+
+  size_t FactCount(PredId pred) const {
+    const Relation* r = Find(pred);
+    return r == nullptr ? 0 : r->size();
+  }
+  size_t TotalFacts() const;
+
+  const std::unordered_map<PredId, Relation>& relations() const {
+    return relations_;
+  }
+
+ private:
+  std::shared_ptr<Universe> universe_;
+  std::unordered_map<PredId, Relation> relations_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_STORAGE_DATABASE_H_

@@ -1,0 +1,110 @@
+#include "storage/fact_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace magic {
+
+namespace {
+
+bool LooksLikeInteger(const std::string& field) {
+  if (field.empty()) return false;
+  size_t start = field[0] == '-' ? 1 : 0;
+  if (start == field.size()) return false;
+  for (size_t i = start; i < field.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(field[i]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status LoadFactsFile(PredId pred, const std::string& path, Database* db) {
+  Universe& u = db->u();
+  const PredicateInfo& info = u.predicates().info(pred);
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open fact file: " + path);
+  }
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<TermId> tuple;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, '\t')) {
+      tuple.push_back(LooksLikeInteger(field)
+                          ? u.Integer(std::stoll(field))
+                          : u.Constant(field));
+    }
+    if (tuple.size() != info.arity) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": expected " +
+          std::to_string(info.arity) + " fields, got " +
+          std::to_string(tuple.size()));
+    }
+    MAGIC_RETURN_IF_ERROR(db->AddFact(pred, std::move(tuple)));
+  }
+  return Status::OK();
+}
+
+Status LoadFactsDirectory(const Program& program, const std::string& dir,
+                          Database* db) {
+  namespace fs = std::filesystem;
+  Universe& u = db->u();
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::NotFound("not a directory: " + dir);
+  }
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    fs::path path = entry.path();
+    if (path.extension() != ".facts") continue;
+    std::string name = path.stem().string();
+    std::optional<SymbolId> sym = u.symbols().Find(name);
+    std::optional<PredId> pred;
+    if (sym.has_value()) {
+      // Arity comes from the program's declaration; try every declared
+      // arity for this name (in practice one).
+      for (uint32_t arity = 0; arity <= 8 && !pred.has_value(); ++arity) {
+        pred = u.predicates().Find(*sym, arity);
+      }
+    }
+    if (!pred.has_value()) {
+      return Status::InvalidArgument(
+          "fact file " + path.string() +
+          " does not match any predicate of the program");
+    }
+    if (program.IsHeadPredicate(*pred)) {
+      return Status::InvalidArgument(
+          "fact file " + path.string() +
+          " targets a derived predicate; facts belong to base relations");
+    }
+    MAGIC_RETURN_IF_ERROR(LoadFactsFile(*pred, path.string(), db));
+  }
+  return Status::OK();
+}
+
+Status WriteFactsFile(const Universe& u, const Relation& relation,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  for (size_t row = 0; row < relation.size(); ++row) {
+    std::span<const TermId> tuple = relation.Row(row);
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) out << '\t';
+      out << u.TermToString(tuple[i]);
+    }
+    out << '\n';
+  }
+  return Status::OK();
+}
+
+}  // namespace magic

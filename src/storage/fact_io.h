@@ -1,0 +1,33 @@
+#ifndef MAGIC_STORAGE_FACT_IO_H_
+#define MAGIC_STORAGE_FACT_IO_H_
+
+#include <string>
+
+#include "storage/database.h"
+
+namespace magic {
+
+/// Loads tab-separated fact files into a database, one file per relation
+/// (the convention popularized by Soufflé): `<dir>/<pred>.facts` holds one
+/// tuple per line, fields separated by tabs. Fields consisting solely of
+/// digits (with optional leading '-') load as integers; everything else as
+/// constants. The predicate must already be declared (by the program); its
+/// arity fixes the expected field count.
+///
+/// Only files matching declared base predicates are loaded; unknown files
+/// are reported in the error message.
+Status LoadFactsDirectory(const Program& program, const std::string& dir,
+                          Database* db);
+
+/// Loads one fact file for `pred`.
+Status LoadFactsFile(PredId pred, const std::string& path, Database* db);
+
+/// Writes a relation as a tab-separated fact file (inverse of the loader;
+/// terms are rendered with the printer, so lists/compounds round-trip only
+/// if unambiguous — intended for flat Datalog relations).
+Status WriteFactsFile(const Universe& u, const Relation& relation,
+                      const std::string& path);
+
+}  // namespace magic
+
+#endif  // MAGIC_STORAGE_FACT_IO_H_

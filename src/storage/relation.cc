@@ -1,0 +1,114 @@
+#include "storage/relation.h"
+
+#include "util/check.h"
+#include "util/hash.h"
+
+namespace magic {
+
+bool Relation::Insert(std::span<const TermId> tuple) {
+  MAGIC_CHECK(tuple.size() == arity_);
+  if (arity_ == 0) {
+    if (zero_ary_count_ > 0) return false;
+    zero_ary_count_ = 1;
+    return true;
+  }
+  uint64_t h = HashRange(tuple.begin(), tuple.end());
+  std::vector<uint32_t>& bucket = dedup_[h];
+  for (uint32_t row : bucket) {
+    std::span<const TermId> existing = Row(row);
+    bool equal = true;
+    for (uint32_t i = 0; i < arity_; ++i) {
+      if (existing[i] != tuple[i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return false;
+  }
+  uint32_t row = static_cast<uint32_t>(size());
+  data_.insert(data_.end(), tuple.begin(), tuple.end());
+  bucket.push_back(row);
+  return true;
+}
+
+bool Relation::Contains(std::span<const TermId> tuple) const {
+  return FindRow(tuple).has_value();
+}
+
+std::optional<uint32_t> Relation::FindRow(
+    std::span<const TermId> tuple) const {
+  MAGIC_CHECK(tuple.size() == arity_);
+  if (arity_ == 0) {
+    if (zero_ary_count_ > 0) return 0u;
+    return std::nullopt;
+  }
+  auto it = dedup_.find(HashRange(tuple.begin(), tuple.end()));
+  if (it == dedup_.end()) return std::nullopt;
+  for (uint32_t row : it->second) {
+    std::span<const TermId> existing = Row(row);
+    bool equal = true;
+    for (uint32_t i = 0; i < arity_; ++i) {
+      if (existing[i] != tuple[i]) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return row;
+  }
+  return std::nullopt;
+}
+
+uint64_t Relation::KeyHashForRow(uint64_t mask, size_t row) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  std::span<const TermId> r = Row(row);
+  for (uint32_t i = 0; i < arity_; ++i) {
+    if (mask & (uint64_t{1} << i)) h = HashCombine(h, r[i]);
+  }
+  return h;
+}
+
+void Relation::ExtendIndex(uint64_t mask, Index* index) const {
+  size_t rows = size();
+  for (size_t row = index->rows_built; row < rows; ++row) {
+    index->buckets[KeyHashForRow(mask, row)].push_back(
+        static_cast<uint32_t>(row));
+  }
+  index->rows_built = rows;
+}
+
+void Relation::Probe(uint64_t mask, std::span<const TermId> key,
+                     size_t from_row, size_t to_row,
+                     std::vector<uint32_t>* out) const {
+  MAGIC_CHECK(to_row <= size());
+  if (mask == kNoMask) {
+    for (size_t row = from_row; row < to_row; ++row) {
+      out->push_back(static_cast<uint32_t>(row));
+    }
+    return;
+  }
+  Index& index = indices_[mask];
+  ExtendIndex(mask, &index);
+  uint64_t h = HashRange(key.begin(), key.end());
+  auto it = index.buckets.find(h);
+  if (it == index.buckets.end()) return;
+  // Bucket rows are in ascending order; verify key equality per row (the
+  // bucket is keyed by hash only).
+  for (uint32_t row : it->second) {
+    if (row < from_row) continue;
+    if (row >= to_row) break;
+    std::span<const TermId> r = Row(row);
+    bool equal = true;
+    size_t k = 0;
+    for (uint32_t i = 0; i < arity_; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        if (r[i] != key[k++]) {
+          equal = false;
+          break;
+        }
+      }
+    }
+    if (equal) out->push_back(row);
+  }
+}
+
+}  // namespace magic

@@ -1,0 +1,69 @@
+#ifndef MAGIC_STORAGE_RELATION_H_
+#define MAGIC_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/term.h"
+
+namespace magic {
+
+/// A set of ground tuples of fixed arity, stored flat and append-only.
+///
+/// Append-only storage gives the semi-naive evaluator its deltas for free:
+/// the delta of an iteration is a row range [prev_size, cur_size), so no
+/// separate delta relations are materialized.
+///
+/// Point lookups build hash indices lazily, one per bound-column mask, and
+/// extend them incrementally as rows are appended (the iterator-invalidation
+/// hazards of rebuilding mid-fixpoint are avoided by the watermark design).
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return arity_ == 0 ? zero_ary_count_ : data_.size() / arity_; }
+
+  /// Inserts a tuple; returns true if it was new.
+  bool Insert(std::span<const TermId> tuple);
+
+  bool Contains(std::span<const TermId> tuple) const;
+
+  /// Returns the row index of `tuple`, or nullopt if absent.
+  std::optional<uint32_t> FindRow(std::span<const TermId> tuple) const;
+
+  std::span<const TermId> Row(size_t row) const {
+    return std::span<const TermId>(data_.data() + row * arity_, arity_);
+  }
+
+  /// Appends to `out` the rows in [from_row, to_row) whose columns selected
+  /// by `mask` (bit i = column i) equal `key[k]` for the k-th set bit.
+  /// Builds/extends the index for `mask` on demand.
+  void Probe(uint64_t mask, std::span<const TermId> key, size_t from_row,
+             size_t to_row, std::vector<uint32_t>* out) const;
+
+  /// All row indices in [from_row, to_row) (scan path, mask == 0).
+  static constexpr uint64_t kNoMask = 0;
+
+ private:
+  struct Index {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+    size_t rows_built = 0;
+  };
+
+  uint64_t KeyHashForRow(uint64_t mask, size_t row) const;
+  void ExtendIndex(uint64_t mask, Index* index) const;
+
+  uint32_t arity_;
+  std::vector<TermId> data_;
+  size_t zero_ary_count_ = 0;  // 0-ary relations hold at most one tuple
+  std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
+  mutable std::unordered_map<uint64_t, Index> indices_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_STORAGE_RELATION_H_

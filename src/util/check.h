@@ -1,0 +1,39 @@
+#ifndef MAGIC_UTIL_CHECK_H_
+#define MAGIC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace magic {
+namespace internal {
+
+/// Prints a fatal-check failure and aborts. Used by the MAGIC_CHECK macros;
+/// never returns.
+[[noreturn]] inline void CheckFail(const char* expr, const char* file, int line,
+                                   const std::string& msg = "") {
+  std::fprintf(stderr, "MAGIC_CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace magic
+
+/// Internal invariant check. Unlike Status, a MAGIC_CHECK failure indicates a
+/// bug in this library, not bad user input, so it aborts.
+#define MAGIC_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::magic::internal::CheckFail(#cond, __FILE__, __LINE__);     \
+    }                                                              \
+  } while (0)
+
+#define MAGIC_CHECK_MSG(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::magic::internal::CheckFail(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                \
+  } while (0)
+
+#endif  // MAGIC_UTIL_CHECK_H_

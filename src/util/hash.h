@@ -1,0 +1,27 @@
+#ifndef MAGIC_UTIL_HASH_H_
+#define MAGIC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace magic {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4);
+  return seed;
+}
+
+/// Hashes a contiguous range of integral ids.
+template <typename It>
+uint64_t HashRange(It begin, It end, uint64_t seed = 0xcbf29ce484222325ULL) {
+  for (It it = begin; it != end; ++it) {
+    seed = HashCombine(seed, static_cast<uint64_t>(*it));
+  }
+  return seed;
+}
+
+}  // namespace magic
+
+#endif  // MAGIC_UTIL_HASH_H_

@@ -1,0 +1,228 @@
+#include "workload/generators.h"
+
+#include <random>
+#include <string>
+
+#include "util/check.h"
+
+namespace magic {
+
+namespace {
+
+constexpr const char kAncestorProgram[] = R"(
+  anc(X,Y) :- par(X,Y).
+  anc(X,Y) :- par(X,Z), anc(Z,Y).
+)";
+
+constexpr const char kNonlinearAncestorProgram[] = R"(
+  a(X,Y) :- p(X,Y).
+  a(X,Y) :- a(X,Z), a(Z,Y).
+)";
+
+constexpr const char kSameGenNonlinearProgram[] = R"(
+  sg(X,Y) :- flat(X,Y).
+  sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y).
+)";
+
+constexpr const char kSameGenNestedProgram[] = R"(
+  p(X,Y) :- b1(X,Y).
+  p(X,Y) :- sg(X,Z1), p(Z1,Z2), b2(Z2,Y).
+  sg(X,Y) :- flat(X,Y).
+  sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y).
+)";
+
+constexpr const char kListReverseProgram[] = R"(
+  append(V, [], [V]).
+  append(V, [W|X], [W|Y]) :- append(V, X, Y).
+  reverse([], []).
+  reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+)";
+
+Workload FromText(const std::string& name, const std::string& text) {
+  auto universe = std::make_shared<Universe>();
+  Result<ParsedUnit> parsed = ParseUnit(text, universe);
+  MAGIC_CHECK_MSG(parsed.ok(), parsed.status().ToString());
+  Workload w{universe, std::move(parsed->program), Database(universe),
+             Query{}, name};
+  for (const Fact& fact : parsed->facts) {
+    Status st = w.db.AddFact(fact);
+    MAGIC_CHECK_MSG(st.ok(), st.ToString());
+  }
+  if (parsed->query.has_value()) w.query = *parsed->query;
+  return w;
+}
+
+PredId PredOf(const Universe& u, const std::string& name, uint32_t arity) {
+  std::optional<SymbolId> sym = u.symbols().Find(name);
+  MAGIC_CHECK_MSG(sym.has_value(), "unknown predicate " + name);
+  std::optional<PredId> pred = u.predicates().Find(*sym, arity);
+  MAGIC_CHECK_MSG(pred.has_value(), "unknown predicate " + name);
+  return *pred;
+}
+
+TermId Node(Universe& u, const std::string& prefix, int i) {
+  return u.Constant(prefix + std::to_string(i));
+}
+
+void AddEdge(Workload* w, PredId pred, TermId from, TermId to) {
+  Status st = w->db.AddFact(pred, {from, to});
+  MAGIC_CHECK_MSG(st.ok(), st.ToString());
+}
+
+void SetQuery(Workload* w, const std::string& pred_name, TermId bound) {
+  Universe& u = *w->universe;
+  PredId pred = PredOf(u, pred_name, 2);
+  w->query.goal.pred = pred;
+  w->query.goal.args = {bound, u.FreshVariable("Ans")};
+}
+
+}  // namespace
+
+Workload MakeAncestorChain(int n) {
+  Workload w = FromText("ancestor-chain-" + std::to_string(n),
+                        kAncestorProgram);
+  Universe& u = *w.universe;
+  PredId par = PredOf(u, "par", 2);
+  for (int i = 0; i + 1 < n; ++i) {
+    AddEdge(&w, par, Node(u, "c", i), Node(u, "c", i + 1));
+  }
+  SetQuery(&w, "anc", Node(u, "c", 0));
+  return w;
+}
+
+Workload MakeAncestorTree(int depth, int fanout) {
+  Workload w = FromText("ancestor-tree-d" + std::to_string(depth) + "-f" +
+                            std::to_string(fanout),
+                        kAncestorProgram);
+  Universe& u = *w.universe;
+  PredId par = PredOf(u, "par", 2);
+  // Heap layout: node i has children i*fanout+1 .. i*fanout+fanout.
+  int total = 1;
+  int level_size = 1;
+  for (int d = 0; d < depth; ++d) {
+    level_size *= fanout;
+    total += level_size;
+  }
+  for (int i = 0; i < total; ++i) {
+    for (int c = 1; c <= fanout; ++c) {
+      int child = i * fanout + c;
+      if (child >= total) break;
+      AddEdge(&w, par, Node(u, "c", i), Node(u, "c", child));
+    }
+  }
+  SetQuery(&w, "anc", Node(u, "c", 0));
+  return w;
+}
+
+Workload MakeAncestorRandom(int nodes, int edges, uint32_t seed) {
+  Workload w = FromText("ancestor-random-n" + std::to_string(nodes) + "-e" +
+                            std::to_string(edges),
+                        kAncestorProgram);
+  Universe& u = *w.universe;
+  PredId par = PredOf(u, "par", 2);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  for (int e = 0; e < edges; ++e) {
+    int a = pick(rng);
+    int b = pick(rng);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);  // acyclic: edges ascend
+    AddEdge(&w, par, Node(u, "c", a), Node(u, "c", b));
+  }
+  SetQuery(&w, "anc", Node(u, "c", 0));
+  return w;
+}
+
+Workload MakeAncestorCycle(int n) {
+  Workload w =
+      FromText("ancestor-cycle-" + std::to_string(n), kAncestorProgram);
+  Universe& u = *w.universe;
+  PredId par = PredOf(u, "par", 2);
+  for (int i = 0; i < n; ++i) {
+    AddEdge(&w, par, Node(u, "c", i), Node(u, "c", (i + 1) % n));
+  }
+  SetQuery(&w, "anc", Node(u, "c", 0));
+  return w;
+}
+
+Workload MakeNonlinearAncestorChain(int n) {
+  Workload w = FromText("nonlinear-ancestor-chain-" + std::to_string(n),
+                        kNonlinearAncestorProgram);
+  Universe& u = *w.universe;
+  PredId par = PredOf(u, "p", 2);
+  for (int i = 0; i + 1 < n; ++i) {
+    AddEdge(&w, par, Node(u, "c", i), Node(u, "c", i + 1));
+  }
+  SetQuery(&w, "a", Node(u, "c", 0));
+  return w;
+}
+
+namespace {
+
+/// Grid node name n<level>_<column>.
+TermId GridNode(Universe& u, int level, int column) {
+  return u.Constant("n" + std::to_string(level) + "_" +
+                    std::to_string(column));
+}
+
+void FillGrid(Workload* w, int depth, int width, bool nested_extras) {
+  Universe& u = *w->universe;
+  PredId up = PredOf(u, "up", 2);
+  PredId down = PredOf(u, "down", 2);
+  PredId flat = PredOf(u, "flat", 2);
+  for (int l = 0; l < depth; ++l) {
+    for (int c = 0; c < width; ++c) {
+      if (l + 1 < depth) {
+        AddEdge(w, up, GridNode(u, l + 1, c), GridNode(u, l, c));
+        AddEdge(w, down, GridNode(u, l, c), GridNode(u, l + 1, c));
+      }
+      if (c + 1 < width) {
+        AddEdge(w, flat, GridNode(u, l, c), GridNode(u, l, c + 1));
+      }
+    }
+  }
+  if (nested_extras) {
+    PredId b1 = PredOf(u, "b1", 2);
+    PredId b2 = PredOf(u, "b2", 2);
+    for (int l = 0; l < depth; ++l) {
+      for (int c = 0; c + 1 < width; ++c) {
+        AddEdge(w, b1, GridNode(u, l, c), GridNode(u, l, c + 1));
+        AddEdge(w, b2, GridNode(u, l, c), GridNode(u, l, c + 1));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Workload MakeSameGenNonlinear(int depth, int width) {
+  Workload w = FromText("samegen-nonlinear-d" + std::to_string(depth) + "-w" +
+                            std::to_string(width),
+                        kSameGenNonlinearProgram);
+  FillGrid(&w, depth, width, /*nested_extras=*/false);
+  SetQuery(&w, "sg", GridNode(*w.universe, depth - 1, 0));
+  return w;
+}
+
+Workload MakeSameGenNested(int depth, int width) {
+  Workload w = FromText("samegen-nested-d" + std::to_string(depth) + "-w" +
+                            std::to_string(width),
+                        kSameGenNestedProgram);
+  FillGrid(&w, depth, width, /*nested_extras=*/true);
+  SetQuery(&w, "p", GridNode(*w.universe, depth - 1, 0));
+  return w;
+}
+
+Workload MakeListReverse(int n) {
+  Workload w =
+      FromText("list-reverse-" + std::to_string(n), kListReverseProgram);
+  Universe& u = *w.universe;
+  std::vector<TermId> items;
+  for (int i = 0; i < n; ++i) items.push_back(Node(u, "c", i));
+  PredId reverse = PredOf(u, "reverse", 2);
+  w.query.goal.pred = reverse;
+  w.query.goal.args = {u.MakeList(items), u.FreshVariable("Ans")};
+  return w;
+}
+
+}  // namespace magic

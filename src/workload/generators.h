@@ -1,0 +1,59 @@
+#ifndef MAGIC_WORKLOAD_GENERATORS_H_
+#define MAGIC_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <string>
+
+#include "ast/parser.h"
+#include "storage/database.h"
+
+namespace magic {
+
+/// A ready-to-run benchmark scenario: program, database, and query over one
+/// shared Universe. These are the four appendix problems plus data shapes
+/// for the measured experiments.
+struct Workload {
+  std::shared_ptr<Universe> universe;
+  Program program;
+  Database db;
+  Query query;
+  std::string name;
+};
+
+/// anc(X,Y) :- par(X,Y);  anc(X,Y) :- par(X,Z), anc(Z,Y).
+/// Data: par chain c0 -> c1 -> ... -> c_{n-1}. Query anc(c0, Y).
+Workload MakeAncestorChain(int n);
+
+/// Same program; par is a complete `fanout`-ary tree of the given depth,
+/// query at the root.
+Workload MakeAncestorTree(int depth, int fanout);
+
+/// Same program; par is a random DAG (edges i->j with i<j). Query node 0.
+Workload MakeAncestorRandom(int nodes, int edges, uint32_t seed);
+
+/// Same program; par is a single directed cycle (divergence scenario for
+/// the counting strategies). Query anc(c0, Y).
+Workload MakeAncestorCycle(int n);
+
+/// Nonlinear ancestor (appendix A.1(2)): a(X,Y) :- p(X,Y);
+/// a(X,Y) :- a(X,Z), a(Z,Y). Chain data, query a(c0, Y).
+Workload MakeNonlinearAncestorChain(int n);
+
+/// The running example: nonlinear same generation over up/flat/down.
+/// Data: a grid of `depth` levels x `width` columns; `up`/`down` connect a
+/// node to the node above/below in its column, `flat` runs left-to-right
+/// within each level (acyclic, bounded recursion depth = level). Query
+/// sg(bottom-left node, Y).
+Workload MakeSameGenNonlinear(int depth, int width);
+
+/// Same grid data (plus b1/b2 edges along each level) for the nested
+/// same-generation program (appendix A.1(3)). Query p(bottom-left, Y).
+Workload MakeSameGenNested(int depth, int width);
+
+/// List reverse (appendix A.1(4)) with a list of n constants; query
+/// reverse([c0,...,c_{n-1}], Y). Exercises function symbols.
+Workload MakeListReverse(int n);
+
+}  // namespace magic
+
+#endif  // MAGIC_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,231 @@
+#include "core/adorn.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+
+namespace magic {
+namespace {
+
+/// Parses text (with its query), adorns under the named sip strategy, and
+/// returns the adorned program.
+AdornedProgram AdornText(const std::string& text,
+                         const std::string& sip = "full") {
+  auto parsed = ParseUnit(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->query.has_value());
+  std::unique_ptr<SipStrategy> strategy = MakeSipStrategy(sip);
+  EXPECT_NE(strategy, nullptr);
+  auto adorned = Adorn(parsed->program, *parsed->query, *strategy);
+  EXPECT_TRUE(adorned.ok()) << adorned.status().ToString();
+  return std::move(*adorned);
+}
+
+std::string Canon(const std::string& text) {
+  auto parsed = ParseUnit(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return CanonicalProgramString(parsed->program);
+}
+
+TEST(AdornTest, AncestorAppendixA2) {
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(john, Y).
+  )");
+  // Appendix A.2(1).
+  EXPECT_EQ(CanonicalProgramString(adorned.program), Canon(R"(
+    anc_bf(X,Y) :- par(X,Y).
+    anc_bf(X,Y) :- par(X,Z), anc_bf(Z,Y).
+  )"));
+  const Universe& u = *adorned.program.universe();
+  EXPECT_EQ(u.symbols().Name(u.predicates().info(adorned.query_pred).name),
+            "anc_bf");
+  EXPECT_EQ(adorned.query_adornment.ToString(), "bf");
+}
+
+TEST(AdornTest, NonlinearAncestorAppendixA2) {
+  AdornedProgram adorned = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- a(X,Z), a(Z,Y).
+    ?- a(john, Y).
+  )");
+  // Appendix A.2(2): both occurrences become a^bf.
+  EXPECT_EQ(CanonicalProgramString(adorned.program), Canon(R"(
+    a_bf(X,Y) :- p(X,Y).
+    a_bf(X,Y) :- a_bf(X,Z), a_bf(Z,Y).
+  )"));
+}
+
+TEST(AdornTest, NestedSameGenerationAppendixA2) {
+  AdornedProgram adorned = AdornText(R"(
+    p(X,Y) :- b1(X,Y).
+    p(X,Y) :- sg(X,Z1), p(Z1,Z2), b2(Z2,Y).
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y).
+    ?- p(john, Y).
+  )");
+  // Appendix A.2(3).
+  EXPECT_EQ(CanonicalProgramString(adorned.program), Canon(R"(
+    p_bf(X,Y) :- b1(X,Y).
+    p_bf(X,Y) :- sg_bf(X,Z1), p_bf(Z1,Z2), b2(Z2,Y).
+    sg_bf(X,Y) :- flat(X,Y).
+    sg_bf(X,Y) :- up(X,Z1), sg_bf(Z1,Z2), down(Z2,Y).
+  )"));
+}
+
+TEST(AdornTest, ListReverseAppendixA2) {
+  AdornedProgram adorned = AdornText(R"(
+    append(V, [], [V]).
+    append(V, [W|X], [W|Y]) :- append(V, X, Y).
+    reverse([], []).
+    reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+    ?- reverse([a,b], Y).
+  )");
+  // Appendix A.2(4): reverse^bf and append^bbf.
+  EXPECT_EQ(CanonicalProgramString(adorned.program), Canon(R"(
+    append_bbf(V, [], [V]).
+    append_bbf(V, [W|X], [W|Y]) :- append_bbf(V, X, Y).
+    reverse_bf([], []).
+    reverse_bf([V|X], Y) :- reverse_bf(X, Z), append_bbf(V, Z, Y).
+  )"));
+}
+
+TEST(AdornTest, NonlinearSameGenerationSipIV) {
+  AdornedProgram adorned = AdornText(R"(
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y).
+    ?- sg(john, Y).
+  )");
+  // Example 3.
+  EXPECT_EQ(CanonicalProgramString(adorned.program), Canon(R"(
+    sg_bf(X,Y) :- flat(X,Y).
+    sg_bf(X,Y) :- up(X,Z1), sg_bf(Z1,Z2), flat(Z2,Z3), sg_bf(Z3,Z4), down(Z4,Y).
+  )"));
+  // The full sip (IV): arcs into sg.1 and sg.2 with the compressed tails.
+  const Rule& rule = adorned.program.rules()[1];
+  ASSERT_TRUE(rule.sip.has_value());
+  const SipGraph& sip = *rule.sip;
+  ASSERT_EQ(sip.arcs.size(), 2u);
+  const Universe& u = *adorned.program.universe();
+  // Arc 1: {ph, up} ->[Z1] sg.1 (occurrence 1).
+  EXPECT_EQ(sip.arcs[0].target, 1);
+  EXPECT_EQ(sip.arcs[0].tail, (std::vector<int>{kSipHead, 0}));
+  ASSERT_EQ(sip.arcs[0].label.size(), 1u);
+  EXPECT_EQ(u.symbols().Name(sip.arcs[0].label[0]), "Z1");
+  // Arc 2: {ph, up, sg.1, flat} ->[Z3] sg.2 (occurrence 3).
+  EXPECT_EQ(sip.arcs[1].target, 3);
+  EXPECT_EQ(sip.arcs[1].tail, (std::vector<int>{kSipHead, 0, 1, 2}));
+  ASSERT_EQ(sip.arcs[1].label.size(), 1u);
+  EXPECT_EQ(u.symbols().Name(sip.arcs[1].label[0]), "Z3");
+}
+
+TEST(AdornTest, ChainSipMatchesPaperSipV) {
+  AdornedProgram adorned = AdornText(R"(
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y).
+    ?- sg(john, Y).
+  )",
+                                     "chain");
+  const Rule& rule = adorned.program.rules()[1];
+  ASSERT_TRUE(rule.sip.has_value());
+  const SipGraph& sip = *rule.sip;
+  ASSERT_EQ(sip.arcs.size(), 2u);
+  // Sip (V): {sg_h; up} -> sg.1 and {sg.1; flat} -> sg.2.
+  EXPECT_EQ(sip.arcs[0].target, 1);
+  EXPECT_EQ(sip.arcs[0].tail, (std::vector<int>{kSipHead, 0}));
+  EXPECT_EQ(sip.arcs[1].target, 3);
+  EXPECT_EQ(sip.arcs[1].tail, (std::vector<int>{1, 2}));
+}
+
+TEST(AdornTest, DifferentAdornmentsSpawnDistinctVersions) {
+  // q is called once with the first argument bound and once with the
+  // second argument bound.
+  AdornedProgram adorned = AdornText(R"(
+    p(X,Y) :- q(X,Y).
+    p(X,Y) :- e(Y,W), q(W,X).
+    q(X,Y) :- e(X,Y).
+    ?- p(john, Y).
+  )");
+  const Universe& u = *adorned.program.universe();
+  bool has_bf = false;
+  for (const auto& [key, pred] : adorned.adorned_preds) {
+    const PredicateInfo& info = u.predicates().info(pred);
+    if (u.symbols().Name(info.name) == "q_bf") has_bf = true;
+  }
+  EXPECT_TRUE(has_bf);
+}
+
+TEST(AdornTest, AllFreeQueryStillPassesSidewaysUnderFullSip) {
+  // Even with no head bindings, the full sip passes Z from par to anc
+  // (sideways information passing does not require unification bindings),
+  // so a bf version of anc appears alongside the ff query version.
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(X, Y).
+  )");
+  EXPECT_EQ(adorned.query_adornment.ToString(), "ff");
+  EXPECT_EQ(CanonicalProgramString(adorned.program), Canon(R"(
+    anc_ff(X,Y) :- par(X,Y).
+    anc_ff(X,Y) :- par(X,Z), anc_bf(Z,Y).
+    anc_bf(X,Y) :- par(X,Y).
+    anc_bf(X,Y) :- par(X,Z), anc_bf(Z,Y).
+  )"));
+}
+
+TEST(AdornTest, AllFreeQueryUnderEmptySipIsARenaming) {
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(X, Y).
+  )",
+                                     "empty");
+  EXPECT_EQ(adorned.query_adornment.ToString(), "ff");
+  EXPECT_EQ(CanonicalProgramString(adorned.program), Canon(R"(
+    anc_ff(X,Y) :- par(X,Y).
+    anc_ff(X,Y) :- par(X,Z), anc_ff(Z,Y).
+  )"));
+}
+
+TEST(AdornTest, ConstantArgumentsCountAsBound) {
+  AdornedProgram adorned = AdornText(R"(
+    p(X,Y) :- q(X, a, Y).
+    q(X,C,Y) :- e(X,Y), c(C).
+    ?- p(john, Y).
+  )");
+  const Universe& u = *adorned.program.universe();
+  bool found = false;
+  for (const auto& [key, pred] : adorned.adorned_preds) {
+    if (u.symbols().Name(u.predicates().info(pred).name) == "q_bbf") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << CanonicalProgramString(adorned.program);
+}
+
+TEST(AdornTest, QueryOnBasePredicateIsRejected) {
+  auto parsed = ParseUnit("p(X) :- q(X). q(a). ?- q(a).");
+  ASSERT_TRUE(parsed.ok());
+  FullSipStrategy strategy;
+  auto adorned = Adorn(parsed->program, *parsed->query, strategy);
+  EXPECT_FALSE(adorned.ok());
+}
+
+TEST(AdornTest, GreedySipReordersBody) {
+  // Written order puts the unbound literal first; greedy evaluates the
+  // bound base literal first instead.
+  AdornedProgram adorned = AdornText(R"(
+    p(X,Y) :- r(Z,Y), e(X,Z).
+    ?- p(john, Y).
+  )",
+                                     "greedy");
+  const Universe& u = *adorned.program.universe();
+  const Rule& rule = adorned.program.rules()[0];
+  EXPECT_EQ(u.symbols().Name(u.predicates().info(rule.body[0].pred).name),
+            "e");
+}
+
+}  // namespace
+}  // namespace magic

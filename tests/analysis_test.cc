@@ -1,0 +1,184 @@
+// Detail coverage for the analysis module: binding-graph arcs and weights
+// (Section 10's worked lengths), argument-graph edges, and the interplay
+// with adornments that the safety tests exercise only end to end.
+
+#include <gtest/gtest.h>
+
+#include "analysis/argument_graph.h"
+#include "analysis/binding_graph.h"
+#include "analysis/dependency_graph.h"
+#include "ast/parser.h"
+#include "core/adorn.h"
+
+namespace magic {
+namespace {
+
+AdornedProgram AdornText(const std::string& text) {
+  auto parsed = ParseUnit(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  FullSipStrategy strategy;
+  auto adorned = Adorn(parsed->program, *parsed->query, strategy);
+  EXPECT_TRUE(adorned.ok()) << adorned.status().ToString();
+  return std::move(*adorned);
+}
+
+TEST(BindingGraphDetailTest, AncestorHasOneZeroLengthArc) {
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(j, Y).
+  )");
+  BindingGraph graph = BuildBindingGraph(adorned);
+  ASSERT_EQ(graph.nodes.size(), 1u);
+  ASSERT_EQ(graph.arcs.size(), 1u);
+  // |X| - |Z|: both plain variables, so the symbolic length is
+  // |X| - |Z| with lower bound... X and Z have coefficient +1/-1: the
+  // lower bound is unbounded below (variable lengths are unbounded above).
+  // For Datalog this does not matter (Theorem 10.2 short-circuits), but
+  // the arc structure must still be faithful.
+  EXPECT_EQ(graph.arcs[0].from, graph.arcs[0].to);
+  EXPECT_EQ(graph.arcs[0].rule, 1);
+  EXPECT_EQ(graph.arcs[0].occurrence, 1);
+}
+
+TEST(BindingGraphDetailTest, ReverseArcLengthsMatchThePaper) {
+  AdornedProgram adorned = AdornText(R"(
+    append(V, [], [V]).
+    append(V, [W|X], [W|Y]) :- append(V, X, Y).
+    reverse([], []).
+    reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+    ?- reverse([a], Y).
+  )");
+  const Universe& u = *adorned.program.universe();
+  BindingGraph graph = BuildBindingGraph(adorned);
+  // Arcs: reverse->reverse with length |[V|X]| - |X| = |V| + 1 (lb 2);
+  // reverse->append with length |[V|X]| - (|V| + |Z|) = |X| - |Z| + 1
+  // (unbounded below: Z is a fresh output); append->append with
+  // |V| + |[W|X]| - (|V| + |X|) = |W| + 1 (lb 2).
+  std::map<std::pair<std::string, std::string>, std::optional<int64_t>> arcs;
+  for (const BindingArc& arc : graph.arcs) {
+    std::string from =
+        u.symbols().Name(u.predicates().info(graph.nodes[arc.from]).name);
+    std::string to =
+        u.symbols().Name(u.predicates().info(graph.nodes[arc.to]).name);
+    arcs[{from, to}] = arc.lower_bound;
+  }
+  ASSERT_EQ(arcs.size(), 3u);
+  EXPECT_EQ(arcs.at({"reverse_bf", "reverse_bf"}), 2);
+  EXPECT_EQ(arcs.at({"append_bbf", "append_bbf"}), 2);
+  EXPECT_EQ(arcs.at({"reverse_bf", "append_bbf"}), std::nullopt);
+  // The unbounded arc is not on a cycle (append never calls reverse), so
+  // Theorem 10.1 still applies.
+  std::vector<std::string> witness;
+  std::optional<bool> positive = AllCyclesPositive(graph, u, &witness);
+  ASSERT_TRUE(positive.has_value());
+  EXPECT_TRUE(*positive);
+}
+
+TEST(ArgumentGraphDetailTest, NodesAreBoundPositionsOnly) {
+  AdornedProgram adorned = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- p(X,Z), a(Z,Y).
+    ?- a(j, Y).
+  )");
+  ArgumentGraph graph = BuildArgumentGraph(adorned);
+  // a_bf has one bound position.
+  ASSERT_EQ(graph.nodes.size(), 1u);
+  EXPECT_EQ(graph.nodes[0].position, 0);
+  ASSERT_EQ(graph.roots.size(), 1u);
+  // Bound arg of the body occurrence is Z, not shared with the head's X:
+  // no edges at all.
+  EXPECT_TRUE(graph.edges[0].empty());
+}
+
+TEST(ArgumentGraphDetailTest, NonlinearAncestorSelfLoop) {
+  AdornedProgram adorned = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- a(X,Z), a(Z,Y).
+    ?- a(j, Y).
+  )");
+  ArgumentGraph graph = BuildArgumentGraph(adorned);
+  ASSERT_EQ(graph.nodes.size(), 1u);
+  // X occupies the head's bound position and a.1's bound position.
+  ASSERT_EQ(graph.edges[0].size(), 1u);
+  EXPECT_EQ(graph.edges[0][0], 0);  // self loop
+}
+
+TEST(ArgumentGraphDetailTest, CycleThroughTwoPredicates) {
+  // p's bound arg feeds q's and vice versa: a 2-cycle.
+  AdornedProgram adorned = AdornText(R"(
+    p(X,Y) :- e(X,Y).
+    p(X,Y) :- q(X,Z), e(Z,Y).
+    q(X,Y) :- p(X,Z), e2(Z,Y).
+    ?- p(j, Y).
+  )");
+  ArgumentGraph graph = BuildArgumentGraph(adorned);
+  std::vector<std::string> witness;
+  EXPECT_TRUE(
+      HasReachableCycle(graph, *adorned.program.universe(), &witness));
+  EXPECT_FALSE(witness.empty());
+}
+
+TEST(ArgumentGraphDetailTest, UnreachableCycleIsIgnored) {
+  // r has a cyclic argument position but is not reachable from the query.
+  AdornedProgram adorned = AdornText(R"(
+    p(X,Y) :- e(X,Y).
+    r(X,Y) :- r(X,Z), e(Z,Y).
+    r(X,Y) :- e(X,Y).
+    ?- p(j, Y).
+  )");
+  // r never enters the adorned program at all (unreachable from the
+  // query), so there is nothing to flag.
+  ArgumentGraph graph = BuildArgumentGraph(adorned);
+  std::vector<std::string> witness;
+  EXPECT_FALSE(
+      HasReachableCycle(graph, *adorned.program.universe(), &witness));
+}
+
+TEST(DependencyGraphDetailTest, SccGrouping) {
+  auto parsed = ParseUnit(R"(
+    a(X) :- b(X).
+    b(X) :- a(X).
+    b(X) :- c(X).
+    c(X) :- e(X).
+    ?- a(j).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  DependencyGraph graph(parsed->program);
+  const Universe& u = *parsed->program.universe();
+  PredId a = *u.predicates().Find(*u.symbols().Find("a"), 1);
+  PredId b = *u.predicates().Find(*u.symbols().Find("b"), 1);
+  PredId c = *u.predicates().Find(*u.symbols().Find("c"), 1);
+  // a and b are mutually recursive; c is not.
+  EXPECT_TRUE(graph.IsRecursive(a));
+  EXPECT_TRUE(graph.IsRecursive(b));
+  EXPECT_FALSE(graph.IsRecursive(c));
+  int scc_with_a = -1;
+  int scc_with_b = -1;
+  int scc_with_c = -1;
+  for (size_t i = 0; i < graph.sccs().size(); ++i) {
+    for (int member : graph.sccs()[i]) {
+      PredId pred = graph.preds()[member];
+      if (pred == a) scc_with_a = static_cast<int>(i);
+      if (pred == b) scc_with_b = static_cast<int>(i);
+      if (pred == c) scc_with_c = static_cast<int>(i);
+    }
+  }
+  EXPECT_EQ(scc_with_a, scc_with_b);
+  EXPECT_NE(scc_with_a, scc_with_c);
+}
+
+TEST(LengthExprDetailTest, NestedCompoundLengths) {
+  Universe u;
+  // |f(g(X), a)| = 1 + (1 + |X|) + 1 = |X| + 3.
+  TermId term = u.Compound(
+      "f", {u.Compound("g", {u.Variable("X")}), u.Constant("a")});
+  LengthExpr expr = LengthExpr::OfTerm(u, term);
+  EXPECT_EQ(expr.constant, 3);
+  EXPECT_EQ(expr.coeff.at(u.Sym("X")), 1);
+  EXPECT_EQ(*expr.LowerBound(), 4);
+  EXPECT_EQ(expr.ToString(u), "|X| + 3");
+}
+
+}  // namespace
+}  // namespace magic

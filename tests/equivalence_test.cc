@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "engine/query_engine.h"
+#include "workload/generators.h"
+
+namespace magic {
+namespace {
+
+/// Renders answers as strings so different strategies (whose term ids agree
+/// anyway, via the shared universe) compare readably on failure.
+std::set<std::string> AnswerSet(const Workload& w, const QueryAnswer& answer) {
+  std::set<std::string> out;
+  for (const auto& tuple : answer.tuples) {
+    std::string row;
+    for (TermId term : tuple) {
+      if (!row.empty()) row += ",";
+      row += w.universe->TermToString(term);
+    }
+    out.insert(row);
+  }
+  return out;
+}
+
+QueryAnswer RunStrategy(const Workload& w, Strategy strategy,
+                        const std::string& sip = "full") {
+  EngineOptions options;
+  options.strategy = strategy;
+  options.sip = sip;
+  options.eval.max_facts = 2'000'000;
+  QueryEngine engine(options);
+  return engine.Run(w.program, w.query, w.db);
+}
+
+/// The strategies applicable to arbitrary Datalog workloads.
+const Strategy kDatalogStrategies[] = {
+    Strategy::kNaiveBottomUp,       Strategy::kSemiNaiveBottomUp,
+    Strategy::kMagic,               Strategy::kSupplementaryMagic,
+    Strategy::kCounting,            Strategy::kSupplementaryCounting,
+    Strategy::kCountingSemijoin,    Strategy::kSupCountingSemijoin,
+    Strategy::kTopDown,
+};
+
+/// Theorems 3.1/4.1/5.1/6.1/7.1 + Section 8, empirically: every strategy
+/// returns the same answers on every workload.
+class StrategyEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+Workload MakeWorkload(int kind, int seed) {
+  switch (kind) {
+    case 0: return MakeAncestorChain(12 + seed);
+    case 1: return MakeAncestorTree(3, 2 + seed % 2);
+    case 2: return MakeAncestorRandom(25, 50, static_cast<uint32_t>(seed));
+    case 3: return MakeSameGenNonlinear(3 + seed % 3, 3);
+    default: return MakeSameGenNested(3 + seed % 2, 3);
+  }
+}
+
+TEST_P(StrategyEquivalenceTest, AllStrategiesAgree) {
+  auto [kind, seed] = GetParam();
+  Workload w = MakeWorkload(kind, seed);
+  QueryAnswer reference = RunStrategy(w, Strategy::kSemiNaiveBottomUp);
+  ASSERT_TRUE(reference.status.ok())
+      << w.name << ": " << reference.status.ToString();
+  std::set<std::string> expected = AnswerSet(w, reference);
+  for (Strategy strategy : kDatalogStrategies) {
+    QueryAnswer answer = RunStrategy(w, strategy);
+    ASSERT_TRUE(answer.status.ok())
+        << w.name << " under " << StrategyName(strategy) << ": "
+        << answer.status.ToString();
+    EXPECT_EQ(AnswerSet(w, answer), expected)
+        << w.name << " under " << StrategyName(strategy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, StrategyEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "kind" + std::to_string(std::get<0>(info.param)) + "seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+/// The sip strategies also all yield the same answers (different sips are
+/// different evaluation plans for the same query).
+class SipEquivalenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SipEquivalenceTest, MagicUnderEverySipAgreesWithSemiNaive) {
+  Workload w = MakeSameGenNonlinear(4, 3);
+  QueryAnswer reference = RunStrategy(w, Strategy::kSemiNaiveBottomUp);
+  ASSERT_TRUE(reference.status.ok());
+  QueryAnswer answer = RunStrategy(w, Strategy::kMagic, GetParam());
+  ASSERT_TRUE(answer.status.ok()) << answer.status.ToString();
+  EXPECT_EQ(AnswerSet(w, answer), AnswerSet(w, reference)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sips, SipEquivalenceTest,
+                         ::testing::Values("full", "chain", "head-only",
+                                           "empty", "greedy"));
+
+TEST(EquivalenceTest, ListReverseAcrossApplicableStrategies) {
+  // Function symbols: naive/semi-naive are unsafe here (by design); the
+  // rewriting strategies and top-down must agree.
+  for (int n : {0, 1, 4, 7}) {
+    Workload w = MakeListReverse(n);
+    QueryAnswer reference = RunStrategy(w, Strategy::kMagic);
+    ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+    ASSERT_EQ(reference.tuples.size(), 1u);
+    // reverse of [c0..c_{n-1}] is [c_{n-1}..c0].
+    std::string expect = "[";
+    for (int i = n - 1; i >= 0; --i) {
+      if (i < n - 1) expect += ",";
+      expect += "c" + std::to_string(i);
+    }
+    expect += "]";
+    EXPECT_EQ(w.universe->TermToString(reference.tuples[0][0]), expect);
+    for (Strategy strategy :
+         {Strategy::kSupplementaryMagic, Strategy::kCounting,
+          Strategy::kSupplementaryCounting, Strategy::kCountingSemijoin,
+          Strategy::kSupCountingSemijoin, Strategy::kTopDown}) {
+      QueryAnswer answer = RunStrategy(w, strategy);
+      ASSERT_TRUE(answer.status.ok())
+          << StrategyName(strategy) << ": " << answer.status.ToString();
+      EXPECT_EQ(AnswerSet(w, answer), AnswerSet(w, reference))
+          << StrategyName(strategy);
+    }
+  }
+}
+
+TEST(EquivalenceTest, GuardModesAgreeAcrossWorkloads) {
+  for (int kind = 0; kind < 4; ++kind) {
+    Workload w = MakeWorkload(kind, 1);
+    std::set<std::string> expected;
+    bool first = true;
+    for (GuardMode mode :
+         {GuardMode::kFull, GuardMode::kProp42, GuardMode::kPhOnly}) {
+      EngineOptions options;
+      options.strategy = Strategy::kMagic;
+      options.guard_mode = mode;
+      QueryAnswer answer = QueryEngine(options).Run(w.program, w.query, w.db);
+      ASSERT_TRUE(answer.status.ok()) << answer.status.ToString();
+      if (first) {
+        expected = AnswerSet(w, answer);
+        first = false;
+      } else {
+        EXPECT_EQ(AnswerSet(w, answer), expected) << w.name;
+      }
+    }
+  }
+}
+
+TEST(EquivalenceTest, EmptyAnswerSetsAgree) {
+  // Query a node with no descendants: all strategies return empty.
+  auto w = MakeAncestorChain(5);
+  Universe& u = *w.universe;
+  w.query.goal.args[0] = u.Constant("c4");  // the chain's last node
+  for (Strategy strategy : kDatalogStrategies) {
+    QueryAnswer answer = RunStrategy(w, strategy);
+    ASSERT_TRUE(answer.status.ok()) << StrategyName(strategy);
+    EXPECT_TRUE(answer.tuples.empty()) << StrategyName(strategy);
+  }
+}
+
+TEST(EquivalenceTest, FullyBoundQueriesBehaveAsMembershipTests) {
+  Workload w = MakeAncestorChain(6);
+  Universe& u = *w.universe;
+  // anc(c0, c3)? — true; answers project onto zero free positions, so one
+  // empty tuple signals "yes".
+  w.query.goal.args[1] = u.Constant("c3");
+  for (Strategy strategy : kDatalogStrategies) {
+    QueryAnswer answer = RunStrategy(w, strategy);
+    ASSERT_TRUE(answer.status.ok()) << StrategyName(strategy);
+    EXPECT_EQ(answer.tuples.size(), 1u) << StrategyName(strategy);
+    EXPECT_TRUE(answer.tuples[0].empty());
+  }
+  // anc(c3, c1)? — false.
+  w.query.goal.args[0] = u.Constant("c3");
+  w.query.goal.args[1] = u.Constant("c1");
+  for (Strategy strategy : kDatalogStrategies) {
+    QueryAnswer answer = RunStrategy(w, strategy);
+    ASSERT_TRUE(answer.status.ok()) << StrategyName(strategy);
+    EXPECT_TRUE(answer.tuples.empty()) << StrategyName(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace magic

@@ -1,0 +1,123 @@
+#include "storage/fact_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ast/parser.h"
+#include "eval/evaluator.h"
+
+namespace magic {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FactIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("magic_fact_io_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(dir_ / name);
+    out << content;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(FactIoTest, LoadsTsvFactsIntoBaseRelations) {
+  WriteFile("par.facts", "a\tb\nb\tc\n");
+  auto parsed = ParseUnit(
+      "anc(X,Y) :- par(X,Y). anc(X,Y) :- par(X,Z), anc(Z,Y). ?- anc(a,Y).");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  ASSERT_TRUE(
+      LoadFactsDirectory(parsed->program, dir_.string(), &db).ok());
+  Universe& u = *parsed->program.universe();
+  PredId par = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  EXPECT_EQ(db.FactCount(par), 2u);
+  // And they evaluate.
+  EvalResult result = Evaluator().Run(parsed->program, db);
+  ASSERT_TRUE(result.status.ok());
+  PredId anc = *u.predicates().Find(*u.symbols().Find("anc"), 2);
+  EXPECT_EQ(result.FactCount(anc), 3u);
+}
+
+TEST_F(FactIoTest, IntegerFieldsBecomeIntegers) {
+  WriteFile("edge.facts", "1\t2\n2\t-3\n");
+  auto parsed = ParseUnit("t(X,Y) :- edge(X,Y). ?- t(1,Y).");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  ASSERT_TRUE(LoadFactsDirectory(parsed->program, dir_.string(), &db).ok());
+  Universe& u = *parsed->program.universe();
+  PredId edge = *u.predicates().Find(*u.symbols().Find("edge"), 2);
+  const Relation* rel = db.Find(edge);
+  ASSERT_NE(rel, nullptr);
+  EXPECT_TRUE(rel->Contains(std::vector<TermId>{u.Integer(1), u.Integer(2)}));
+  EXPECT_TRUE(
+      rel->Contains(std::vector<TermId>{u.Integer(2), u.Integer(-3)}));
+}
+
+TEST_F(FactIoTest, ArityMismatchIsAnError) {
+  WriteFile("par.facts", "a\tb\tc\n");
+  auto parsed = ParseUnit("anc(X,Y) :- par(X,Y). ?- anc(a,Y).");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  Status st = LoadFactsDirectory(parsed->program, dir_.string(), &db);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("expected 2 fields"), std::string::npos);
+}
+
+TEST_F(FactIoTest, UnknownPredicateIsAnError) {
+  WriteFile("mystery.facts", "a\n");
+  auto parsed = ParseUnit("anc(X,Y) :- par(X,Y). ?- anc(a,Y).");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  EXPECT_FALSE(LoadFactsDirectory(parsed->program, dir_.string(), &db).ok());
+}
+
+TEST_F(FactIoTest, DerivedPredicateFilesAreRejected) {
+  WriteFile("anc.facts", "a\tb\n");
+  auto parsed = ParseUnit("anc(X,Y) :- par(X,Y). ?- anc(a,Y).");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  Status st = LoadFactsDirectory(parsed->program, dir_.string(), &db);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("derived"), std::string::npos);
+}
+
+TEST_F(FactIoTest, WriteRoundTrips) {
+  auto parsed = ParseUnit("t(X,Y) :- e(X,Y). e(a,b). e(b,c). ?- t(a,Y).");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  for (const Fact& fact : parsed->facts) ASSERT_TRUE(db.AddFact(fact).ok());
+  Universe& u = *parsed->program.universe();
+  PredId e = *u.predicates().Find(*u.symbols().Find("e"), 2);
+  std::string path = (dir_ / "e.facts").string();
+  ASSERT_TRUE(WriteFactsFile(u, *db.Find(e), path).ok());
+
+  Database reloaded(parsed->program.universe());
+  ASSERT_TRUE(LoadFactsFile(e, path, &reloaded).ok());
+  EXPECT_EQ(reloaded.FactCount(e), 2u);
+  EXPECT_TRUE(reloaded.Find(e)->Contains(
+      std::vector<TermId>{u.Constant("a"), u.Constant("b")}));
+}
+
+TEST_F(FactIoTest, MissingDirectoryIsNotFound) {
+  auto parsed = ParseUnit("t(X) :- e(X). ?- t(a).");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  Status st =
+      LoadFactsDirectory(parsed->program, "/no/such/dir/su3jd", &db);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace magic

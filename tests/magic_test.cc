@@ -1,0 +1,252 @@
+#include "core/magic_sets.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "core/adorn.h"
+#include "eval/evaluator.h"
+
+namespace magic {
+namespace {
+
+AdornedProgram AdornText(const std::string& text,
+                         const std::string& sip = "full") {
+  auto parsed = ParseUnit(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::unique_ptr<SipStrategy> strategy = MakeSipStrategy(sip);
+  auto adorned = Adorn(parsed->program, *parsed->query, *strategy);
+  EXPECT_TRUE(adorned.ok()) << adorned.status().ToString();
+  return std::move(*adorned);
+}
+
+std::string Canon(const std::string& text) {
+  auto parsed = ParseUnit(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return CanonicalProgramString(parsed->program);
+}
+
+TEST(MagicSetsTest, AncestorAppendixA31) {
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(john, Y).
+  )");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  // Appendix A.3.1 (seed excluded: it is data, not a rule).
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    magic_anc_bf(Z) :- magic_anc_bf(X), par(X,Z).
+    anc_bf(X,Y) :- magic_anc_bf(X), par(X,Y).
+    anc_bf(X,Y) :- magic_anc_bf(X), par(X,Z), anc_bf(Z,Y).
+  )"));
+  // Seed: magic_anc_bf(john).
+  Universe& u = *adorned.program.universe();
+  ASSERT_TRUE(rewritten->seed.has_value());
+  EXPECT_EQ(u.symbols().Name(
+                u.predicates().info(rewritten->seed->pred).name),
+            "magic_anc_bf");
+  std::vector<Fact> seeds = MakeSeeds(*rewritten, adorned.query,
+                                      *adorned.program.universe());
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0].args, std::vector<TermId>{u.Constant("john")});
+}
+
+TEST(MagicSetsTest, NonlinearAncestorAppendixA32) {
+  AdornedProgram adorned = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- a(X,Z), a(Z,Y).
+    ?- a(john, Y).
+  )");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok());
+  // Appendix A.3.2, including the "can be deleted" self-rule
+  // magic_a_bf(X) :- magic_a_bf(X).
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    magic_a_bf(X) :- magic_a_bf(X).
+    magic_a_bf(Z) :- magic_a_bf(X), a_bf(X,Z).
+    a_bf(X,Y) :- magic_a_bf(X), p(X,Y).
+    a_bf(X,Y) :- magic_a_bf(X), a_bf(X,Z), a_bf(Z,Y).
+  )"));
+}
+
+TEST(MagicSetsTest, NestedSameGenerationAppendixA33) {
+  AdornedProgram adorned = AdornText(R"(
+    p(X,Y) :- b1(X,Y).
+    p(X,Y) :- sg(X,Z1), p(Z1,Z2), b2(Z2,Y).
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y).
+    ?- p(john, Y).
+  )");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    magic_p_bf(Z1) :- magic_p_bf(X), sg_bf(X,Z1).
+    magic_sg_bf(X) :- magic_p_bf(X).
+    magic_sg_bf(Z1) :- magic_sg_bf(X), up(X,Z1).
+    p_bf(X,Y) :- magic_p_bf(X), b1(X,Y).
+    p_bf(X,Y) :- magic_p_bf(X), sg_bf(X,Z1), p_bf(Z1,Z2), b2(Z2,Y).
+    sg_bf(X,Y) :- magic_sg_bf(X), flat(X,Y).
+    sg_bf(X,Y) :- magic_sg_bf(X), up(X,Z1), sg_bf(Z1,Z2), down(Z2,Y).
+  )"));
+}
+
+TEST(MagicSetsTest, ListReverseAppendixA34) {
+  AdornedProgram adorned = AdornText(R"(
+    append(V, [], [V]).
+    append(V, [W|X], [W|Y]) :- append(V, X, Y).
+    reverse([], []).
+    reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+    ?- reverse([a,b], Y).
+  )");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    magic_append_bbf(V, X) :- magic_append_bbf(V, [W|X]).
+    magic_append_bbf(V, Z) :- magic_reverse_bf([V|X]), reverse_bf(X, Z).
+    magic_reverse_bf(X) :- magic_reverse_bf([V|X]).
+    append_bbf(V, [], [V]) :- magic_append_bbf(V, []).
+    append_bbf(V, [W|X], [W|Y]) :- magic_append_bbf(V, [W|X]), append_bbf(V, X, Y).
+    reverse_bf([], []) :- magic_reverse_bf([]).
+    reverse_bf([V|X], Y) :- magic_reverse_bf([V|X]), reverse_bf(X, Z), append_bbf(V, Z, Y).
+  )"));
+}
+
+TEST(MagicSetsTest, NonlinearSameGenerationExample4FullSip) {
+  AdornedProgram adorned = AdornText(R"(
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y).
+    ?- sg(john, Y).
+  )");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok());
+  // Example 4, first program (full sip (IV)).
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    magic_sg_bf(Z1) :- magic_sg_bf(X), up(X,Z1).
+    magic_sg_bf(Z3) :- magic_sg_bf(X), up(X,Z1), sg_bf(Z1,Z2), flat(Z2,Z3).
+    sg_bf(X,Y) :- magic_sg_bf(X), flat(X,Y).
+    sg_bf(X,Y) :- magic_sg_bf(X), up(X,Z1), sg_bf(Z1,Z2), flat(Z2,Z3), sg_bf(Z3,Z4), down(Z4,Y).
+  )"));
+}
+
+TEST(MagicSetsTest, NonlinearSameGenerationExample4PartialSip) {
+  AdornedProgram adorned = AdornText(R"(
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y).
+    ?- sg(john, Y).
+  )",
+                                     "chain");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok());
+  // Example 4, second program (partial sip (V)).
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    magic_sg_bf(Z1) :- magic_sg_bf(X), up(X,Z1).
+    magic_sg_bf(Z3) :- magic_sg_bf(Z1), sg_bf(Z1,Z2), flat(Z2,Z3).
+    sg_bf(X,Y) :- magic_sg_bf(X), flat(X,Y).
+    sg_bf(X,Y) :- magic_sg_bf(X), up(X,Z1), sg_bf(Z1,Z2), flat(Z2,Z3), sg_bf(Z3,Z4), down(Z4,Y).
+  )"));
+}
+
+TEST(MagicSetsTest, GuardModesProduceEquivalentAnswers) {
+  const std::string text = R"(
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), flat(Z2,Z3), sg(Z3,Z4), down(Z4,Y).
+    up(a,b). up(c,b). flat(b,d). flat(a,c). flat(c,e). down(d,e). down(d,c).
+    ?- sg(a, Y).
+  )";
+  auto parsed = ParseUnit(text);
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  for (const Fact& fact : parsed->facts) ASSERT_TRUE(db.AddFact(fact).ok());
+  FullSipStrategy strategy;
+  auto adorned = Adorn(parsed->program, *parsed->query, strategy);
+  ASSERT_TRUE(adorned.ok());
+
+  std::vector<size_t> answer_counts;
+  for (GuardMode mode :
+       {GuardMode::kFull, GuardMode::kProp42, GuardMode::kPhOnly}) {
+    MagicOptions options;
+    options.guard_mode = mode;
+    auto rewritten = MagicSetsRewrite(*adorned, options);
+    ASSERT_TRUE(rewritten.ok());
+    std::vector<Fact> seeds = MakeSeeds(*rewritten, adorned->query,
+                                        *parsed->program.universe());
+    EvalResult result = Evaluator().Run(rewritten->program, db, seeds);
+    ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+    answer_counts.push_back(result.FactCount(rewritten->answer_pred));
+  }
+  EXPECT_EQ(answer_counts[0], answer_counts[1]);
+  EXPECT_EQ(answer_counts[1], answer_counts[2]);
+}
+
+TEST(MagicSetsTest, MagicEvaluationRestrictsComputation) {
+  // Two disconnected chains; magic only explores the queried one.
+  auto parsed = ParseUnit(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    par(a,b). par(b,c).
+    par(x,y). par(y,z). par(z,w).
+    ?- anc(a, Y).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  Database db(parsed->program.universe());
+  for (const Fact& fact : parsed->facts) ASSERT_TRUE(db.AddFact(fact).ok());
+
+  // Plain bottom-up computes the closure of both chains: 3 + 6 facts.
+  EvalResult plain = Evaluator().Run(parsed->program, db);
+  ASSERT_TRUE(plain.status.ok());
+  EXPECT_EQ(plain.TotalFacts(), 9u);
+
+  FullSipStrategy strategy;
+  auto adorned = Adorn(parsed->program, *parsed->query, strategy);
+  ASSERT_TRUE(adorned.ok());
+  auto rewritten = MagicSetsRewrite(*adorned);
+  ASSERT_TRUE(rewritten.ok());
+  std::vector<Fact> seeds =
+      MakeSeeds(*rewritten, adorned->query, *parsed->program.universe());
+  EvalResult result = Evaluator().Run(rewritten->program, db, seeds);
+  ASSERT_TRUE(result.status.ok());
+  // anc_bf: (a,b),(a,c),(b,c); magic: a,b,c.
+  EXPECT_EQ(result.FactCount(rewritten->answer_pred), 3u);
+  EXPECT_EQ(result.TotalFacts(), 6u);
+}
+
+TEST(MagicSetsTest, AllFreeQueryUnderEmptySipDegeneratesToOriginal) {
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(X, Y).
+  )",
+                                     "empty");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_FALSE(rewritten->seed.has_value());
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    anc_ff(X,Y) :- par(X,Y).
+    anc_ff(X,Y) :- par(X,Z), anc_ff(Z,Y).
+  )"));
+}
+
+TEST(MagicSetsTest, AllFreeQueryUnderFullSipPassesBodyBindings) {
+  // The bf version created by body-to-body passing is guarded by a magic
+  // predicate fed from the base literal (no p_h in the arc tail).
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(X, Y).
+  )");
+  auto rewritten = MagicSetsRewrite(adorned);
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_FALSE(rewritten->seed.has_value());
+  EXPECT_EQ(CanonicalProgramString(rewritten->program), Canon(R"(
+    magic_anc_bf(Z) :- par(X,Z).
+    magic_anc_bf(Z) :- magic_anc_bf(X), par(X,Z).
+    anc_ff(X,Y) :- par(X,Y).
+    anc_ff(X,Y) :- par(X,Z), magic_anc_bf(Z), anc_bf(Z,Y).
+    anc_bf(X,Y) :- magic_anc_bf(X), par(X,Y).
+    anc_bf(X,Y) :- magic_anc_bf(X), par(X,Z), anc_bf(Z,Y).
+  )"));
+}
+
+}  // namespace
+}  // namespace magic

@@ -1,0 +1,167 @@
+#include "ast/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/printer.h"
+#include "ast/validation.h"
+
+namespace magic {
+namespace {
+
+TEST(ParserTest, ParsesRulesFactsAndQuery) {
+  auto parsed = ParseUnit(R"(
+    % the introduction's example
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    par(john, mary).
+    par(mary, sue).
+    ?- anc(john, Y).
+  )");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->program.rules().size(), 2u);
+  EXPECT_EQ(parsed->facts.size(), 2u);
+  ASSERT_TRUE(parsed->query.has_value());
+  const Universe& u = *parsed->program.universe();
+  EXPECT_EQ(LiteralToString(u, parsed->query->goal), "anc(john,Y)");
+}
+
+TEST(ParserTest, DerivedVsBaseClassification) {
+  auto parsed = ParseUnit("t(X,Y) :- e(X,Y). e(a,b).");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  PredId t = *u.predicates().Find(*u.symbols().Find("t"), 2);
+  PredId e = *u.predicates().Find(*u.symbols().Find("e"), 2);
+  EXPECT_EQ(u.predicates().info(t).kind, PredKind::kDerived);
+  EXPECT_EQ(u.predicates().info(e).kind, PredKind::kBase);
+  EXPECT_TRUE(parsed->program.IsHeadPredicate(t));
+  EXPECT_FALSE(parsed->program.IsHeadPredicate(e));
+}
+
+TEST(ParserTest, NonGroundUnitClauseIsARule) {
+  // The appendix list-reverse program contains append(V,[],[V]).
+  auto parsed = ParseUnit("append(V, [], [V]).");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->facts.size(), 0u);
+  ASSERT_EQ(parsed->program.rules().size(), 1u);
+  EXPECT_TRUE(parsed->program.rules()[0].body.empty());
+}
+
+TEST(ParserTest, GroundUnitClauseOfDerivedPredIsARule) {
+  auto parsed = ParseUnit("p(a). p(X) :- q(X).");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->facts.size(), 0u);
+  EXPECT_EQ(parsed->program.rules().size(), 2u);
+}
+
+TEST(ParserTest, ListSugar) {
+  auto parsed = ParseUnit("?- reverse([a,b,c], Y).");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  EXPECT_EQ(u.TermToString(parsed->query->goal.args[0]), "[a,b,c]");
+
+  auto tail = ParseUnit("?- reverse([a|T], Y).");
+  ASSERT_TRUE(tail.ok());
+  EXPECT_EQ(tail->program.universe()->TermToString(tail->query->goal.args[0]),
+            "[a|T]");
+}
+
+TEST(ParserTest, CompoundTermsAndIntegers) {
+  auto parsed = ParseUnit("p(f(X, g(a)), -5, 12).");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->program.rules().size(), 1u);  // non-ground unit clause
+  const Universe& u = *parsed->program.universe();
+  const Literal& head = parsed->program.rules()[0].head;
+  EXPECT_EQ(u.TermToString(head.args[0]), "f(X,g(a))");
+  EXPECT_EQ(u.TermToString(head.args[1]), "-5");
+  EXPECT_EQ(u.TermToString(head.args[2]), "12");
+}
+
+TEST(ParserTest, AnonymousVariablesAreFreshPerOccurrence) {
+  auto parsed = ParseUnit("p(X) :- q(X, _), r(X, _).");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  const Rule& rule = parsed->program.rules()[0];
+  TermId a1 = rule.body[0].args[1];
+  TermId a2 = rule.body[1].args[1];
+  EXPECT_NE(a1, a2);
+  EXPECT_EQ(u.terms().Get(a1).kind, TermKind::kVariable);
+}
+
+TEST(ParserTest, ZeroAryPredicates) {
+  auto parsed = ParseUnit("go :- step. step.");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->program.rules().size(), 1u);
+  EXPECT_EQ(parsed->facts.size(), 1u);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto parsed = ParseUnit("p(a).\nq(b,,c).");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMultipleQueries) {
+  auto parsed = ParseUnit("?- p(a). ?- q(b).");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  auto parsed = ParseUnit(R"(
+    % full-line comment
+    p(a).  # trailing comment
+  )");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->facts.size(), 1u);
+}
+
+TEST(ValidationTest, WellFormednessWarning) {
+  auto parsed = ParseUnit("p(X, Y) :- q(X).");
+  ASSERT_TRUE(parsed.ok());
+  std::vector<std::string> warnings = ValidateProgram(parsed->program);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("(WF)"), std::string::npos);
+}
+
+TEST(ValidationTest, ConnectivityWarning) {
+  auto parsed = ParseUnit("p(X) :- q(X), r(Y).");
+  ASSERT_TRUE(parsed.ok());
+  std::vector<std::string> warnings = ValidateProgram(parsed->program);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("(C)"), std::string::npos);
+}
+
+TEST(ValidationTest, AppendixProgramsAreAccepted) {
+  auto parsed = ParseUnit(R"(
+    append(V, [], [V]).
+    append(V, [W|X], [W|Y]) :- append(V, X, Y).
+    reverse([], []).
+    reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  // append(V,[],[V]) and append(V,[W|X],[W|Y]) :- append(V,X,Y) both
+  // violate (WF), exactly as printed in the paper's appendix (W and V occur
+  // only in the head); they are warnings, not errors, because the magic
+  // rewriting restores range restriction via the guard literal.
+  std::vector<std::string> warnings = ValidateProgram(parsed->program);
+  EXPECT_EQ(warnings.size(), 2u);
+}
+
+TEST(PrinterTest, RoundTripsRules) {
+  auto parsed = ParseUnit("anc(X,Y) :- par(X,Z), anc(Z,Y).");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  EXPECT_EQ(RuleToString(u, parsed->program.rules()[0]),
+            "anc(X,Y) :- par(X,Z), anc(Z,Y).");
+}
+
+TEST(PrinterTest, CanonicalFormIgnoresVariableNames) {
+  auto a = ParseUnit("anc(X,Y) :- par(X,Z), anc(Z,Y).");
+  auto b = ParseUnit("anc(A,B) :- par(A,C), anc(C,B).");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CanonicalProgramString(a->program),
+            CanonicalProgramString(b->program));
+}
+
+}  // namespace
+}  // namespace magic

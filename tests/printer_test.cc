@@ -1,0 +1,146 @@
+// Printer and determinism coverage: canonical forms, sip rendering, and
+// reproducibility of the whole rewrite pipeline (same input -> identical
+// canonical programs across runs), which the gold tests depend on.
+
+#include "ast/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/parser.h"
+#include "core/magic_sets.h"
+#include "core/sup_counting.h"
+#include "core/semijoin.h"
+#include "core/supplementary.h"
+
+namespace magic {
+namespace {
+
+TEST(PrinterDetailTest, ZeroAryLiterals) {
+  auto parsed = ParseUnit("go :- gate. gate.");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  EXPECT_EQ(RuleToString(u, parsed->program.rules()[0]), "go :- gate.");
+  EXPECT_EQ(FactToString(u, parsed->facts[0]), "gate.");
+}
+
+TEST(PrinterDetailTest, FactsWithListsRoundTrip) {
+  auto parsed = ParseUnit("holds([a,b|T]) :- x(T).");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  EXPECT_EQ(RuleToString(u, parsed->program.rules()[0]),
+            "holds([a,b|T]) :- x(T).");
+}
+
+TEST(PrinterDetailTest, AffineTermsPrintAsThePaperWritesThem) {
+  auto parsed = ParseUnit("c(I+1, K*2+2, H*5+4, J*3) :- c(I, K, H, J).");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  EXPECT_EQ(RuleToString(u, parsed->program.rules()[0]),
+            "c(I+1,K*2+2,H*5+4,J*3) :- c(I,K,H,J).");
+}
+
+TEST(PrinterDetailTest, CanonicalRenamingIsPositional) {
+  auto a = ParseUnit("p(Q,W) :- e(Q,R), f(R,W).");
+  auto b = ParseUnit("p(A,B) :- e(A,C), f(C,B).");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CanonicalRuleStrings(a->program),
+            CanonicalRuleStrings(b->program));
+  EXPECT_EQ(CanonicalRuleStrings(a->program)[0],
+            "p(V1,V2) :- e(V1,V3), f(V3,V2).");
+}
+
+TEST(PrinterDetailTest, CanonicalProgramIgnoresRuleOrder) {
+  auto a = ParseUnit("p(X) :- e(X). q(X) :- f(X).");
+  auto b = ParseUnit("q(X) :- f(X). p(X) :- e(X).");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(CanonicalProgramString(a->program),
+            CanonicalProgramString(b->program));
+}
+
+TEST(PrinterDetailTest, SipRendering) {
+  auto parsed = ParseUnit(R"(
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  const Universe& u = *parsed->program.universe();
+  const Rule& rule = parsed->program.rules()[0];
+  SipGraph sip;
+  sip.arcs.push_back(
+      SipArc{{kSipHead, 0}, {*u.symbols().Find("Z1")}, 1});
+  std::string text = SipToString(u, rule, sip);
+  EXPECT_EQ(text, "{sg_h, up.0} ->[Z1] sg.1\n");
+}
+
+TEST(DeterminismTest, RewritePipelineIsReproducible) {
+  const char* text = R"(
+    p(X,Y) :- b1(X,Y).
+    p(X,Y) :- sg(X,Z1), p(Z1,Z2), b2(Z2,Y).
+    sg(X,Y) :- flat(X,Y).
+    sg(X,Y) :- up(X,Z1), sg(Z1,Z2), down(Z2,Y).
+    ?- p(john, Y).
+  )";
+  auto run_all = [&]() {
+    auto parsed = ParseUnit(text);
+    EXPECT_TRUE(parsed.ok());
+    FullSipStrategy sip;
+    auto adorned = Adorn(parsed->program, *parsed->query, sip);
+    EXPECT_TRUE(adorned.ok());
+    std::vector<std::string> out;
+    out.push_back(CanonicalProgramString(adorned->program));
+    out.push_back(
+        CanonicalProgramString(MagicSetsRewrite(*adorned)->program));
+    out.push_back(CanonicalProgramString(
+        SupplementaryMagicRewrite(*adorned)->program));
+    auto gsc = SupplementaryCountingRewrite(*adorned);
+    EXPECT_TRUE(gsc.ok());
+    out.push_back(CanonicalProgramString(gsc->rewritten.program));
+    auto optimized = ApplySemijoinOptimization(*gsc);
+    EXPECT_TRUE(optimized.ok());
+    out.push_back(CanonicalProgramString(optimized->rewritten.program));
+    return out;
+  };
+  std::vector<std::string> first = run_all();
+  std::vector<std::string> second = run_all();
+  EXPECT_EQ(first, second);
+}
+
+TEST(DeterminismTest, AdornmentOrderIsStable) {
+  // Two runs must list the same adorned predicates in the same order
+  // (worklist order from the query).
+  const char* text = R"(
+    p(X,Y) :- q(X,Y).
+    p(X,Y) :- q(X,Z), r(Z,Y).
+    q(X,Y) :- e(X,Y).
+    r(X,Y) :- e(Y,X).
+    ?- p(a, Y).
+  )";
+  auto names = [&]() {
+    auto parsed = ParseUnit(text);
+    EXPECT_TRUE(parsed.ok());
+    FullSipStrategy sip;
+    auto adorned = Adorn(parsed->program, *parsed->query, sip);
+    EXPECT_TRUE(adorned.ok());
+    const Universe& u = *parsed->program.universe();
+    std::vector<std::string> out;
+    for (const Rule& rule : adorned->program.rules()) {
+      out.push_back(
+          u.symbols().Name(u.predicates().info(rule.head.pred).name));
+    }
+    return out;
+  };
+  EXPECT_EQ(names(), names());
+}
+
+TEST(PrinterDetailTest, ProgramToStringPreservesRuleOrder) {
+  auto parsed = ParseUnit("b(X) :- e(X). a(X) :- b(X).");
+  ASSERT_TRUE(parsed.ok());
+  std::string text = ProgramToString(parsed->program);
+  size_t b_pos = text.find("b(X)");
+  size_t a_pos = text.find("a(X)");
+  EXPECT_LT(b_pos, a_pos);
+}
+
+}  // namespace
+}  // namespace magic

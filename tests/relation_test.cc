@@ -1,0 +1,114 @@
+#include "storage/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+
+namespace magic {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  std::vector<TermId> t1 = {1, 2};
+  std::vector<TermId> t2 = {1, 3};
+  EXPECT_TRUE(rel.Insert(t1));
+  EXPECT_FALSE(rel.Insert(t1));
+  EXPECT_TRUE(rel.Insert(t2));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_TRUE(rel.Contains(t1));
+  EXPECT_FALSE(rel.Contains(std::vector<TermId>{2, 1}));
+}
+
+TEST(RelationTest, RowAccess) {
+  Relation rel(3);
+  rel.Insert(std::vector<TermId>{7, 8, 9});
+  auto row = rel.Row(0);
+  EXPECT_EQ(row[0], 7u);
+  EXPECT_EQ(row[2], 9u);
+}
+
+TEST(RelationTest, ProbeByMask) {
+  Relation rel(2);
+  rel.Insert(std::vector<TermId>{1, 10});
+  rel.Insert(std::vector<TermId>{1, 11});
+  rel.Insert(std::vector<TermId>{2, 12});
+  std::vector<uint32_t> rows;
+  std::vector<TermId> key = {1};
+  rel.Probe(0b01, key, 0, rel.size(), &rows);
+  EXPECT_EQ(rows.size(), 2u);
+  rows.clear();
+  key = {12};
+  rel.Probe(0b10, key, 0, rel.size(), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 2u);
+}
+
+TEST(RelationTest, ProbeRespectsRowRanges) {
+  Relation rel(2);
+  rel.Insert(std::vector<TermId>{1, 10});
+  rel.Insert(std::vector<TermId>{1, 11});
+  rel.Insert(std::vector<TermId>{1, 12});
+  std::vector<uint32_t> rows;
+  std::vector<TermId> key = {1};
+  rel.Probe(0b01, key, 1, 2, &rows);  // semi-naive delta window
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], 1u);
+}
+
+TEST(RelationTest, IndexExtendsAfterInserts) {
+  Relation rel(2);
+  rel.Insert(std::vector<TermId>{1, 10});
+  std::vector<uint32_t> rows;
+  std::vector<TermId> key = {1};
+  rel.Probe(0b01, key, 0, rel.size(), &rows);  // builds the index
+  EXPECT_EQ(rows.size(), 1u);
+  rel.Insert(std::vector<TermId>{1, 11});
+  rows.clear();
+  rel.Probe(0b01, key, 0, rel.size(), &rows);  // must see the new row
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(RelationTest, FullScanWithZeroMask) {
+  Relation rel(1);
+  rel.Insert(std::vector<TermId>{5});
+  rel.Insert(std::vector<TermId>{6});
+  std::vector<uint32_t> rows;
+  rel.Probe(Relation::kNoMask, {}, 0, rel.size(), &rows);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(RelationTest, ZeroAryRelation) {
+  Relation rel(0);
+  EXPECT_EQ(rel.size(), 0u);
+  EXPECT_TRUE(rel.Insert(std::vector<TermId>{}));
+  EXPECT_FALSE(rel.Insert(std::vector<TermId>{}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains(std::vector<TermId>{}));
+}
+
+TEST(DatabaseTest, AddFactValidates) {
+  auto universe = std::make_shared<Universe>();
+  Universe& u = *universe;
+  PredId par = u.predicates().Declare(u.Sym("par"), 2, PredKind::kBase);
+  Database db(universe);
+  EXPECT_TRUE(db.AddFact(par, {u.Constant("a"), u.Constant("b")}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(db.AddFact(par, {u.Constant("a")}).ok());
+  // Non-ground.
+  EXPECT_FALSE(db.AddFact(par, {u.Constant("a"), u.Variable("X")}).ok());
+  EXPECT_EQ(db.FactCount(par), 1u);
+  EXPECT_EQ(db.TotalFacts(), 1u);
+}
+
+TEST(DatabaseTest, DuplicateFactsAreIdempotent) {
+  auto universe = std::make_shared<Universe>();
+  Universe& u = *universe;
+  PredId par = u.predicates().Declare(u.Sym("par"), 2, PredKind::kBase);
+  Database db(universe);
+  ASSERT_TRUE(db.AddFact(par, {u.Constant("a"), u.Constant("b")}).ok());
+  ASSERT_TRUE(db.AddFact(par, {u.Constant("a"), u.Constant("b")}).ok());
+  EXPECT_EQ(db.FactCount(par), 1u);
+}
+
+}  // namespace
+}  // namespace magic

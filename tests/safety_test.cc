@@ -1,0 +1,253 @@
+#include "analysis/safety.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/argument_graph.h"
+#include "analysis/binding_graph.h"
+#include "analysis/dependency_graph.h"
+#include "analysis/length_expr.h"
+#include "ast/parser.h"
+#include "core/counting.h"
+#include "core/magic_sets.h"
+#include "eval/evaluator.h"
+#include "workload/generators.h"
+
+namespace magic {
+namespace {
+
+AdornedProgram AdornText(const std::string& text) {
+  auto parsed = ParseUnit(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  FullSipStrategy strategy;
+  auto adorned = Adorn(parsed->program, *parsed->query, strategy);
+  EXPECT_TRUE(adorned.ok()) << adorned.status().ToString();
+  return std::move(*adorned);
+}
+
+TEST(LengthExprTest, TermLengths) {
+  Universe u;
+  // |c| = 1.
+  LengthExpr c = LengthExpr::OfTerm(u, u.Constant("c"));
+  EXPECT_EQ(c.constant, 1);
+  EXPECT_TRUE(c.coeff.empty());
+  // |[V|X]| = |V| + |X| + 1 (the paper's |X.X| example generalized).
+  LengthExpr cons =
+      LengthExpr::OfTerm(u, u.Cons(u.Variable("V"), u.Variable("X")));
+  EXPECT_EQ(cons.constant, 1);
+  EXPECT_EQ(cons.coeff.at(u.Sym("V")), 1);
+  EXPECT_EQ(cons.coeff.at(u.Sym("X")), 1);
+  EXPECT_EQ(*cons.LowerBound(), 3);  // |V|,|X| >= 1
+  // |X.X| >= 3: coefficient 2 on X.
+  LengthExpr xx = LengthExpr::OfTerm(u, u.Cons(u.Variable("X"),
+                                               u.Variable("X")));
+  EXPECT_EQ(xx.coeff.at(u.Sym("X")), 2);
+  EXPECT_EQ(*xx.LowerBound(), 3);
+}
+
+TEST(LengthExprTest, DifferenceAndUnboundedBelow) {
+  Universe u;
+  LengthExpr cons =
+      LengthExpr::OfTerm(u, u.Cons(u.Variable("V"), u.Variable("X")));
+  LengthExpr x = LengthExpr::OfTerm(u, u.Variable("X"));
+  LengthExpr diff = cons;
+  diff -= x;  // |V| + 1
+  EXPECT_EQ(*diff.LowerBound(), 2);
+  LengthExpr neg = x;
+  neg -= cons;  // -|V| - 1: unbounded below
+  EXPECT_FALSE(neg.LowerBound().has_value());
+}
+
+TEST(BindingGraphTest, ReverseHasPositiveArcLengths) {
+  AdornedProgram adorned = AdornText(R"(
+    append(V, [], [V]).
+    append(V, [W|X], [W|Y]) :- append(V, X, Y).
+    reverse([], []).
+    reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+    ?- reverse([a,b], Y).
+  )");
+  BindingGraph graph = BuildBindingGraph(adorned);
+  // Arcs: reverse->reverse (length |V|+1 >= 2), reverse->append, and
+  // append->append (|[W|X]| - |X| = |W|+1 >= 2).
+  ASSERT_GE(graph.arcs.size(), 3u);
+  std::vector<std::string> witness;
+  std::optional<bool> positive =
+      AllCyclesPositive(graph, *adorned.program.universe(), &witness);
+  ASSERT_TRUE(positive.has_value());
+  EXPECT_TRUE(*positive) << (witness.empty() ? "" : witness[0]);
+}
+
+TEST(BindingGraphTest, GrowingTermsGiveNonPositiveCycles) {
+  // grow's bound argument grows along the recursion: the cycle length is
+  // negative and Theorem 10.1's premise fails.
+  AdornedProgram adorned = AdornText(R"(
+    grow(X, Y) :- grow(s(X), Y).
+    grow(X, a) :- base(X).
+    base(a).
+    ?- grow(z, Y).
+  )");
+  BindingGraph graph = BuildBindingGraph(adorned);
+  std::vector<std::string> witness;
+  std::optional<bool> positive =
+      AllCyclesPositive(graph, *adorned.program.universe(), &witness);
+  // Either provably non-positive or unbounded-below on a cycle.
+  EXPECT_TRUE(!positive.has_value() || !*positive);
+}
+
+TEST(SafetyTest, DatalogMagicIsSafe) {
+  AdornedProgram adorned = AdornText(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    ?- anc(john, Y).
+  )");
+  SafetyReport report = CheckMagicSafety(adorned);
+  EXPECT_EQ(report.verdict, SafetyVerdict::kSafeDatalog);
+  EXPECT_TRUE(report.IsSafe());
+}
+
+TEST(SafetyTest, ReverseMagicIsSafeByTheorem101) {
+  AdornedProgram adorned = AdornText(R"(
+    append(V, [], [V]).
+    append(V, [W|X], [W|Y]) :- append(V, X, Y).
+    reverse([], []).
+    reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+    ?- reverse([a,b], Y).
+  )");
+  SafetyReport report = CheckMagicSafety(adorned);
+  EXPECT_EQ(report.verdict, SafetyVerdict::kSafePositiveCycles);
+  EXPECT_TRUE(report.IsSafe());
+}
+
+TEST(SafetyTest, ReverseCountingIsSafeByTheorem101) {
+  // The bound argument of reverse recurs *as a position* but strictly
+  // shrinks as a term, so Theorem 10.3's Datalog argument does not apply;
+  // Theorem 10.1's positive cycles bound the index depth (appendix A.5.4
+  // rewrites reverse with counting and it terminates).
+  AdornedProgram adorned = AdornText(R"(
+    append(V, [], [V]).
+    append(V, [W|X], [W|Y]) :- append(V, X, Y).
+    reverse([], []).
+    reverse([V|X], Y) :- reverse(X, Z), append(V, Z, Y).
+    ?- reverse([a,b], Y).
+  )");
+  SafetyReport report = CheckCountingSafety(adorned);
+  EXPECT_EQ(report.verdict, SafetyVerdict::kSafePositiveCycles);
+}
+
+TEST(SafetyTest, NonlinearAncestorCountingIsStaticallyUnsafe) {
+  // Theorem 10.3: a(X,Y) :- a(X,Z), a(Z,Y) propagates the bound argument X
+  // to a.1's bound argument — a reachable cycle in the argument graph.
+  AdornedProgram adorned = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- a(X,Z), a(Z,Y).
+    ?- a(john, Y).
+  )");
+  SafetyReport report = CheckCountingSafety(adorned);
+  EXPECT_EQ(report.verdict, SafetyVerdict::kUnsafeCountingCycle);
+  EXPECT_FALSE(report.witness.empty());
+}
+
+TEST(SafetyTest, LinearAncestorCountingSafeOnAcyclicData) {
+  AdornedProgram adorned = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- p(X,Z), a(Z,Y).
+    ?- a(john, Y).
+  )");
+  // The bound argument of a.1 is Z (from p), not X: no argument-graph edge,
+  // hence no cycle; the caveat about cyclic data remains.
+  SafetyReport report = CheckCountingSafety(adorned);
+  EXPECT_EQ(report.verdict, SafetyVerdict::kSafeIfDataAcyclic);
+}
+
+TEST(SafetyTest, CountingDivergesOnCyclicDataWhereMagicTerminates) {
+  // Section 10: "the counting strategies may not terminate if the data are
+  // cyclic". Magic sets are safe on the same input (Theorem 10.2).
+  Workload w = MakeAncestorCycle(6);
+  FullSipStrategy strategy;
+  auto adorned = Adorn(w.program, w.query, strategy);
+  ASSERT_TRUE(adorned.ok());
+  Universe& u = *w.universe;
+
+  auto gms = MagicSetsRewrite(*adorned);
+  ASSERT_TRUE(gms.ok());
+  EvalResult magic_result = Evaluator().Run(
+      gms->program, w.db, MakeSeeds(*gms, adorned->query, u));
+  EXPECT_TRUE(magic_result.status.ok());
+  // On a 6-cycle every node becomes a subquery and reaches every node:
+  // 36 anc facts, of which the 6 with first column c0 answer the query.
+  EXPECT_EQ(magic_result.FactCount(gms->answer_pred), 36u);
+
+  auto counting = CountingRewrite(*adorned);
+  ASSERT_TRUE(counting.ok());
+  EvalOptions options;
+  options.max_facts = 5000;
+  EvalResult cnt_result = Evaluator(options).Run(
+      counting->rewritten.program, w.db,
+      MakeSeeds(counting->rewritten, adorned->query, u));
+  EXPECT_EQ(cnt_result.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SafetyTest, MagicSafeWhereNaiveIsUnsafe) {
+  // Corollary 9.2 in action: bottom-up evaluation of the original reverse
+  // program is not range restricted (unsafe), while the magic-rewritten
+  // program evaluates safely.
+  Workload w = MakeListReverse(4);
+  EvalResult naive = Evaluator().Run(w.program, w.db);
+  EXPECT_FALSE(naive.status.ok());
+
+  FullSipStrategy strategy;
+  auto adorned = Adorn(w.program, w.query, strategy);
+  ASSERT_TRUE(adorned.ok());
+  auto gms = MagicSetsRewrite(*adorned);
+  ASSERT_TRUE(gms.ok());
+  EvalResult result = Evaluator().Run(
+      gms->program, w.db, MakeSeeds(*gms, adorned->query, *w.universe));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.FactCount(gms->answer_pred), 5u);  // one per suffix
+}
+
+TEST(DependencyGraphTest, DetectsRecursionAndSccs) {
+  auto parsed = ParseUnit(R"(
+    p(X,Y) :- q(X,Y).
+    q(X,Y) :- p(X,Z), e(Z,Y).
+    r(X) :- p(X,X).
+    ?- r(a).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  DependencyGraph graph(parsed->program);
+  const Universe& u = *parsed->program.universe();
+  PredId p = *u.predicates().Find(*u.symbols().Find("p"), 2);
+  PredId q = *u.predicates().Find(*u.symbols().Find("q"), 2);
+  PredId r = *u.predicates().Find(*u.symbols().Find("r"), 1);
+  PredId e = *u.predicates().Find(*u.symbols().Find("e"), 2);
+  EXPECT_TRUE(graph.IsRecursive(p));
+  EXPECT_TRUE(graph.IsRecursive(q));
+  EXPECT_FALSE(graph.IsRecursive(r));
+  EXPECT_FALSE(graph.IsRecursive(e));
+  EXPECT_TRUE(graph.DependsOn(r, e));
+  EXPECT_FALSE(graph.DependsOn(e, r));
+}
+
+TEST(ArgumentGraphTest, LinearVsNonlinearAncestor) {
+  AdornedProgram nonlinear = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- a(X,Z), a(Z,Y).
+    ?- a(john, Y).
+  )");
+  ArgumentGraph graph = BuildArgumentGraph(nonlinear);
+  std::vector<std::string> witness;
+  EXPECT_TRUE(
+      HasReachableCycle(graph, *nonlinear.program.universe(), &witness));
+
+  AdornedProgram linear = AdornText(R"(
+    a(X,Y) :- p(X,Y).
+    a(X,Y) :- p(X,Z), a(Z,Y).
+    ?- a(john, Y).
+  )");
+  ArgumentGraph lgraph = BuildArgumentGraph(linear);
+  witness.clear();
+  EXPECT_FALSE(
+      HasReachableCycle(lgraph, *linear.program.universe(), &witness));
+}
+
+}  // namespace
+}  // namespace magic

@@ -1,0 +1,152 @@
+#include "ast/term.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/universe.h"
+
+namespace magic {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable table;
+  SymbolId a = table.Intern("anc");
+  SymbolId b = table.Intern("par");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, table.Intern("anc"));
+  EXPECT_EQ(table.Name(a), "anc");
+  EXPECT_EQ(table.Name(b), "par");
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(SymbolTableTest, FindDoesNotIntern) {
+  SymbolTable table;
+  EXPECT_FALSE(table.Find("missing").has_value());
+  SymbolId a = table.Intern("x");
+  ASSERT_TRUE(table.Find("x").has_value());
+  EXPECT_EQ(*table.Find("x"), a);
+}
+
+TEST(TermArenaTest, HashConsingDeduplicatesGroundTerms) {
+  Universe u;
+  TermId a1 = u.Constant("john");
+  TermId a2 = u.Constant("john");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(u.Integer(42), u.Integer(42));
+  EXPECT_NE(u.Integer(42), u.Integer(43));
+  EXPECT_NE(u.Constant("a"), u.Variable("A"));
+}
+
+TEST(TermArenaTest, CompoundTermsAreStructural) {
+  Universe u;
+  TermId list1 = u.Cons(u.Constant("a"), u.NilTerm());
+  TermId list2 = u.Cons(u.Constant("a"), u.NilTerm());
+  TermId list3 = u.Cons(u.Constant("b"), u.NilTerm());
+  EXPECT_EQ(list1, list2);
+  EXPECT_NE(list1, list3);
+  EXPECT_TRUE(u.terms().IsGround(list1));
+}
+
+TEST(TermArenaTest, GroundnessPropagates) {
+  Universe u;
+  TermId var = u.Variable("X");
+  EXPECT_FALSE(u.terms().IsGround(var));
+  TermId cell = u.Cons(var, u.NilTerm());
+  EXPECT_FALSE(u.terms().IsGround(cell));
+  TermId ground = u.Cons(u.Constant("a"), u.NilTerm());
+  EXPECT_TRUE(u.terms().IsGround(ground));
+}
+
+TEST(TermArenaTest, AppendVariablesInFirstOccurrenceOrder) {
+  Universe u;
+  TermId t = u.Compound("f", {u.Variable("B"), u.Variable("A"),
+                              u.Variable("B")});
+  std::vector<SymbolId> vars;
+  u.terms().AppendVariables(t, &vars);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_EQ(u.symbols().Name(vars[0]), "B");
+  EXPECT_EQ(u.symbols().Name(vars[1]), "A");
+}
+
+TEST(TermArenaTest, ContainsVariable) {
+  Universe u;
+  TermId t = u.Compound("f", {u.Variable("X"), u.Constant("a")});
+  EXPECT_TRUE(u.terms().ContainsVariable(t, u.Sym("X")));
+  EXPECT_FALSE(u.terms().ContainsVariable(t, u.Sym("Y")));
+}
+
+TEST(TermArenaTest, AffineTermsCarryCoefficients) {
+  Universe u;
+  TermId var = u.Variable("I");
+  TermId affine = u.Affine(var, 2, 1);
+  const TermData& data = u.terms().Get(affine);
+  EXPECT_EQ(data.kind, TermKind::kAffine);
+  EXPECT_EQ(data.mul, 2);
+  EXPECT_EQ(data.add, 1);
+  EXPECT_FALSE(data.ground);
+  EXPECT_EQ(u.Affine(var, 2, 1), affine);
+  EXPECT_NE(u.Affine(var, 2, 2), affine);
+}
+
+TEST(UniverseTest, FreshVariablesNeverCollide) {
+  Universe u;
+  u.Variable("I_0");
+  TermId fresh = u.FreshVariable("I");
+  const TermData& data = u.terms().Get(fresh);
+  EXPECT_NE(u.symbols().Name(data.symbol), "I_0");
+}
+
+TEST(UniverseTest, TermToStringRendersListsAndAffine) {
+  Universe u;
+  TermId list = u.MakeList({u.Constant("a"), u.Constant("b")});
+  EXPECT_EQ(u.TermToString(list), "[a,b]");
+  TermId partial = u.Cons(u.Constant("a"), u.Variable("T"));
+  EXPECT_EQ(u.TermToString(partial), "[a|T]");
+  TermId affine = u.Affine(u.Variable("K"), 2, 2);
+  EXPECT_EQ(u.TermToString(affine), "K*2+2");
+  TermId inc = u.Affine(u.Variable("I"), 1, 1);
+  EXPECT_EQ(u.TermToString(inc), "I+1");
+}
+
+TEST(AdornmentTest, ParseAndRender) {
+  std::optional<Adornment> a = Adornment::Parse("bf");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->bound(0));
+  EXPECT_FALSE(a->bound(1));
+  EXPECT_EQ(a->bound_count(), 1u);
+  EXPECT_EQ(a->ToString(), "bf");
+  EXPECT_FALSE(Adornment::Parse("bx").has_value());
+  EXPECT_TRUE(Adornment::AllFree(3).all_free());
+  EXPECT_TRUE(Adornment::AllBound(2).all_bound());
+}
+
+TEST(PredicateTableTest, DeclareAndFind) {
+  Universe u;
+  PredId p = u.predicates().Declare(u.Sym("par"), 2, PredKind::kBase);
+  EXPECT_EQ(u.predicates().info(p).arity, 2u);
+  EXPECT_EQ(*u.predicates().Find(u.Sym("par"), 2), p);
+  EXPECT_FALSE(u.predicates().Find(u.Sym("par"), 3).has_value());
+  // Same name, different arity: a distinct predicate.
+  PredId p3 = u.predicates().Declare(u.Sym("par"), 3, PredKind::kBase);
+  EXPECT_NE(p, p3);
+}
+
+TEST(PredicateTableTest, GetOrDeclareUpgradesBaseToDerived) {
+  Universe u;
+  PredId p = u.predicates().GetOrDeclare(u.Sym("anc"), 2, PredKind::kBase);
+  EXPECT_EQ(u.predicates().info(p).kind, PredKind::kBase);
+  PredId q = u.predicates().GetOrDeclare(u.Sym("anc"), 2, PredKind::kDerived);
+  EXPECT_EQ(p, q);
+  EXPECT_EQ(u.predicates().info(p).kind, PredKind::kDerived);
+}
+
+TEST(UniverseTest, UniquePredicateNameAvoidsCollisions) {
+  Universe u;
+  u.predicates().Declare(u.Sym("magic_anc_bf"), 1, PredKind::kBase);
+  SymbolId sym = u.UniquePredicateName("magic_anc_bf", 1);
+  EXPECT_NE(u.symbols().Name(sym), "magic_anc_bf");
+  SymbolId other = u.UniquePredicateName("magic_anc_bf", 2);
+  EXPECT_EQ(u.symbols().Name(other), "magic_anc_bf");
+}
+
+}  // namespace
+}  // namespace magic

@@ -1,0 +1,109 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "ast/validation.h"
+#include "engine/query_engine.h"
+
+namespace magic {
+namespace {
+
+TEST(WorkloadTest, AncestorChainShape) {
+  Workload w = MakeAncestorChain(10);
+  Universe& u = *w.universe;
+  PredId par = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  EXPECT_EQ(w.db.FactCount(par), 9u);
+  EXPECT_EQ(w.program.rules().size(), 2u);
+  // Query anc(c0, Y): 9 descendants.
+  QueryAnswer answer = QueryEngine().Run(w.program, w.query, w.db);
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_EQ(answer.tuples.size(), 9u);
+}
+
+TEST(WorkloadTest, AncestorTreeShape) {
+  Workload w = MakeAncestorTree(3, 2);
+  Universe& u = *w.universe;
+  PredId par = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  // Complete binary tree of depth 3: 15 nodes, 14 edges.
+  EXPECT_EQ(w.db.FactCount(par), 14u);
+  QueryAnswer answer = QueryEngine().Run(w.program, w.query, w.db);
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_EQ(answer.tuples.size(), 14u);  // root reaches everything
+}
+
+TEST(WorkloadTest, AncestorRandomIsAcyclic) {
+  Workload w = MakeAncestorRandom(30, 90, 11);
+  // Acyclic by construction (edges ascend); semi-naive must terminate.
+  QueryAnswer answer = QueryEngine().Run(w.program, w.query, w.db);
+  EXPECT_TRUE(answer.status.ok());
+}
+
+TEST(WorkloadTest, AncestorCycleIsCyclic) {
+  Workload w = MakeAncestorCycle(5);
+  Universe& u = *w.universe;
+  PredId par = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  EXPECT_EQ(w.db.FactCount(par), 5u);
+  QueryAnswer answer = QueryEngine().Run(w.program, w.query, w.db);
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_EQ(answer.tuples.size(), 5u);  // everything reaches everything
+}
+
+TEST(WorkloadTest, SameGenGridAnswers) {
+  Workload w = MakeSameGenNonlinear(3, 4);
+  // From the bottom-left node the same-generation relation reaches nodes of
+  // the same level to the right.
+  QueryAnswer answer = QueryEngine().Run(w.program, w.query, w.db);
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_GT(answer.tuples.size(), 0u);
+  Universe& u = *w.universe;
+  for (const auto& tuple : answer.tuples) {
+    std::string name = u.TermToString(tuple[0]);
+    EXPECT_EQ(name.substr(0, 2), "n2") << "answer outside the query's level";
+  }
+}
+
+TEST(WorkloadTest, SameGenNestedHasFourRules) {
+  Workload w = MakeSameGenNested(3, 3);
+  EXPECT_EQ(w.program.rules().size(), 4u);
+  QueryAnswer answer = QueryEngine().Run(w.program, w.query, w.db);
+  EXPECT_TRUE(answer.status.ok());
+}
+
+TEST(WorkloadTest, ListReverseQueryTerm) {
+  Workload w = MakeListReverse(3);
+  Universe& u = *w.universe;
+  EXPECT_EQ(u.TermToString(w.query.goal.args[0]), "[c0,c1,c2]");
+  EXPECT_EQ(w.db.TotalFacts(), 0u);  // the whole input lives in the query
+}
+
+TEST(WorkloadTest, AllWorkloadProgramsValidateCleanly) {
+  // (WF)/(C) warnings only where the paper itself has them (list reverse).
+  EXPECT_TRUE(ValidateProgram(MakeAncestorChain(4).program).empty());
+  EXPECT_TRUE(ValidateProgram(MakeNonlinearAncestorChain(4).program).empty());
+  EXPECT_TRUE(ValidateProgram(MakeSameGenNonlinear(3, 3).program).empty());
+  EXPECT_TRUE(ValidateProgram(MakeSameGenNested(3, 3).program).empty());
+  EXPECT_EQ(ValidateProgram(MakeListReverse(3).program).size(), 2u);
+}
+
+TEST(WorkloadTest, NonlinearAncestorMatchesLinearAnswers) {
+  Workload linear = MakeAncestorChain(9);
+  Workload nonlinear = MakeNonlinearAncestorChain(9);
+  QueryAnswer a = QueryEngine().Run(linear.program, linear.query, linear.db);
+  QueryAnswer b =
+      QueryEngine().Run(nonlinear.program, nonlinear.query, nonlinear.db);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.tuples.size(), b.tuples.size());
+}
+
+TEST(WorkloadTest, GeneratorsAreDeterministic) {
+  Workload a = MakeAncestorRandom(25, 60, 5);
+  Workload b = MakeAncestorRandom(25, 60, 5);
+  EXPECT_EQ(a.db.TotalFacts(), b.db.TotalFacts());
+  QueryAnswer ra = QueryEngine().Run(a.program, a.query, a.db);
+  QueryAnswer rb = QueryEngine().Run(b.program, b.query, b.db);
+  EXPECT_EQ(ra.tuples.size(), rb.tuples.size());
+}
+
+}  // namespace
+}  // namespace magic

@@ -1,0 +1,260 @@
+// magicdb — command-line driver for the library.
+//
+//   magicdb [options] <program.dl>
+//
+// Options:
+//   --query "anc(john, Y)"   query (overrides a ?- clause in the file)
+//   --strategy NAME          naive | seminaive | gms | gsms | gc | gsc |
+//                            gc+sj | gsc+sj | topdown     (default gsms)
+//   --sip NAME               full | chain | head-only | empty | greedy
+//   --guards MODE            full | prop42 | ph-only      (default prop42)
+//   --facts DIR              load <pred>.facts TSV files from DIR
+//   --explain                print the adorned + rewritten programs
+//   --safety                 print the Section 10 static safety verdicts
+//   --check-safety           refuse strategies the static analysis rejects
+//   --stats                  print evaluation statistics
+//   --max-facts N            evaluation budget (default 10M)
+//
+// Example:
+//   magicdb --strategy gms --explain --stats family.dl
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/safety.h"
+#include "ast/parser.h"
+#include "ast/printer.h"
+#include "engine/query_engine.h"
+#include "storage/fact_io.h"
+
+namespace {
+
+using namespace magic;
+
+struct Args {
+  std::string program_path;
+  std::string query_text;
+  std::string facts_dir;
+  EngineOptions options;
+  bool explain = false;
+  bool safety = false;
+  bool stats = false;
+  bool ok = true;
+  std::string error;
+};
+
+Strategy ParseStrategy(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "naive") return Strategy::kNaiveBottomUp;
+  if (name == "seminaive") return Strategy::kSemiNaiveBottomUp;
+  if (name == "gms") return Strategy::kMagic;
+  if (name == "gsms") return Strategy::kSupplementaryMagic;
+  if (name == "gc") return Strategy::kCounting;
+  if (name == "gsc") return Strategy::kSupplementaryCounting;
+  if (name == "gc+sj") return Strategy::kCountingSemijoin;
+  if (name == "gsc+sj") return Strategy::kSupCountingSemijoin;
+  if (name == "topdown") return Strategy::kTopDown;
+  *ok = false;
+  return Strategy::kSupplementaryMagic;
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      args.ok = false;
+      args.error = std::string("missing value for ") + argv[i];
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--query") {
+      if (const char* v = need_value(i)) args.query_text = v;
+    } else if (arg == "--strategy") {
+      if (const char* v = need_value(i)) {
+        bool ok = true;
+        args.options.strategy = ParseStrategy(v, &ok);
+        if (!ok) {
+          args.ok = false;
+          args.error = "unknown strategy: " + std::string(v);
+        }
+      }
+    } else if (arg == "--sip") {
+      if (const char* v = need_value(i)) args.options.sip = v;
+    } else if (arg == "--guards") {
+      if (const char* v = need_value(i)) {
+        std::string mode = v;
+        if (mode == "full") {
+          args.options.guard_mode = GuardMode::kFull;
+        } else if (mode == "prop42") {
+          args.options.guard_mode = GuardMode::kProp42;
+        } else if (mode == "ph-only") {
+          args.options.guard_mode = GuardMode::kPhOnly;
+        } else {
+          args.ok = false;
+          args.error = "unknown guard mode: " + mode;
+        }
+      }
+    } else if (arg == "--facts") {
+      if (const char* v = need_value(i)) args.facts_dir = v;
+    } else if (arg == "--explain") {
+      args.explain = true;
+      args.options.explain = true;
+    } else if (arg == "--safety") {
+      args.safety = true;
+    } else if (arg == "--check-safety") {
+      args.options.static_safety_check = true;
+    } else if (arg == "--stats") {
+      args.stats = true;
+    } else if (arg == "--max-facts") {
+      if (const char* v = need_value(i)) {
+        args.options.eval.max_facts = std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      args.ok = false;
+      args.error = "unknown option: " + arg;
+    } else {
+      args.program_path = arg;
+    }
+  }
+  if (args.ok && args.program_path.empty()) {
+    args.ok = false;
+    args.error = "no program file given";
+  }
+  return args;
+}
+
+int Run(const Args& args) {
+  std::ifstream in(args.program_path);
+  if (!in) {
+    std::fprintf(stderr, "magicdb: cannot open %s\n",
+                 args.program_path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto parsed = ParseUnit(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "magicdb: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& warning : ValidateProgram(parsed->program)) {
+    std::fprintf(stderr, "magicdb: warning: %s\n", warning.c_str());
+  }
+
+  Database db(parsed->program.universe());
+  for (const Fact& fact : parsed->facts) {
+    if (Status st = db.AddFact(fact); !st.ok()) {
+      std::fprintf(stderr, "magicdb: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (!args.facts_dir.empty()) {
+    if (Status st = LoadFactsDirectory(parsed->program, args.facts_dir, &db);
+        !st.ok()) {
+      std::fprintf(stderr, "magicdb: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::optional<Query> query = parsed->query;
+  if (!args.query_text.empty()) {
+    auto q = ParseUnit("?- " + args.query_text + ".",
+                       parsed->program.universe());
+    if (!q.ok() || !q->query.has_value()) {
+      std::fprintf(stderr, "magicdb: bad --query: %s\n",
+                   q.ok() ? "not a query" : q.status().ToString().c_str());
+      return 1;
+    }
+    query = q->query;
+  }
+  if (!query.has_value()) {
+    std::fprintf(stderr,
+                 "magicdb: no query (add a ?- clause or pass --query)\n");
+    return 1;
+  }
+
+  Universe& u = *parsed->program.universe();
+  if (args.safety) {
+    // Use a fresh parse so the report's adornment does not perturb the
+    // predicate names of the main run.
+    auto fresh = ParseUnit(buffer.str());
+    std::optional<Query> fresh_query = fresh.ok() ? fresh->query : std::nullopt;
+    if (fresh.ok() && !args.query_text.empty()) {
+      auto q = ParseUnit("?- " + args.query_text + ".",
+                         fresh->program.universe());
+      if (q.ok()) fresh_query = q->query;
+    }
+    std::unique_ptr<SipStrategy> sip = MakeSipStrategy(args.options.sip);
+    if (fresh.ok() && fresh_query.has_value() && sip != nullptr) {
+      auto adorned = Adorn(fresh->program, *fresh_query, *sip);
+      if (adorned.ok()) {
+        SafetyReport magic_report = CheckMagicSafety(*adorned);
+        SafetyReport counting_report = CheckCountingSafety(*adorned);
+        std::printf("safety (magic):    %s\n",
+                    SafetyVerdictName(magic_report.verdict).c_str());
+        std::printf("safety (counting): %s\n",
+                    SafetyVerdictName(counting_report.verdict).c_str());
+      }
+    }
+  }
+
+  QueryEngine engine(args.options);
+  QueryAnswer answer = engine.Run(parsed->program, *query, db);
+  if (args.explain && !answer.rewritten_text.empty()) {
+    std::printf("%% rewritten program (%s, sip=%s)\n%s%%\n",
+                StrategyName(args.options.strategy).c_str(),
+                args.options.sip.c_str(), answer.rewritten_text.c_str());
+  }
+  if (!answer.status.ok()) {
+    std::fprintf(stderr, "magicdb: %s\n", answer.status.ToString().c_str());
+    return 1;
+  }
+  std::vector<int> free_positions = QueryFreePositions(u, *query);
+  if (free_positions.empty()) {
+    std::printf("%s\n", answer.tuples.empty() ? "false" : "true");
+  } else {
+    for (const auto& tuple : answer.tuples) {
+      std::string row;
+      for (TermId term : tuple) {
+        if (!row.empty()) row += "\t";
+        row += u.TermToString(term);
+      }
+      std::printf("%s\n", row.c_str());
+    }
+  }
+  if (args.stats) {
+    std::fprintf(stderr,
+                 "%% %zu answer(s), %zu fact(s) derived, %llu firing(s), "
+                 "%llu probe(s), %.3f ms\n",
+                 answer.tuples.size(), answer.total_facts,
+                 static_cast<unsigned long long>(
+                     answer.eval_stats.rule_firings),
+                 static_cast<unsigned long long>(
+                     answer.eval_stats.join_probes),
+                 answer.eval_stats.seconds * 1e3);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (!args.ok) {
+    std::fprintf(stderr, "magicdb: %s\n", args.error.c_str());
+    std::fprintf(stderr,
+                 "usage: magicdb [--query Q] [--strategy S] [--sip NAME] "
+                 "[--guards MODE] [--facts DIR] [--explain] [--safety] "
+                 "[--check-safety] [--stats] [--max-facts N] program.dl\n");
+    return 2;
+  }
+  return Run(args);
+}
