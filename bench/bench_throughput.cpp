@@ -1,0 +1,146 @@
+// bench_throughput — QPS of the concurrent QueryService vs. thread count.
+//
+//   bench_throughput [--threads N] [--queries M] [--workload NAME]
+//
+// Serves M queries (instances of one prepared form, constants cycling over
+// the workload's nodes) through QueryService at thread counts 1, 2, 4, ...
+// up to N, and emits one machine-readable JSON line per (workload, thread
+// count) so successive PRs can track a BENCH_throughput.json trajectory:
+//
+//   {"bench":"throughput","workload":"ancestor_chain_256","threads":4,...}
+//
+// Workloads: `ancestor` (chain of 256), `samegen` (10x6 grid), or `all`
+// (default). Indexes and the form cache are warmed before measuring so
+// every thread count sees identical work.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/query_service.h"
+#include "util/stopwatch.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace magic;
+
+struct BenchCase {
+  std::string name;
+  Workload workload;
+  std::vector<Query> batch;
+};
+
+std::vector<Query> CycleInstances(const Workload& w,
+                                  const std::vector<std::string>& nodes,
+                                  size_t count) {
+  std::vector<Query> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Query query = w.query;
+    query.goal.args[0] = w.universe->Constant(nodes[i % nodes.size()]);
+    batch.push_back(std::move(query));
+  }
+  return batch;
+}
+
+BenchCase MakeAncestorCase(size_t queries) {
+  constexpr int kChain = 256;
+  BenchCase c{"ancestor_chain_" + std::to_string(kChain),
+              MakeAncestorChain(kChain),
+              {}};
+  std::vector<std::string> nodes;
+  for (int i = 0; i < kChain; i += 3) {
+    nodes.push_back("c" + std::to_string(i));
+  }
+  c.batch = CycleInstances(c.workload, nodes, queries);
+  return c;
+}
+
+BenchCase MakeSameGenCase(size_t queries) {
+  constexpr int kDepth = 10;
+  constexpr int kWidth = 6;
+  BenchCase c{"samegen_grid_" + std::to_string(kDepth) + "x" +
+                  std::to_string(kWidth),
+              MakeSameGenNonlinear(kDepth, kWidth),
+              {}};
+  std::vector<std::string> nodes;
+  for (int level = 0; level < kDepth / 2; ++level) {
+    for (int column = 0; column < kWidth; ++column) {
+      nodes.push_back("n" + std::to_string(level) + "_" +
+                      std::to_string(column));
+    }
+  }
+  c.batch = CycleInstances(c.workload, nodes, queries);
+  return c;
+}
+
+void RunCase(const BenchCase& c, size_t max_threads) {
+  // Warm up: build the EDB indexes and intern everything once so every
+  // measured thread count does identical work.
+  {
+    QueryServiceOptions options;
+    options.num_threads = 1;
+    QueryService warmup(c.workload.program, c.workload.db, options);
+    (void)warmup.AnswerBatch(c.batch);
+  }
+  for (size_t threads = 1; threads <= max_threads; threads *= 2) {
+    QueryServiceOptions options;
+    options.num_threads = threads;
+    QueryService service(c.workload.program, c.workload.db, options);
+    Stopwatch watch;
+    std::vector<QueryAnswer> answers = service.AnswerBatch(c.batch);
+    double seconds = watch.ElapsedSeconds();
+    size_t total_answers = 0;
+    size_t failures = 0;
+    for (const QueryAnswer& answer : answers) {
+      if (!answer.status.ok()) ++failures;
+      total_answers += answer.tuples.size();
+    }
+    QueryService::Stats stats = service.stats();
+    std::printf(
+        "{\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%zu,"
+        "\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,\"answers\":%zu,"
+        "\"failures\":%zu,\"forms_compiled\":%zu,\"cache_hits\":%zu}\n",
+        c.name.c_str(), threads, c.batch.size(), seconds,
+        static_cast<double>(c.batch.size()) / seconds, total_answers,
+        failures, stats.forms_compiled, stats.cache_hits);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t max_threads = 4;
+  size_t queries = 256;
+  std::string workload = "all";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      max_threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
+      workload = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--threads N] [--queries M] "
+                   "[--workload ancestor|samegen|all]\n");
+      return 2;
+    }
+  }
+  if (max_threads == 0) max_threads = 1;
+  if (workload != "ancestor" && workload != "samegen" && workload != "all") {
+    std::fprintf(stderr, "bench_throughput: unknown workload \"%s\"\n",
+                 workload.c_str());
+    return 2;
+  }
+  if (workload == "ancestor" || workload == "all") {
+    RunCase(MakeAncestorCase(queries), max_threads);
+  }
+  if (workload == "samegen" || workload == "all") {
+    RunCase(MakeSameGenCase(queries), max_threads);
+  }
+  return 0;
+}

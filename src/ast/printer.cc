@@ -114,7 +114,9 @@ RenameMap CanonicalRenames(const Universe& u, const Rule& rule) {
   RenameMap renames;
   int counter = 0;
   for (SymbolId v : vars) {
-    renames.emplace(v, "V" + std::to_string(++counter));
+    std::string name = "V";
+    name += std::to_string(++counter);
+    renames.emplace(v, std::move(name));
   }
   return renames;
 }

@@ -37,8 +37,7 @@ TermId TermArena::MakeCompound(SymbolId functor, std::vector<TermId> args) {
   data.symbol = functor;
   data.ground = true;
   for (TermId arg : args) {
-    MAGIC_CHECK(arg < terms_.size());
-    data.ground = data.ground && terms_[arg].ground;
+    data.ground = data.ground && Get(arg).ground;
   }
   data.children = std::move(args);
   return Intern(std::move(data));
@@ -57,8 +56,11 @@ TermId TermArena::MakeAffine(TermId variable, int64_t mul, int64_t add) {
 }
 
 const TermData& TermArena::Get(TermId id) const {
-  MAGIC_CHECK(id < terms_.size());
-  return terms_[id];
+  MAGIC_CHECK(id < size());
+  // The acquire load of size_ above synchronizes with the release store in
+  // Intern, so both the directory entry and the slot contents are visible.
+  const ChunkDir* dir = dir_.load(std::memory_order_acquire);
+  return dir->chunks[id >> kChunkShift][id & kChunkMask];
 }
 
 void TermArena::AppendVariables(TermId id, std::vector<SymbolId>* out) const {
@@ -105,13 +107,30 @@ bool TermArena::Equal(const TermData& a, const TermData& b) {
 }
 
 TermId TermArena::Intern(TermData data) {
+  std::lock_guard<std::mutex> lock(mutex_);
   uint64_t h = HashOf(data);
   auto& bucket = dedup_[h];
+  const ChunkDir* dir = dir_.load(std::memory_order_relaxed);
   for (TermId candidate : bucket) {
-    if (Equal(terms_[candidate], data)) return candidate;
+    const TermData& existing =
+        dir->chunks[candidate >> kChunkShift][candidate & kChunkMask];
+    if (Equal(existing, data)) return candidate;
   }
-  TermId id = static_cast<TermId>(terms_.size());
-  terms_.push_back(std::move(data));
+  size_t n = size_.load(std::memory_order_relaxed);
+  TermId id = static_cast<TermId>(n);
+  size_t chunk = n >> kChunkShift;
+  if (chunk == chunk_owner_.size()) {
+    chunk_owner_.push_back(
+        std::make_unique<TermData[]>(size_t{1} << kChunkShift));
+    auto grown = std::make_unique<ChunkDir>();
+    if (dir != nullptr) grown->chunks = dir->chunks;
+    grown->chunks.push_back(chunk_owner_.back().get());
+    dir_.store(grown.get(), std::memory_order_release);
+    dir = grown.get();
+    dir_owner_.push_back(std::move(grown));
+  }
+  dir->chunks[chunk][n & kChunkMask] = std::move(data);
+  size_.store(n + 1, std::memory_order_release);
   bucket.push_back(id);
   return id;
 }

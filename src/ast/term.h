@@ -1,7 +1,10 @@
 #ifndef MAGIC_AST_TERM_H_
 #define MAGIC_AST_TERM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +55,14 @@ struct TermData {
 /// Arena of hash-consed terms. Also caches groundness and exposes variable
 /// collection, which the rewrite algorithms use constantly (sip labels,
 /// supplementary argument lists, adornment computation).
+///
+/// Thread-safety contract (the basis of concurrent query serving): `Get`,
+/// `IsGround`, `AppendVariables`, `ContainsVariable`, and `size` are
+/// lock-free and may race freely with the `Make*` interning calls, which
+/// serialize on an internal mutex. Terms live in fixed-size chunks that are
+/// never moved or freed, and a new term becomes visible to readers only via
+/// a release-store of the arena size after its slot is fully constructed, so
+/// an id obtained from any source is always safe to dereference.
 class TermArena {
  public:
   TermArena() = default;
@@ -76,14 +87,31 @@ class TermArena {
   /// True if `id` contains the variable `var`.
   bool ContainsVariable(TermId id, SymbolId var) const;
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
+  /// Terms per chunk. Chunks are allocated once and never moved, so a
+  /// published `TermData&` stays valid for the arena's lifetime.
+  static constexpr uint32_t kChunkShift = 12;
+  static constexpr uint32_t kChunkMask = (uint32_t{1} << kChunkShift) - 1;
+
+  /// Immutable snapshot of the chunk directory. Growing the arena past the
+  /// directory's capacity publishes a larger copy; retired directories are
+  /// kept alive so readers holding an old pointer stay valid.
+  struct ChunkDir {
+    std::vector<TermData*> chunks;
+  };
+
   TermId Intern(TermData data);
   static uint64_t HashOf(const TermData& data);
   static bool Equal(const TermData& a, const TermData& b);
 
-  std::vector<TermData> terms_;
+  std::atomic<size_t> size_{0};
+  std::atomic<const ChunkDir*> dir_{nullptr};
+
+  std::mutex mutex_;  // guards everything below
+  std::vector<std::unique_ptr<TermData[]>> chunk_owner_;
+  std::vector<std::unique_ptr<ChunkDir>> dir_owner_;
   std::unordered_map<uint64_t, std::vector<TermId>> dedup_;
 };
 

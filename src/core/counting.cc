@@ -109,7 +109,7 @@ Result<CountingProgram> CountingRewrite(const AdornedProgram& adorned,
     const int rule_number = static_cast<int>(ri) + 1;  // 1-based, as printed
     std::vector<std::vector<bool>> precedes =
         SipPrecedes(sip, rule.body.size());
-    const Adornment& head_ad = PredAdornment(u, rule.head.pred);
+    const Adornment head_ad = PredAdornment(u, rule.head.pred);  // copy: Declare below reallocates
     const bool head_indexed = IsBoundAdorned(u, rule.head.pred);
 
     // Fresh index variables for this adorned rule's generated rules.

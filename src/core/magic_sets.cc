@@ -27,7 +27,7 @@ Result<RewrittenProgram> MagicSetsRewrite(const AdornedProgram& adorned,
     const SipGraph& sip = *rule.sip;
     std::vector<std::vector<bool>> precedes =
         SipPrecedes(sip, rule.body.size());
-    const Adornment& head_ad = PredAdornment(u, rule.head.pred);
+    const Adornment head_ad = PredAdornment(u, rule.head.pred);  // copy: Declare below reallocates
     const bool head_has_magic = IsBoundAdorned(u, rule.head.pred);
     std::vector<TermId> head_bound_args = BoundArgs(rule.head, head_ad);
 
@@ -79,10 +79,11 @@ Result<RewrittenProgram> MagicSetsRewrite(const AdornedProgram& adorned,
       } else {
         // Several arcs: one label rule per arc, joined by the magic rule
         // (Section 4, "If there are several arcs entering q_i ...").
-        const PredicateInfo& target_info = u.predicates().info(target.pred);
+        // Copy the symbol id: the Declare below reallocates the table.
+        const SymbolId target_name = u.predicates().info(target.pred).name;
         for (size_t a = 0; a < arcs.size(); ++a) {
           const SipArc& arc = sip.arcs[arcs[a]];
-          std::string name = "label_" + u.symbols().Name(target_info.name) +
+          std::string name = "label_" + u.symbols().Name(target_name) +
                              "_" + std::to_string(ri + 1) + "_" +
                              std::to_string(occ + 1) + "_" +
                              std::to_string(a + 1);
@@ -115,7 +116,7 @@ Result<RewrittenProgram> MagicSetsRewrite(const AdornedProgram& adorned,
     const SipGraph& sip = *rule.sip;
     std::vector<std::vector<bool>> precedes =
         SipPrecedes(sip, rule.body.size());
-    const Adornment& head_ad = PredAdornment(u, rule.head.pred);
+    const Adornment head_ad = PredAdornment(u, rule.head.pred);  // copy: Declare below reallocates
     const bool head_has_magic = IsBoundAdorned(u, rule.head.pred);
 
     Rule modified;

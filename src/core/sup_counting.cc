@@ -106,7 +106,7 @@ Result<CountingProgram> SupplementaryCountingRewrite(
     const SipGraph& sip = *rule.sip;
     const size_t n = rule.body.size();
     const int rule_number = static_cast<int>(ri) + 1;
-    const Adornment& head_ad = PredAdornment(u, rule.head.pred);
+    const Adornment head_ad = PredAdornment(u, rule.head.pred);  // copy: Declare below reallocates
     const bool head_indexed = IsBoundAdorned(u, rule.head.pred);
 
     size_t m_last = 0;

@@ -34,7 +34,7 @@ Result<RewrittenProgram> SupplementaryMagicRewrite(
     MAGIC_CHECK_MSG(rule.sip.has_value(), "adorned rules must carry sips");
     const SipGraph& sip = *rule.sip;
     const size_t n = rule.body.size();
-    const Adornment& head_ad = PredAdornment(u, rule.head.pred);
+    const Adornment head_ad = PredAdornment(u, rule.head.pred);  // copy: Declare below reallocates
     const bool head_has_magic = IsBoundAdorned(u, rule.head.pred);
     std::vector<TermId> head_bound_args = BoundArgs(rule.head, head_ad);
 

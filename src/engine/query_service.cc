@@ -1,0 +1,158 @@
+#include "engine/query_service.h"
+
+#include <thread>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace magic {
+
+size_t QueryService::FormKeyHash::operator()(const FormKey& key) const {
+  uint64_t h = HashCombine(key.pred, key.bound_mask);
+  h = HashCombine(h, static_cast<uint64_t>(key.strategy));
+  return HashCombine(h, std::hash<std::string>{}(key.sip));
+}
+
+namespace {
+
+/// The bound-position bitmask of a query instance: bit i set iff argument i
+/// is ground. Two instances with equal masks share a query form.
+uint64_t BoundMask(const Universe& u, const Query& query) {
+  uint64_t mask = 0;
+  for (size_t i = 0; i < query.goal.args.size(); ++i) {
+    if (u.terms().IsGround(query.goal.args[i])) mask |= uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+QueryService::QueryService(const Program& program, const Database& db,
+                           QueryServiceOptions options)
+    : program_(program),
+      db_(db),
+      options_(std::move(options)),
+      pool_(options_.num_threads != 0 ? options_.num_threads
+                                      : std::thread::hardware_concurrency()) {}
+
+QueryService::~QueryService() = default;
+
+const PreparedQueryForm* QueryService::GetOrCompile(
+    const QueryRequest& request, const FormKey& key, Status* error) {
+  std::lock_guard<std::mutex> lock(form_mutex_);
+  auto it = forms_.find(key);
+  if (it != forms_.end()) {
+    ++cache_hits_;
+    *error = it->second.error;
+    return it->second.form.get();
+  }
+  EngineOptions engine_options = options_.engine;
+  engine_options.strategy = key.strategy;
+  engine_options.sip = key.sip;
+  Result<PreparedQueryForm> form = [&] {
+    // Compilation interns symbols and declares adorned/magic predicates in
+    // the shared Universe; exclude all in-flight evaluations while it runs.
+    std::unique_lock<std::shared_mutex> exclusive(serve_mutex_);
+    return PreparedQueryForm::Prepare(program_, request.query, engine_options);
+  }();
+  CachedForm& cached = forms_[key];
+  if (!form.ok()) {
+    cached.error = form.status();
+    *error = cached.error;
+    return nullptr;
+  }
+  ++forms_compiled_;
+  cached.form = std::make_unique<PreparedQueryForm>(std::move(*form));
+  return cached.form.get();
+}
+
+std::future<QueryAnswer> QueryService::Submit(const QueryRequest& request) {
+  auto promise = std::make_shared<std::promise<QueryAnswer>>();
+  std::future<QueryAnswer> future = promise->get_future();
+  const Universe& u = *program_.universe();
+
+  // Base-predicate queries are direct selections over the EDB; any strategy
+  // serves them without compilation.
+  if (!program_.IsHeadPredicate(request.query.goal.pred)) {
+    Query query = request.query;
+    pool_.Submit([this, query, promise] {
+      std::shared_lock<std::shared_mutex> serving(serve_mutex_);
+      QueryEngine engine(options_.engine);
+      QueryAnswer answer = engine.Run(program_, query, db_);
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      promise->set_value(std::move(answer));
+    });
+    return future;
+  }
+
+  FormKey key;
+  key.pred = request.query.goal.pred;
+  key.bound_mask = BoundMask(u, request.query);
+  key.strategy = request.strategy.value_or(options_.engine.strategy);
+  key.sip = request.sip.value_or(options_.engine.sip);
+
+  Status error;
+  const PreparedQueryForm* form = GetOrCompile(request, key, &error);
+  if (form == nullptr) {
+    QueryAnswer answer;
+    answer.status = error;
+    answer.strategy_name = StrategyName(key.strategy);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(std::move(answer));
+    return future;
+  }
+
+  std::vector<TermId> bound_values;
+  for (size_t i = 0; i < request.query.goal.args.size(); ++i) {
+    if (key.bound_mask & (uint64_t{1} << i)) {
+      bound_values.push_back(request.query.goal.args[i]);
+    }
+  }
+
+  pool_.Submit([this, form, bound_values = std::move(bound_values), promise] {
+    std::shared_lock<std::shared_mutex> serving(serve_mutex_);
+    QueryAnswer answer = form->Answer(bound_values, db_);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(std::move(answer));
+  });
+  return future;
+}
+
+QueryAnswer QueryService::Answer(const Query& query) {
+  QueryRequest request;
+  request.query = query;
+  return Submit(request).get();
+}
+
+std::vector<QueryAnswer> QueryService::AnswerBatch(
+    const std::vector<QueryRequest>& batch) {
+  std::vector<std::future<QueryAnswer>> futures;
+  futures.reserve(batch.size());
+  for (const QueryRequest& request : batch) {
+    futures.push_back(Submit(request));
+  }
+  std::vector<QueryAnswer> answers;
+  answers.reserve(batch.size());
+  for (std::future<QueryAnswer>& future : futures) {
+    answers.push_back(future.get());
+  }
+  return answers;
+}
+
+std::vector<QueryAnswer> QueryService::AnswerBatch(
+    const std::vector<Query>& queries) {
+  std::vector<QueryRequest> batch(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) batch[i].query = queries[i];
+  return AnswerBatch(batch);
+}
+
+QueryService::Stats QueryService::stats() const {
+  std::lock_guard<std::mutex> lock(form_mutex_);
+  Stats stats;
+  stats.forms_compiled = forms_compiled_;
+  stats.cache_hits = cache_hits_;
+  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace magic

@@ -1,0 +1,134 @@
+#ifndef MAGIC_ENGINE_QUERY_SERVICE_H_
+#define MAGIC_ENGINE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/prepared.h"
+#include "storage/database.h"
+#include "util/thread_pool.h"
+
+namespace magic {
+
+/// One query plus optional per-request overrides of the service defaults.
+struct QueryRequest {
+  Query query;
+  std::optional<Strategy> strategy;
+  std::optional<std::string> sip;
+};
+
+struct QueryServiceOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  size_t num_threads = 0;
+  /// Defaults for requests that don't override strategy/sip; `eval` and
+  /// `guard_mode` always come from here.
+  EngineOptions engine;
+};
+
+/// Serves many concurrent queries against one shared read-only Database.
+///
+/// The paper's compile-once/query-many reading of magic sets (Section 4's
+/// query forms) is the seam this exploits: each distinct query form —
+/// (predicate, adornment, strategy, sip) — is compiled exactly once via
+/// PreparedQueryForm::Prepare and cached, and every instance of the form is
+/// just a per-query seed over the same rewritten program. Per-query seeds
+/// are independent (Drabent, arXiv:1012.2299), so instances evaluate
+/// concurrently on a fixed thread pool without re-running the
+/// transformation.
+///
+/// Concurrency contract:
+///   * The Program and Database must outlive the service and must not be
+///     mutated while it is serving.
+///   * Submit/Answer/AnswerBatch may be called from any number of threads.
+///   * Form compilation mutates the shared Universe (it interns symbols and
+///     declares adorned/magic predicates), so it runs under an exclusive
+///     lock that excludes all concurrent evaluation; cached forms are
+///     served under a shared lock. Steady-state traffic therefore runs
+///     fully in parallel, limited only by the pool size.
+///   * Worker-side term interning (the matcher's affine/compound
+///     construction) is safe because TermArena is internally synchronized.
+class QueryService {
+ public:
+  QueryService(const Program& program, const Database& db,
+               QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query; the future resolves when a worker has evaluated
+  /// it. Compilation of a not-yet-cached form happens on the calling
+  /// thread.
+  std::future<QueryAnswer> Submit(const QueryRequest& request);
+
+  /// Answers one query synchronously.
+  QueryAnswer Answer(const Query& query);
+
+  /// Answers a batch; answers are returned in input order. Queries of the
+  /// batch evaluate concurrently across the pool.
+  std::vector<QueryAnswer> AnswerBatch(const std::vector<QueryRequest>& batch);
+  std::vector<QueryAnswer> AnswerBatch(const std::vector<Query>& queries);
+
+  struct Stats {
+    size_t forms_compiled = 0;
+    size_t cache_hits = 0;
+    size_t queries_served = 0;
+  };
+  Stats stats() const;
+
+  size_t num_threads() const { return pool_.size(); }
+
+ private:
+  struct FormKey {
+    PredId pred = 0;
+    uint64_t bound_mask = 0;
+    Strategy strategy = Strategy::kSupplementaryMagic;
+    std::string sip;
+    bool operator==(const FormKey&) const = default;
+  };
+  struct FormKeyHash {
+    size_t operator()(const FormKey& key) const;
+  };
+
+  /// A compilation outcome. Failures are cached too (they are
+  /// deterministic per form key), so a stream of unpreparable requests
+  /// pays the exclusive compile lock once, not per request.
+  struct CachedForm {
+    std::unique_ptr<PreparedQueryForm> form;  // null when compilation failed
+    Status error;
+  };
+
+  /// Looks up or compiles the form for `request`. Returns nullptr with
+  /// `*error` set when the query cannot be prepared.
+  const PreparedQueryForm* GetOrCompile(const QueryRequest& request,
+                                        const FormKey& key, Status* error);
+
+  const Program& program_;
+  const Database& db_;
+  QueryServiceOptions options_;
+
+  /// Exclusive = universe-mutating compilation; shared = evaluation.
+  std::shared_mutex serve_mutex_;
+
+  /// Lock order: form_mutex_ may be held while acquiring serve_mutex_
+  /// (compilation); workers hold serve_mutex_ shared and never touch
+  /// form_mutex_, so the order cannot cycle.
+  mutable std::mutex form_mutex_;  // guards forms_ and the compile counters
+  std::unordered_map<FormKey, CachedForm, FormKeyHash> forms_;
+  size_t forms_compiled_ = 0;
+  size_t cache_hits_ = 0;
+  std::atomic<size_t> queries_served_{0};
+
+  ThreadPool pool_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_ENGINE_QUERY_SERVICE_H_

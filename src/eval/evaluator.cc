@@ -61,7 +61,7 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
     }
   }
   for (PredId pred : idb_preds) {
-    result.idb.emplace(pred, Relation(u.predicates().info(pred).arity));
+    result.idb.try_emplace(pred, u.predicates().info(pred).arity);
   }
   auto is_idb = [&result](PredId pred) {
     return result.idb.find(pred) != result.idb.end();

@@ -38,9 +38,9 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
   std::vector<PredId> derived = adorned.program.HeadPredicates();
   for (PredId pred : derived) {
     const PredicateInfo& info = u.predicates().info(pred);
-    result.queries.emplace(
-        pred, Relation(static_cast<uint32_t>(info.adornment.bound_count())));
-    result.answers.emplace(pred, Relation(info.arity));
+    result.queries.try_emplace(
+        pred, static_cast<uint32_t>(info.adornment.bound_count()));
+    result.answers.try_emplace(pred, info.arity);
   }
   auto is_derived = [&](PredId pred) {
     return result.answers.find(pred) != result.answers.end();

@@ -27,7 +27,7 @@ Relation& Database::GetOrCreate(PredId pred) {
   auto it = relations_.find(pred);
   if (it != relations_.end()) return it->second;
   uint32_t arity = universe_->predicates().info(pred).arity;
-  return relations_.emplace(pred, Relation(arity)).first->second;
+  return relations_.try_emplace(pred, arity).first->second;
 }
 
 const Relation* Database::Find(PredId pred) const {

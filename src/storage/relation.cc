@@ -69,11 +69,12 @@ uint64_t Relation::KeyHashForRow(uint64_t mask, size_t row) const {
 
 void Relation::ExtendIndex(uint64_t mask, Index* index) const {
   size_t rows = size();
-  for (size_t row = index->rows_built; row < rows; ++row) {
+  for (size_t row = index->rows_built.load(std::memory_order_relaxed);
+       row < rows; ++row) {
     index->buckets[KeyHashForRow(mask, row)].push_back(
         static_cast<uint32_t>(row));
   }
-  index->rows_built = rows;
+  index->rows_built.store(rows, std::memory_order_release);
 }
 
 void Relation::Probe(uint64_t mask, std::span<const TermId> key,
@@ -86,8 +87,45 @@ void Relation::Probe(uint64_t mask, std::span<const TermId> key,
     }
     return;
   }
-  Index& index = indices_[mask];
-  ExtendIndex(mask, &index);
+  // Fast path: an index published in the snapshot table was fully built
+  // for some row count; while the rows are quiescent (the only state in
+  // which concurrent probes are allowed) it stays current, so the hot path
+  // is one acquire load and no lock.
+  if (const IndexTable* table =
+          index_table_.load(std::memory_order_acquire)) {
+    for (const auto& [entry_mask, index] : table->entries) {
+      if (entry_mask != mask) continue;
+      if (index->rows_built.load(std::memory_order_acquire) == size()) {
+        ProbeIndex(*index, key, mask, from_row, to_row, out);
+        return;
+      }
+      break;
+    }
+  }
+  // Slow path (first probe for this mask, or rows appended since the last
+  // build — both single-threaded situations per the class contract, except
+  // for the one-time concurrent build race, which the mutex settles).
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  auto [it, inserted] = indices_.try_emplace(mask);
+  if (inserted) it->second = std::make_unique<Index>();
+  Index* index = it->second.get();
+  ExtendIndex(mask, index);
+  if (inserted) {
+    auto grown = std::make_unique<IndexTable>();
+    if (const IndexTable* current =
+            index_table_.load(std::memory_order_relaxed)) {
+      grown->entries = current->entries;
+    }
+    grown->entries.emplace_back(mask, index);
+    index_table_.store(grown.get(), std::memory_order_release);
+    table_owner_.push_back(std::move(grown));
+  }
+  ProbeIndex(*index, key, mask, from_row, to_row, out);
+}
+
+void Relation::ProbeIndex(const Index& index, std::span<const TermId> key,
+                          uint64_t mask, size_t from_row, size_t to_row,
+                          std::vector<uint32_t>* out) const {
   uint64_t h = HashRange(key.begin(), key.end());
   auto it = index.buckets.find(h);
   if (it == index.buckets.end()) return;

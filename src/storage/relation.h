@@ -1,7 +1,10 @@
 #ifndef MAGIC_STORAGE_RELATION_H_
 #define MAGIC_STORAGE_RELATION_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
@@ -20,6 +23,18 @@ namespace magic {
 /// Point lookups build hash indices lazily, one per bound-column mask, and
 /// extend them incrementally as rows are appended (the iterator-invalidation
 /// hazards of rebuilding mid-fixpoint are avoided by the watermark design).
+///
+/// Concurrency contract: `Insert` (and any other mutation of the row data)
+/// requires exclusive access — rows are written single-threaded, e.g. while
+/// loading an EDB or inside one evaluator's fixpoint. Once the rows are
+/// quiescent, all const members including `Probe` are safe to call from any
+/// number of threads concurrently: the lazy per-mask index build that Probe
+/// performs under `const` runs behind a mutex, and an index is published
+/// into an immutable snapshot table (atomic pointer, release/acquire) only
+/// once it is fully built for the current row count. Steady-state probes
+/// are therefore a single acquire load with no read-side lock at all —
+/// this is what lets QueryService serve many queries against one shared
+/// read-only Database without the probe hot path contending on anything.
 class Relation {
  public:
   explicit Relation(uint32_t arity) : arity_(arity) {}
@@ -51,17 +66,36 @@ class Relation {
  private:
   struct Index {
     std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
-    size_t rows_built = 0;
+    /// Release-stored after the bucket writes of a build; the lock-free
+    /// fast path acquires it, so seeing rows_built == size() proves the
+    /// buckets for those rows are fully visible. A reader seeing a stale
+    /// value falls through to the mutex-guarded build path.
+    std::atomic<size_t> rows_built{0};
+  };
+
+  /// Immutable snapshot of the indices built so far; a handful of (mask,
+  /// index) pairs, so lookup is a scan. Republished (never mutated) when a
+  /// new mask's index is built; retired snapshots are kept alive for
+  /// readers still holding the old pointer.
+  struct IndexTable {
+    std::vector<std::pair<uint64_t, const Index*>> entries;
   };
 
   uint64_t KeyHashForRow(uint64_t mask, size_t row) const;
   void ExtendIndex(uint64_t mask, Index* index) const;
+  void ProbeIndex(const Index& index, std::span<const TermId> key,
+                  uint64_t mask, size_t from_row, size_t to_row,
+                  std::vector<uint32_t>* out) const;
 
   uint32_t arity_;
   std::vector<TermId> data_;
   size_t zero_ary_count_ = 0;  // 0-ary relations hold at most one tuple
   std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
-  mutable std::unordered_map<uint64_t, Index> indices_;
+
+  mutable std::atomic<const IndexTable*> index_table_{nullptr};
+  mutable std::mutex index_mutex_;  // guards the two owners below
+  mutable std::unordered_map<uint64_t, std::unique_ptr<Index>> indices_;
+  mutable std::vector<std::unique_ptr<IndexTable>> table_owner_;
 };
 
 }  // namespace magic

@@ -1,0 +1,79 @@
+#ifndef MAGIC_UTIL_THREAD_POOL_H_
+#define MAGIC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace magic {
+
+/// A fixed-size thread pool with one shared FIFO queue — deliberately the
+/// simplest thing that serves concurrent queries. Query evaluations are
+/// coarse-grained (milliseconds), so a single lock around the queue is
+/// nowhere near contended enough to justify work stealing.
+///
+/// Tasks must not throw. Submitting from multiple threads is safe; the
+/// destructor drains the queue (runs every task already submitted) before
+/// joining the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_UTIL_THREAD_POOL_H_

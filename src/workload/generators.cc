@@ -161,8 +161,11 @@ namespace {
 
 /// Grid node name n<level>_<column>.
 TermId GridNode(Universe& u, int level, int column) {
-  return u.Constant("n" + std::to_string(level) + "_" +
-                    std::to_string(column));
+  std::string name = "n";
+  name += std::to_string(level);
+  name += '_';
+  name += std::to_string(column);
+  return u.Constant(name);
 }
 
 void FillGrid(Workload* w, int depth, int width, bool nested_extras) {

@@ -1,0 +1,210 @@
+#include "engine/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace magic {
+namespace {
+
+/// Every strategy PreparedQueryForm accepts, i.e. everything QueryService
+/// can serve for derived-predicate queries.
+const Strategy kPreparableStrategies[] = {
+    Strategy::kMagic,          Strategy::kSupplementaryMagic,
+    Strategy::kCounting,       Strategy::kSupplementaryCounting,
+    Strategy::kCountingSemijoin, Strategy::kSupCountingSemijoin,
+};
+
+Query InstanceAt(const Workload& w, const std::string& node) {
+  Query query = w.query;
+  query.goal.args[0] = w.universe->Constant(node);
+  return query;
+}
+
+TEST(QueryServiceTest, BatchMatchesSingleThreadedEngineForEveryStrategy) {
+  for (Strategy strategy : kPreparableStrategies) {
+    Workload w = MakeAncestorChain(24);
+
+    // Many instances of one form, deliberately repeating constants so the
+    // cache and the pool both see duplicates in flight.
+    std::vector<Query> batch;
+    for (int repeat = 0; repeat < 4; ++repeat) {
+      for (int i = 0; i < 24; i += 2) {
+        batch.push_back(InstanceAt(w, "c" + std::to_string(i)));
+      }
+    }
+
+    QueryServiceOptions options;
+    options.num_threads = 8;
+    options.engine.strategy = strategy;
+    QueryService service(w.program, w.db, options);
+    std::vector<QueryAnswer> answers = service.AnswerBatch(batch);
+    ASSERT_EQ(answers.size(), batch.size());
+
+    EngineOptions engine_options;
+    engine_options.strategy = strategy;
+    QueryEngine engine(engine_options);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_TRUE(answers[i].status.ok())
+          << StrategyName(strategy) << ": " << answers[i].status.ToString();
+      QueryAnswer expected = engine.Run(w.program, batch[i], w.db);
+      ASSERT_TRUE(expected.status.ok());
+      EXPECT_EQ(answers[i].tuples, expected.tuples)
+          << StrategyName(strategy) << " query #" << i;
+    }
+
+    QueryService::Stats stats = service.stats();
+    EXPECT_EQ(stats.forms_compiled, 1u) << StrategyName(strategy);
+    EXPECT_EQ(stats.cache_hits, batch.size() - 1) << StrategyName(strategy);
+    EXPECT_EQ(stats.queries_served, batch.size()) << StrategyName(strategy);
+  }
+}
+
+TEST(QueryServiceTest, SameGenerationBatchMatchesEngine) {
+  Workload w = MakeSameGenNonlinear(6, 4);
+  std::vector<Query> batch;
+  for (int level = 0; level < 3; ++level) {
+    for (int column = 0; column < 4; ++column) {
+      batch.push_back(InstanceAt(w, "n" + std::to_string(level) + "_" +
+                                        std::to_string(column)));
+    }
+  }
+
+  QueryServiceOptions options;
+  options.num_threads = 8;
+  QueryService service(w.program, w.db, options);
+  std::vector<QueryAnswer> answers = service.AnswerBatch(batch);
+
+  QueryEngine engine;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(answers[i].status.ok()) << answers[i].status.ToString();
+    QueryAnswer expected = engine.Run(w.program, batch[i], w.db);
+    EXPECT_EQ(answers[i].tuples, expected.tuples) << "query #" << i;
+  }
+}
+
+/// The issue's hammer test: >= 8 client threads concurrently pushing
+/// single queries (not batches) through one shared service and database,
+/// with per-request strategy overrides so several forms compile and serve
+/// interleaved. The counting strategies intern affine/integer terms during
+/// evaluation, so this also exercises the concurrent TermArena.
+TEST(QueryServiceTest, ConcurrentClientsShareOneServiceAndFormCache) {
+  Workload w = MakeAncestorChain(20);
+  Universe& u = *w.universe;
+
+  QueryServiceOptions options;
+  options.num_threads = 8;
+  QueryService service(w.program, w.db, options);
+
+  // Expected answers, computed single-threaded before any concurrency.
+  // (Universe reads during serving are safe; this also pre-interns every
+  // constant the clients use.)
+  std::vector<Query> queries;
+  for (int i = 0; i < 20; ++i) {
+    queries.push_back(InstanceAt(w, "c" + std::to_string(i)));
+  }
+  std::vector<std::vector<std::vector<std::vector<TermId>>>> expected;
+  for (Strategy strategy : kPreparableStrategies) {
+    EngineOptions engine_options;
+    engine_options.strategy = strategy;
+    QueryEngine engine(engine_options);
+    std::vector<std::vector<std::vector<TermId>>> per_query;
+    for (const Query& query : queries) {
+      QueryAnswer answer = engine.Run(w.program, query, w.db);
+      ASSERT_TRUE(answer.status.ok());
+      per_query.push_back(answer.tuples);
+    }
+    expected.push_back(std::move(per_query));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 40;
+  std::vector<int> failures(kClients, 0);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          // Deterministic per-client mix of instances and strategies.
+          size_t strategy_index = (c + q) % std::size(kPreparableStrategies);
+          size_t query_index = (c * 7 + q * 3) % queries.size();
+          QueryRequest request;
+          request.query = queries[query_index];
+          request.strategy = kPreparableStrategies[strategy_index];
+          QueryAnswer answer = service.Submit(request).get();
+          if (!answer.status.ok() ||
+              answer.tuples != expected[strategy_index][query_index]) {
+            ++failures[c];
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.queries_served,
+            static_cast<size_t>(kClients) * kQueriesPerClient);
+  // One compiled form per strategy, everything else cache hits.
+  EXPECT_EQ(stats.forms_compiled, std::size(kPreparableStrategies));
+  (void)u;
+}
+
+TEST(QueryServiceTest, BasePredicateQueriesAreDirectSelections) {
+  Workload w = MakeAncestorChain(10);
+  Universe& u = *w.universe;
+  PredId par = *u.predicates().Find(*u.symbols().Find("par"), 2);
+
+  Query query;
+  query.goal.pred = par;
+  query.goal.args = {u.Constant("c3"), u.FreshVariable("Y")};
+
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+  QueryAnswer answer = service.Answer(query);
+  ASSERT_TRUE(answer.status.ok()) << answer.status.ToString();
+  ASSERT_EQ(answer.tuples.size(), 1u);
+  EXPECT_EQ(u.TermToString(answer.tuples[0][0]), "c4");
+  EXPECT_EQ(service.stats().forms_compiled, 0u);
+}
+
+TEST(QueryServiceTest, RejectsNonPreparableStrategies) {
+  Workload w = MakeAncestorChain(5);
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.engine.strategy = Strategy::kTopDown;
+  QueryService service(w.program, w.db, options);
+  QueryAnswer answer = service.Answer(w.query);
+  EXPECT_EQ(answer.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServiceTest, AnswersComeBackInInputOrder) {
+  Workload w = MakeAncestorChain(12);
+  Universe& u = *w.universe;
+  std::vector<Query> batch;
+  for (int i = 11; i >= 0; --i) {
+    batch.push_back(InstanceAt(w, "c" + std::to_string(i)));
+  }
+  QueryServiceOptions options;
+  options.num_threads = 8;
+  QueryService service(w.program, w.db, options);
+  std::vector<QueryAnswer> answers = service.AnswerBatch(batch);
+  ASSERT_EQ(answers.size(), 12u);
+  // Query anc(c_i, Y) over a 12-chain has 11 - i answers; input order is
+  // i = 11 .. 0, so sizes must come back strictly increasing.
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(answers[i].tuples.size(), static_cast<size_t>(i));
+  }
+  (void)u;
+}
+
+}  // namespace
+}  // namespace magic

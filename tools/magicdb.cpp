@@ -4,6 +4,9 @@
 //
 // Options:
 //   --query "anc(john, Y)"   query (overrides a ?- clause in the file)
+//   --batch FILE             serve every query in FILE (one per line)
+//                            concurrently through QueryService
+//   --threads N              worker threads for --batch (default: hardware)
 //   --strategy NAME          naive | seminaive | gms | gsms | gc | gsc |
 //                            gc+sj | gsc+sj | topdown     (default gsms)
 //   --sip NAME               full | chain | head-only | empty | greedy
@@ -15,8 +18,9 @@
 //   --stats                  print evaluation statistics
 //   --max-facts N            evaluation budget (default 10M)
 //
-// Example:
+// Examples:
 //   magicdb --strategy gms --explain --stats family.dl
+//   magicdb --batch queries.txt --threads 8 --stats family.dl
 
 #include <cstdio>
 #include <cstring>
@@ -28,7 +32,9 @@
 #include "ast/parser.h"
 #include "ast/printer.h"
 #include "engine/query_engine.h"
+#include "engine/query_service.h"
 #include "storage/fact_io.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -37,7 +43,9 @@ using namespace magic;
 struct Args {
   std::string program_path;
   std::string query_text;
+  std::string batch_path;
   std::string facts_dir;
+  size_t threads = 0;  // 0 = hardware concurrency
   EngineOptions options;
   bool explain = false;
   bool safety = false;
@@ -75,6 +83,19 @@ Args ParseArgs(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--query") {
       if (const char* v = need_value(i)) args.query_text = v;
+    } else if (arg == "--batch") {
+      if (const char* v = need_value(i)) args.batch_path = v;
+    } else if (arg == "--threads") {
+      if (const char* v = need_value(i)) {
+        char* end = nullptr;
+        unsigned long long threads = std::strtoull(v, &end, 10);
+        if (*v == '\0' || *v == '-' || *end != '\0' || threads > 4096) {
+          args.ok = false;
+          args.error = "bad --threads value: " + std::string(v);
+        } else {
+          args.threads = static_cast<size_t>(threads);
+        }
+      }
     } else if (arg == "--strategy") {
       if (const char* v = need_value(i)) {
         bool ok = true;
@@ -126,7 +147,88 @@ Args ParseArgs(int argc, char** argv) {
     args.ok = false;
     args.error = "no program file given";
   }
+  if (args.ok && !args.batch_path.empty() &&
+      (args.explain || args.safety || args.options.static_safety_check)) {
+    args.ok = false;
+    args.error =
+        "--explain/--safety/--check-safety are not supported with --batch";
+  }
   return args;
+}
+
+/// Serves every query in the batch file concurrently and prints each
+/// query's answers in input order, separated by `% query:` headers.
+int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
+  std::ifstream in(args.batch_path);
+  if (!in) {
+    std::fprintf(stderr, "magicdb: cannot open batch file %s\n",
+                 args.batch_path.c_str());
+    return 1;
+  }
+  std::vector<std::string> lines;
+  std::vector<Query> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    std::string text = line.substr(start);
+    auto q = ParseUnit("?- " + text + ".", parsed.program.universe());
+    if (!q.ok() || !q->query.has_value()) {
+      std::fprintf(stderr, "magicdb: bad batch query \"%s\": %s\n",
+                   text.c_str(),
+                   q.ok() ? "not a query" : q.status().ToString().c_str());
+      return 1;
+    }
+    lines.push_back(std::move(text));
+    queries.push_back(*q->query);
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "magicdb: batch file has no queries\n");
+    return 1;
+  }
+
+  QueryServiceOptions service_options;
+  service_options.num_threads = args.threads;
+  service_options.engine = args.options;
+  QueryService service(parsed.program, db, service_options);
+
+  Stopwatch watch;
+  std::vector<QueryAnswer> answers = service.AnswerBatch(queries);
+  double seconds = watch.ElapsedSeconds();
+
+  Universe& u = *parsed.program.universe();
+  int failed = 0;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    std::printf("%% query: %s\n", lines[i].c_str());
+    if (!answers[i].status.ok()) {
+      std::printf("error: %s\n", answers[i].status.ToString().c_str());
+      ++failed;
+      continue;
+    }
+    std::vector<int> free_positions = QueryFreePositions(u, queries[i]);
+    if (free_positions.empty()) {
+      std::printf("%s\n", answers[i].tuples.empty() ? "false" : "true");
+      continue;
+    }
+    for (const auto& tuple : answers[i].tuples) {
+      std::string row;
+      for (TermId term : tuple) {
+        if (!row.empty()) row += "\t";
+        row += u.TermToString(term);
+      }
+      std::printf("%s\n", row.c_str());
+    }
+  }
+  if (args.stats) {
+    QueryService::Stats stats = service.stats();
+    std::fprintf(stderr,
+                 "%% %zu quer(ies) on %zu thread(s) in %.3f ms (%.0f qps), "
+                 "%zu form(s) compiled, %zu cache hit(s), %d failed\n",
+                 answers.size(), service.num_threads(), seconds * 1e3,
+                 static_cast<double>(answers.size()) / seconds,
+                 stats.forms_compiled, stats.cache_hits, failed);
+  }
+  return failed == 0 ? 0 : 1;
 }
 
 int Run(const Args& args) {
@@ -162,6 +264,10 @@ int Run(const Args& args) {
       std::fprintf(stderr, "magicdb: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+
+  if (!args.batch_path.empty()) {
+    return RunBatch(args, *parsed, db);
   }
 
   std::optional<Query> query = parsed->query;
@@ -251,7 +357,8 @@ int main(int argc, char** argv) {
   if (!args.ok) {
     std::fprintf(stderr, "magicdb: %s\n", args.error.c_str());
     std::fprintf(stderr,
-                 "usage: magicdb [--query Q] [--strategy S] [--sip NAME] "
+                 "usage: magicdb [--query Q] [--batch FILE] [--threads N] "
+                 "[--strategy S] [--sip NAME] "
                  "[--guards MODE] [--facts DIR] [--explain] [--safety] "
                  "[--check-safety] [--stats] [--max-facts N] program.dl\n");
     return 2;
