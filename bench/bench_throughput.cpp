@@ -1,13 +1,24 @@
 // bench_throughput — QPS of the concurrent QueryService vs. thread count.
 //
 //   bench_throughput [--threads N] [--queries M] [--workload NAME]
+//                    [--mode NAME]
 //
 // Serves M queries (instances of one prepared form, constants cycling over
 // the workload's nodes) through QueryService at thread counts 1, 2, 4, ...
-// up to N, and emits one machine-readable JSON line per (workload, thread
-// count) so successive PRs can track a BENCH_throughput.json trajectory:
+// up to N, and emits one machine-readable JSON line per (workload, mode,
+// thread count) so successive PRs can track a BENCH_throughput.json
+// trajectory (scripts/bench_trajectory.sh appends labelled lines):
 //
-//   {"bench":"throughput","workload":"ancestor_chain_256","threads":4,...}
+//   {"bench":"throughput","workload":"ancestor_chain_256","mode":"batch",...}
+//
+// Modes exercise the serving API tiers:
+//   batch   AnswerBatch over QueryRequests (request tier, form cache hit
+//           per query)
+//   handle  Prepare once + Submit(FormHandle, seed) (steady-state hot
+//           path: no form-cache mutex)
+//   limit1  Submit(handle) with row_limit=1 (early-terminated existence
+//           queries; measures how much work the answer sink saves)
+//   stream  Stream(handle) and drain each cursor in chunks of 32
 //
 // Workloads: `ancestor` (chain of 256), `samegen` (10x6 grid), or `all`
 // (default). Indexes and the form cache are warmed before measuring so
@@ -76,7 +87,38 @@ BenchCase MakeSameGenCase(size_t queries) {
   return c;
 }
 
-void RunCase(const BenchCase& c, size_t max_threads) {
+/// The per-instance seed values of each batch query (the constants at the
+/// bound positions), for the handle tier.
+std::vector<std::vector<TermId>> SeedValues(const BenchCase& c) {
+  const Universe& u = *c.workload.universe;
+  std::vector<std::vector<TermId>> seeds;
+  seeds.reserve(c.batch.size());
+  for (const Query& query : c.batch) {
+    std::vector<TermId> bound;
+    for (TermId arg : query.goal.args) {
+      if (u.terms().IsGround(arg)) bound.push_back(arg);
+    }
+    seeds.push_back(std::move(bound));
+  }
+  return seeds;
+}
+
+void EmitLine(const BenchCase& c, const char* mode, size_t threads,
+              size_t queries, double seconds, size_t answers,
+              size_t failures, const QueryService::Stats& stats) {
+  std::printf(
+      "{\"bench\":\"throughput\",\"workload\":\"%s\",\"mode\":\"%s\","
+      "\"threads\":%zu,\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,"
+      "\"answers\":%zu,\"failures\":%zu,\"forms_compiled\":%zu,"
+      "\"cache_hits\":%zu}\n",
+      c.name.c_str(), mode, threads, queries, seconds,
+      static_cast<double>(queries) / seconds, answers, failures,
+      stats.forms_compiled, stats.cache_hits);
+  std::fflush(stdout);
+}
+
+void RunCase(const BenchCase& c, size_t max_threads,
+             const std::string& mode) {
   // Warm up: build the EDB indexes and intern everything once so every
   // measured thread count does identical work.
   {
@@ -85,28 +127,86 @@ void RunCase(const BenchCase& c, size_t max_threads) {
     QueryService warmup(c.workload.program, c.workload.db, options);
     (void)warmup.AnswerBatch(c.batch);
   }
+  std::vector<std::vector<TermId>> seeds = SeedValues(c);
   for (size_t threads = 1; threads <= max_threads; threads *= 2) {
     QueryServiceOptions options;
     options.num_threads = threads;
-    QueryService service(c.workload.program, c.workload.db, options);
-    Stopwatch watch;
-    std::vector<QueryAnswer> answers = service.AnswerBatch(c.batch);
-    double seconds = watch.ElapsedSeconds();
-    size_t total_answers = 0;
-    size_t failures = 0;
-    for (const QueryAnswer& answer : answers) {
-      if (!answer.status.ok()) ++failures;
-      total_answers += answer.tuples.size();
+
+    if (mode == "batch" || mode == "all") {
+      QueryService service(c.workload.program, c.workload.db, options);
+      Stopwatch watch;
+      std::vector<QueryAnswer> answers = service.AnswerBatch(c.batch);
+      double seconds = watch.ElapsedSeconds();
+      size_t total_answers = 0;
+      size_t failures = 0;
+      for (const QueryAnswer& answer : answers) {
+        if (!answer.status.ok()) ++failures;
+        total_answers += answer.tuples.size();
+      }
+      EmitLine(c, "batch", threads, c.batch.size(), seconds, total_answers,
+               failures, service.stats());
     }
-    QueryService::Stats stats = service.stats();
-    std::printf(
-        "{\"bench\":\"throughput\",\"workload\":\"%s\",\"threads\":%zu,"
-        "\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,\"answers\":%zu,"
-        "\"failures\":%zu,\"forms_compiled\":%zu,\"cache_hits\":%zu}\n",
-        c.name.c_str(), threads, c.batch.size(), seconds,
-        static_cast<double>(c.batch.size()) / seconds, total_answers,
-        failures, stats.forms_compiled, stats.cache_hits);
-    std::fflush(stdout);
+
+    if (mode == "handle" || mode == "limit1" || mode == "all") {
+      for (const char* tier : {"handle", "limit1"}) {
+        if (mode != "all" && mode != tier) continue;
+        QueryService service(c.workload.program, c.workload.db, options);
+        QueryRequest exemplar;
+        exemplar.query = c.workload.query;
+        auto handle = service.Prepare(exemplar);
+        if (!handle.ok()) {
+          std::fprintf(stderr, "bench_throughput: %s\n",
+                       handle.status().ToString().c_str());
+          return;
+        }
+        QueryLimits limits;
+        if (std::strcmp(tier, "limit1") == 0) limits.row_limit = 1;
+        Stopwatch watch;
+        std::vector<std::future<QueryAnswer>> futures;
+        futures.reserve(seeds.size());
+        for (const std::vector<TermId>& seed : seeds) {
+          futures.push_back(service.Submit(*handle, seed, limits));
+        }
+        size_t total_answers = 0;
+        size_t failures = 0;
+        for (std::future<QueryAnswer>& future : futures) {
+          QueryAnswer answer = future.get();
+          if (!answer.status.ok()) ++failures;
+          total_answers += answer.tuples.size();
+        }
+        double seconds = watch.ElapsedSeconds();
+        EmitLine(c, tier, threads, seeds.size(), seconds, total_answers,
+                 failures, service.stats());
+      }
+    }
+
+    if (mode == "stream" || mode == "all") {
+      QueryService service(c.workload.program, c.workload.db, options);
+      QueryRequest exemplar;
+      exemplar.query = c.workload.query;
+      auto handle = service.Prepare(exemplar);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "bench_throughput: %s\n",
+                     handle.status().ToString().c_str());
+        return;
+      }
+      Stopwatch watch;
+      std::vector<AnswerCursor> cursors;
+      cursors.reserve(seeds.size());
+      for (const std::vector<TermId>& seed : seeds) {
+        cursors.push_back(service.Stream(*handle, seed));
+      }
+      size_t total_answers = 0;
+      size_t failures = 0;
+      std::vector<std::vector<TermId>> chunk;
+      for (AnswerCursor& cursor : cursors) {
+        while (cursor.Next(32, &chunk)) total_answers += chunk.size();
+        if (!cursor.Finish().status.ok()) ++failures;
+      }
+      double seconds = watch.ElapsedSeconds();
+      EmitLine(c, "stream", threads, seeds.size(), seconds, total_answers,
+               failures, service.stats());
+    }
   }
 }
 
@@ -116,6 +216,7 @@ int main(int argc, char** argv) {
   size_t max_threads = 4;
   size_t queries = 256;
   std::string workload = "all";
+  std::string mode = "all";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       max_threads = std::strtoull(argv[++i], nullptr, 10);
@@ -123,10 +224,13 @@ int main(int argc, char** argv) {
       queries = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--workload") == 0 && i + 1 < argc) {
       workload = argv[++i];
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      mode = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--threads N] [--queries M] "
-                   "[--workload ancestor|samegen|all]\n");
+                   "[--workload ancestor|samegen|all] "
+                   "[--mode batch|handle|limit1|stream|all]\n");
       return 2;
     }
   }
@@ -136,11 +240,17 @@ int main(int argc, char** argv) {
                  workload.c_str());
     return 2;
   }
+  if (mode != "batch" && mode != "handle" && mode != "limit1" &&
+      mode != "stream" && mode != "all") {
+    std::fprintf(stderr, "bench_throughput: unknown mode \"%s\"\n",
+                 mode.c_str());
+    return 2;
+  }
   if (workload == "ancestor" || workload == "all") {
-    RunCase(MakeAncestorCase(queries), max_threads);
+    RunCase(MakeAncestorCase(queries), max_threads, mode);
   }
   if (workload == "samegen" || workload == "all") {
-    RunCase(MakeSameGenCase(queries), max_threads);
+    RunCase(MakeSameGenCase(queries), max_threads, mode);
   }
   return 0;
 }

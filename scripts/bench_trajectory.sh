@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Runs bench_throughput and appends one labelled JSON line per record to
+# BENCH_throughput.json, building the cross-PR throughput trajectory the
+# ROADMAP tracks. Each line is the bench's own record plus a "label" (git
+# short SHA by default) and the machine's core count.
+#
+#   scripts/bench_trajectory.sh [bench-binary] [label] [output-file]
+#
+# Environment: THREADS (default 4), QUERIES (default 256), MODE (default
+# all). Run from the repository root.
+set -eu
+
+BIN=${1:-./build/bench_throughput}
+LABEL=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
+OUT=${3:-BENCH_throughput.json}
+CORES=$(nproc 2>/dev/null || echo 1)
+
+# Run to a temp file first so a bench failure fails this script (a pipe
+# into `while read` would swallow the bench's exit status under POSIX sh).
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+"$BIN" --threads "${THREADS:-4}" --queries "${QUERIES:-256}" \
+       --mode "${MODE:-all}" > "$TMP"
+
+while IFS= read -r line; do
+  printf '{"label":"%s","cores":%s,%s\n' "$LABEL" "$CORES" "${line#\{}" \
+    >> "$OUT"
+done < "$TMP"
+
+tail -n 5 "$OUT"

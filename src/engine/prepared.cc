@@ -7,18 +7,10 @@ namespace magic {
 Result<PreparedQueryForm> PreparedQueryForm::Prepare(
     const Program& program, const Query& exemplar,
     const EngineOptions& options) {
-  switch (options.strategy) {
-    case Strategy::kMagic:
-    case Strategy::kSupplementaryMagic:
-    case Strategy::kCounting:
-    case Strategy::kSupplementaryCounting:
-    case Strategy::kCountingSemijoin:
-    case Strategy::kSupCountingSemijoin:
-      break;
-    default:
-      return Status::InvalidArgument(
-          "PreparedQueryForm requires a rewriting strategy (got " +
-          StrategyName(options.strategy) + ")");
+  if (!IsRewritingStrategy(options.strategy)) {
+    return Status::InvalidArgument(
+        "PreparedQueryForm requires a rewriting strategy (got " +
+        StrategyName(options.strategy) + ")");
   }
   std::unique_ptr<SipStrategy> sip = MakeSipStrategy(options.sip);
   if (sip == nullptr) {
@@ -46,6 +38,13 @@ Result<PreparedQueryForm> PreparedQueryForm::Prepare(
 
 QueryAnswer PreparedQueryForm::Answer(const std::vector<TermId>& bound_values,
                                       const Database& db) const {
+  return Answer(bound_values, db, QueryLimits{});
+}
+
+QueryAnswer PreparedQueryForm::Answer(
+    const std::vector<TermId>& bound_values, const Database& db,
+    const QueryLimits& limits, const AnswerSink& sink,
+    std::optional<std::chrono::steady_clock::time_point> admitted) const {
   QueryAnswer answer;
   answer.strategy_name = rewritten_.strategy_name;
   if (bound_values.size() != bound_positions_.size()) {
@@ -53,6 +52,7 @@ QueryAnswer PreparedQueryForm::Answer(const std::vector<TermId>& bound_values,
         "query form " + adornment_.ToString() + " takes " +
         std::to_string(bound_positions_.size()) + " bound value(s), got " +
         std::to_string(bound_values.size()));
+    answer.outcome = AnswerStatus::kError;
     return answer;
   }
   Universe& u = *universe_;
@@ -61,17 +61,47 @@ QueryAnswer PreparedQueryForm::Answer(const std::vector<TermId>& bound_values,
     if (!u.terms().IsGround(bound_values[i])) {
       answer.status =
           Status::InvalidArgument("bound values must be ground terms");
+      answer.outcome = AnswerStatus::kError;
       return answer;
     }
     instance.goal.args[bound_positions_[i]] = bound_values[i];
   }
   std::vector<Fact> seeds = MakeSeeds(rewritten_, instance, u);
-  Evaluator evaluator(eval_options_);
-  EvalResult result = evaluator.Run(rewritten_.program, db, seeds);
+  EvalOptions eval_options = eval_options_;
+  if (limits.max_facts.has_value()) eval_options.max_facts = *limits.max_facts;
+  Evaluator evaluator(eval_options);
+
+  const bool controlled = limits.NeedsControl() || static_cast<bool>(sink);
+  if (!controlled) {
+    EvalResult result = evaluator.Run(rewritten_.program, db, seeds);
+    answer.status = result.status;
+    answer.eval_stats = result.stats;
+    answer.total_facts = result.TotalFacts();
+    answer.tuples = ExtractAnswers(u, rewritten_, instance, result);
+    answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+    return answer;
+  }
+
+  // Bounded/streaming path: filter and project answer rows as they are
+  // derived, so the fixpoint aborts the moment the caller has enough.
+  AnswerProjector projector =
+      AnswerProjector::ForRewritten(u, rewritten_, instance);
+  AnswerCollector collector(limits.row_limit, sink ? &sink : nullptr);
+  EvalControl control;
+  control.sink_pred = rewritten_.answer_pred;
+  control.on_fact = MakeAnswerHook(projector, collector);
+  if (limits.deadline.has_value()) {
+    control.deadline =
+        admitted.value_or(std::chrono::steady_clock::now()) + *limits.deadline;
+  }
+  if (limits.cancel != nullptr) control.cancel = limits.cancel.get();
+
+  EvalResult result = evaluator.Run(rewritten_.program, db, seeds, &control);
   answer.status = result.status;
   answer.eval_stats = result.stats;
   answer.total_facts = result.TotalFacts();
-  answer.tuples = ExtractAnswers(u, rewritten_, instance, result);
+  if (!sink) answer.tuples = collector.TakeSorted();
+  answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
   return answer;
 }
 

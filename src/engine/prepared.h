@@ -29,8 +29,22 @@ class PreparedQueryForm {
   QueryAnswer Answer(const std::vector<TermId>& bound_values,
                      const Database& db) const;
 
+  /// Resource-bounded instance: enforces `limits` during the fixpoint (the
+  /// evaluation aborts as soon as the row limit, deadline, or cancellation
+  /// fires) and streams each distinct answer tuple to `sink` as it is
+  /// derived. `admitted` anchors the deadline (defaults to entry time) so a
+  /// serving layer can charge queue wait against it.
+  QueryAnswer Answer(const std::vector<TermId>& bound_values,
+                     const Database& db, const QueryLimits& limits,
+                     const AnswerSink& sink = {},
+                     std::optional<std::chrono::steady_clock::time_point>
+                         admitted = std::nullopt) const;
+
   /// The adornment of the compiled form (e.g. "bf").
   const Adornment& adornment() const { return adornment_; }
+
+  /// Number of bound positions, i.e. the arity of Answer's `bound_values`.
+  size_t bound_arity() const { return bound_positions_.size(); }
 
   /// The rewritten program evaluated for every instance.
   const RewrittenProgram& rewritten() const { return rewritten_; }

@@ -8,19 +8,76 @@
 
 namespace magic {
 
+namespace {
+
+/// Single source of truth for strategy names; the CLI parses with
+/// StrategyFromName against this same table.
+constexpr std::pair<Strategy, const char*> kStrategyNames[] = {
+    {Strategy::kNaiveBottomUp, "naive"},
+    {Strategy::kSemiNaiveBottomUp, "seminaive"},
+    {Strategy::kMagic, "gms"},
+    {Strategy::kSupplementaryMagic, "gsms"},
+    {Strategy::kCounting, "gc"},
+    {Strategy::kSupplementaryCounting, "gsc"},
+    {Strategy::kCountingSemijoin, "gc+sj"},
+    {Strategy::kSupCountingSemijoin, "gsc+sj"},
+    {Strategy::kTopDown, "topdown"},
+};
+
+}  // namespace
+
 std::string StrategyName(Strategy strategy) {
-  switch (strategy) {
-    case Strategy::kNaiveBottomUp: return "naive";
-    case Strategy::kSemiNaiveBottomUp: return "seminaive";
-    case Strategy::kMagic: return "gms";
-    case Strategy::kSupplementaryMagic: return "gsms";
-    case Strategy::kCounting: return "gc";
-    case Strategy::kSupplementaryCounting: return "gsc";
-    case Strategy::kCountingSemijoin: return "gc+sj";
-    case Strategy::kSupCountingSemijoin: return "gsc+sj";
-    case Strategy::kTopDown: return "topdown";
+  for (const auto& [value, name] : kStrategyNames) {
+    if (value == strategy) return name;
   }
   return "?";
+}
+
+std::optional<Strategy> StrategyFromName(const std::string& name) {
+  for (const auto& [value, table_name] : kStrategyNames) {
+    if (name == table_name) return value;
+  }
+  return std::nullopt;
+}
+
+std::span<const std::pair<Strategy, const char*>> StrategyNames() {
+  return kStrategyNames;
+}
+
+bool IsRewritingStrategy(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kMagic:
+    case Strategy::kSupplementaryMagic:
+    case Strategy::kCounting:
+    case Strategy::kSupplementaryCounting:
+    case Strategy::kCountingSemijoin:
+    case Strategy::kSupCountingSemijoin:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string AnswerStatusName(AnswerStatus status) {
+  switch (status) {
+    case AnswerStatus::kOk: return "ok";
+    case AnswerStatus::kError: return "error";
+    case AnswerStatus::kTruncated: return "truncated";
+    case AnswerStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case AnswerStatus::kCancelled: return "cancelled";
+    case AnswerStatus::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
+AnswerStatus ClassifyOutcome(StopReason stop, const Status& status) {
+  switch (stop) {
+    case StopReason::kSink: return AnswerStatus::kTruncated;
+    case StopReason::kDeadline: return AnswerStatus::kDeadlineExceeded;
+    case StopReason::kCancelled: return AnswerStatus::kCancelled;
+    case StopReason::kNone: break;
+  }
+  return status.ok() ? AnswerStatus::kOk : AnswerStatus::kError;
 }
 
 namespace {
@@ -32,33 +89,90 @@ std::vector<std::vector<TermId>> SortedUnique(
   return tuples;
 }
 
-/// Answers from a direct (non-rewritten) evaluation: select rows of the
-/// query predicate matching the bound constants, project free positions.
-std::vector<std::vector<TermId>> ExtractDirect(Universe& u,
-                                               const Query& query,
-                                               const Relation* rel) {
-  std::vector<std::vector<TermId>> out;
-  if (rel == nullptr) return out;
-  std::vector<int> free_positions = QueryFreePositions(u, query);
-  for (size_t row = 0; row < rel->size(); ++row) {
-    std::span<const TermId> tuple = rel->Row(row);
-    bool match = true;
-    for (size_t a = 0; a < query.goal.args.size(); ++a) {
-      if (u.terms().IsGround(query.goal.args[a]) &&
-          tuple[a] != query.goal.args[a]) {
-        match = false;
-        break;
-      }
-    }
-    if (!match) continue;
-    std::vector<TermId> answer;
-    for (int p : free_positions) answer.push_back(tuple[p]);
-    out.push_back(std::move(answer));
+}  // namespace
+
+AnswerProjector AnswerProjector::ForRewritten(
+    Universe& u, const RewrittenProgram& rewritten, const Query& query) {
+  AnswerProjector p;
+  TermId zero = u.Integer(0);
+  for (uint32_t f = 0; f < rewritten.answer_index_fields; ++f) {
+    p.required_.emplace_back(static_cast<int>(f), zero);
   }
-  return SortedUnique(std::move(out));
+  for (size_t pos = 0; pos < query.goal.args.size(); ++pos) {
+    int col = rewritten.answer_positions[pos];
+    if (u.terms().IsGround(query.goal.args[pos])) {
+      // The semijoin optimization may have dropped this bound column.
+      if (col >= 0) p.bound_checks_.emplace_back(col, query.goal.args[pos]);
+    } else {
+      MAGIC_CHECK_MSG(col >= 0, "free query positions are never dropped");
+      p.free_columns_.push_back(col);
+    }
+  }
+  return p;
 }
 
-}  // namespace
+AnswerProjector AnswerProjector::ForDirect(const Universe& u,
+                                           const Query& query) {
+  AnswerProjector p;
+  for (size_t pos = 0; pos < query.goal.args.size(); ++pos) {
+    if (u.terms().IsGround(query.goal.args[pos])) {
+      p.bound_checks_.emplace_back(static_cast<int>(pos),
+                                   query.goal.args[pos]);
+    } else {
+      p.free_columns_.push_back(static_cast<int>(pos));
+    }
+  }
+  return p;
+}
+
+bool AnswerProjector::Project(std::span<const TermId> tuple,
+                              std::vector<TermId>* out) const {
+  for (const auto& [col, term] : required_) {
+    if (tuple[col] != term) return false;
+  }
+  for (const auto& [col, term] : bound_checks_) {
+    if (tuple[col] != term) return false;
+  }
+  out->clear();
+  for (int col : free_columns_) out->push_back(tuple[col]);
+  return true;
+}
+
+bool AnswerCollector::Accept(std::vector<TermId> tuple) {
+  if (truncated_) return false;
+  auto [it, inserted] = seen_.insert(std::move(tuple));
+  if (!inserted) return true;
+  if (sink_ != nullptr && *sink_ && !(*sink_)(*it)) {
+    truncated_ = true;
+    return false;
+  }
+  if (row_limit_ != 0 && seen_.size() >= row_limit_) {
+    truncated_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::function<bool(std::span<const TermId>)> MakeAnswerHook(
+    const AnswerProjector& projector, AnswerCollector& collector) {
+  return [&projector, &collector,
+          projected = std::vector<TermId>()](
+             std::span<const TermId> row) mutable {
+    if (!projector.Project(row, &projected)) return true;
+    return collector.Accept(projected);
+  };
+}
+
+std::vector<std::vector<TermId>> AnswerCollector::TakeSorted() {
+  // std::set of vectors iterates in lexicographic order — exactly the
+  // sorted/deduplicated order ExtractAnswers produces after the fact.
+  std::vector<std::vector<TermId>> out;
+  out.reserve(seen_.size());
+  for (auto it = seen_.begin(); it != seen_.end();) {
+    out.push_back(std::move(seen_.extract(it++).value()));
+  }
+  return out;
+}
 
 std::vector<std::vector<TermId>> ExtractAnswers(
     Universe& u, const RewrittenProgram& rewritten, const Query& query,
@@ -67,36 +181,37 @@ std::vector<std::vector<TermId>> ExtractAnswers(
   auto it = eval.idb.find(rewritten.answer_pred);
   if (it == eval.idb.end()) return out;
   const Relation& rel = it->second;
-  TermId zero = u.Integer(0);
-  std::vector<int> free_positions = QueryFreePositions(u, query);
+  AnswerProjector projector =
+      AnswerProjector::ForRewritten(u, rewritten, query);
+  std::vector<TermId> projected;
   for (size_t row = 0; row < rel.size(); ++row) {
-    std::span<const TermId> tuple = rel.Row(row);
-    bool match = true;
-    for (uint32_t f = 0; f < rewritten.answer_index_fields; ++f) {
-      if (tuple[f] != zero) {
-        match = false;
-        break;
-      }
+    if (projector.Project(rel.Row(row), &projected)) {
+      out.push_back(projected);
     }
-    if (!match) continue;
-    for (size_t p = 0; p < query.goal.args.size() && match; ++p) {
-      if (!u.terms().IsGround(query.goal.args[p])) continue;
-      int col = rewritten.answer_positions[p];
-      if (col >= 0 && tuple[col] != query.goal.args[p]) match = false;
-    }
-    if (!match) continue;
-    std::vector<TermId> answer;
-    bool complete = true;
-    for (int p : free_positions) {
-      int col = rewritten.answer_positions[p];
-      MAGIC_CHECK_MSG(col >= 0, "free query positions are never dropped");
-      answer.push_back(tuple[col]);
-      (void)complete;
-    }
-    out.push_back(std::move(answer));
   }
   return SortedUnique(std::move(out));
 }
+
+namespace {
+
+/// Answers from a direct (non-rewritten) evaluation: select rows of the
+/// query predicate matching the bound constants, project free positions.
+std::vector<std::vector<TermId>> ExtractDirect(Universe& u,
+                                               const Query& query,
+                                               const Relation* rel) {
+  std::vector<std::vector<TermId>> out;
+  if (rel == nullptr) return out;
+  AnswerProjector projector = AnswerProjector::ForDirect(u, query);
+  std::vector<TermId> projected;
+  for (size_t row = 0; row < rel->size(); ++row) {
+    if (projector.Project(rel->Row(row), &projected)) {
+      out.push_back(projected);
+    }
+  }
+  return SortedUnique(std::move(out));
+}
+
+}  // namespace
 
 Result<RewrittenProgram> QueryEngine::Rewrite(const AdornedProgram& adorned,
                                               Strategy strategy,
@@ -145,30 +260,83 @@ Result<RewrittenProgram> QueryEngine::Rewrite(const AdornedProgram& adorned,
 
 QueryAnswer QueryEngine::Run(const Program& program, const Query& query,
                              const Database& db) const {
+  return Run(program, query, db, QueryLimits{});
+}
+
+QueryAnswer QueryEngine::Run(
+    const Program& program, const Query& query, const Database& db,
+    const QueryLimits& limits, const AnswerSink& sink,
+    std::optional<std::chrono::steady_clock::time_point> admitted) const {
   QueryAnswer answer;
   answer.strategy_name = StrategyName(options_.strategy);
   Universe& u = *program.universe();
 
+  // When any bound or sink is active, evaluation runs under an EvalControl
+  // whose on_fact hook filters/projects answer rows as they are derived;
+  // otherwise the legacy extract-after-fixpoint path runs unchanged.
+  const bool controlled = limits.NeedsControl() || static_cast<bool>(sink);
+  AnswerCollector collector(limits.row_limit, sink ? &sink : nullptr);
+  EvalControl control;
+  if (limits.deadline.has_value()) {
+    control.deadline =
+        admitted.value_or(std::chrono::steady_clock::now()) + *limits.deadline;
+  }
+  if (limits.cancel != nullptr) control.cancel = limits.cancel.get();
+  EvalOptions eval_options = options_.eval;
+  if (limits.max_facts.has_value()) eval_options.max_facts = *limits.max_facts;
+
   // Base-predicate queries are direct selections (any strategy).
   if (!program.IsHeadPredicate(query.goal.pred)) {
-    answer.tuples = ExtractDirect(u, query, db.Find(query.goal.pred));
     answer.status = Status::OK();
+    if (!controlled) {
+      answer.tuples = ExtractDirect(u, query, db.Find(query.goal.pred));
+      return answer;
+    }
+    const Relation* rel = db.Find(query.goal.pred);
+    AnswerProjector projector = AnswerProjector::ForDirect(u, query);
+    auto accept = MakeAnswerHook(projector, collector);
+    StopReason stop = PollEvalControl(&control);
+    for (size_t row = 0;
+         stop == StopReason::kNone && rel != nullptr && row < rel->size();
+         ++row) {
+      if ((row & 0xFFF) == 0xFFF) stop = PollEvalControl(&control);
+      if (stop == StopReason::kNone && !accept(rel->Row(row))) {
+        stop = StopReason::kSink;
+      }
+    }
+    if (!sink) answer.tuples = collector.TakeSorted();
+    if (stop == StopReason::kDeadline) {
+      answer.status = Status::DeadlineExceeded("selection deadline exceeded");
+    } else if (stop == StopReason::kCancelled) {
+      answer.status = Status::Cancelled("selection cancelled");
+    }
+    answer.outcome = ClassifyOutcome(stop, answer.status);
     return answer;
   }
 
   if (options_.strategy == Strategy::kNaiveBottomUp ||
       options_.strategy == Strategy::kSemiNaiveBottomUp) {
-    EvalOptions eval_options = options_.eval;
     eval_options.seminaive =
         options_.strategy == Strategy::kSemiNaiveBottomUp;
+    AnswerProjector projector = AnswerProjector::ForDirect(u, query);
+    if (controlled) {
+      control.sink_pred = query.goal.pred;
+      control.on_fact = MakeAnswerHook(projector, collector);
+    }
     Evaluator evaluator(eval_options);
-    EvalResult result = evaluator.Run(program, db);
+    EvalResult result =
+        evaluator.Run(program, db, {}, controlled ? &control : nullptr);
     answer.status = result.status;
     answer.eval_stats = result.stats;
     answer.total_facts = result.TotalFacts();
-    auto it = result.idb.find(query.goal.pred);
-    answer.tuples = ExtractDirect(
-        u, query, it == result.idb.end() ? nullptr : &it->second);
+    if (controlled) {
+      if (!sink) answer.tuples = collector.TakeSorted();
+    } else {
+      auto it = result.idb.find(query.goal.pred);
+      answer.tuples = ExtractDirect(
+          u, query, it == result.idb.end() ? nullptr : &it->second);
+    }
+    answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
     if (options_.explain) {
       answer.rewritten_text = ProgramToString(program);
     }
@@ -176,15 +344,17 @@ QueryAnswer QueryEngine::Run(const Program& program, const Query& query,
   }
 
   // All remaining strategies start from the adorned program.
-  std::unique_ptr<SipStrategy> sip = MakeSipStrategy(options_.sip);
-  if (sip == nullptr) {
+  std::unique_ptr<SipStrategy> sip_strategy = MakeSipStrategy(options_.sip);
+  if (sip_strategy == nullptr) {
     answer.status =
         Status::InvalidArgument("unknown sip strategy: " + options_.sip);
+    answer.outcome = AnswerStatus::kError;
     return answer;
   }
-  Result<AdornedProgram> adorned = Adorn(program, query, *sip);
+  Result<AdornedProgram> adorned = Adorn(program, query, *sip_strategy);
   if (!adorned.ok()) {
     answer.status = adorned.status();
+    answer.outcome = AnswerStatus::kError;
     return answer;
   }
 
@@ -199,24 +369,37 @@ QueryAnswer QueryEngine::Run(const Program& program, const Query& query,
                          report.explanation;
     if (report.verdict == SafetyVerdict::kUnsafeCountingCycle) {
       answer.status = Status::Unsafe(answer.safety_note);
+      answer.outcome = AnswerStatus::kError;
       return answer;
     }
   }
 
   if (options_.strategy == Strategy::kTopDown) {
-    TopDownEngine engine(options_.eval);
-    TopDownResult result = engine.Run(*adorned, db);
+    AnswerProjector projector =
+        AnswerProjector::ForDirect(u, adorned->query);
+    if (controlled) {
+      control.sink_pred = adorned->query_pred;
+      control.on_fact = MakeAnswerHook(projector, collector);
+    }
+    TopDownEngine engine(eval_options);
+    TopDownResult result =
+        engine.Run(*adorned, db, controlled ? &control : nullptr);
     answer.status = result.status;
     answer.topdown_stats = result.stats;
     answer.total_facts = result.stats.answers;
-    std::vector<int> free_positions = QueryFreePositions(u, query);
-    for (const std::vector<TermId>& row :
-         result.QueryAnswers(u, *adorned, adorned->query_pred)) {
-      std::vector<TermId> tuple;
-      for (int p : free_positions) tuple.push_back(row[p]);
-      answer.tuples.push_back(std::move(tuple));
+    if (controlled) {
+      if (!sink) answer.tuples = collector.TakeSorted();
+    } else {
+      std::vector<int> free_positions = QueryFreePositions(u, query);
+      for (const std::vector<TermId>& row :
+           result.QueryAnswers(u, *adorned, adorned->query_pred)) {
+        std::vector<TermId> tuple;
+        for (int p : free_positions) tuple.push_back(row[p]);
+        answer.tuples.push_back(std::move(tuple));
+      }
+      answer.tuples = SortedUnique(std::move(answer.tuples));
     }
-    answer.tuples = SortedUnique(std::move(answer.tuples));
+    answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
     if (options_.explain) {
       answer.rewritten_text = ProgramToString(adorned->program);
     }
@@ -227,15 +410,28 @@ QueryAnswer QueryEngine::Run(const Program& program, const Query& query,
       Rewrite(*adorned, options_.strategy, options_.guard_mode);
   if (!rewritten.ok()) {
     answer.status = rewritten.status();
+    answer.outcome = AnswerStatus::kError;
     return answer;
   }
   std::vector<Fact> seeds = MakeSeeds(*rewritten, query, u);
-  Evaluator evaluator(options_.eval);
-  EvalResult result = evaluator.Run(rewritten->program, db, seeds);
+  AnswerProjector projector =
+      AnswerProjector::ForRewritten(u, *rewritten, query);
+  if (controlled) {
+    control.sink_pred = rewritten->answer_pred;
+    control.on_fact = MakeAnswerHook(projector, collector);
+  }
+  Evaluator evaluator(eval_options);
+  EvalResult result = evaluator.Run(rewritten->program, db, seeds,
+                                    controlled ? &control : nullptr);
   answer.status = result.status;
   answer.eval_stats = result.stats;
   answer.total_facts = result.TotalFacts();
-  answer.tuples = ExtractAnswers(u, *rewritten, query, result);
+  if (controlled) {
+    if (!sink) answer.tuples = collector.TakeSorted();
+  } else {
+    answer.tuples = ExtractAnswers(u, *rewritten, query, result);
+  }
+  answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
   if (options_.explain) {
     answer.rewritten_text = ProgramToString(rewritten->program);
   }

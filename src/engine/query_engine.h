@@ -1,7 +1,15 @@
 #ifndef MAGIC_ENGINE_QUERY_ENGINE_H_
 #define MAGIC_ENGINE_QUERY_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <set>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/safety.h"
@@ -32,6 +40,17 @@ enum class Strategy {
 
 std::string StrategyName(Strategy strategy);
 
+/// Inverse of StrategyName; both read one shared name table, so the CLI and
+/// the library cannot drift apart. Returns nullopt for unknown names.
+std::optional<Strategy> StrategyFromName(const std::string& name);
+
+/// The canonical (strategy, name) table, for CLI help text and iteration.
+std::span<const std::pair<Strategy, const char*>> StrategyNames();
+
+/// True for the strategies that compile a query form (adorn + rewrite);
+/// naive/semi-naive/top-down evaluate the original program instead.
+bool IsRewritingStrategy(Strategy strategy);
+
 struct EngineOptions {
   Strategy strategy = Strategy::kSupplementaryMagic;
   /// Sip strategy name, resolved by MakeSipStrategy: "full", "chain",
@@ -46,9 +65,55 @@ struct EngineOptions {
   bool explain = false;
 };
 
+/// Per-request resource bounds. A default-constructed QueryLimits means
+/// "run to fixpoint", which is what the legacy Answer/Run entry points do.
+struct QueryLimits {
+  /// Stop after this many distinct answer tuples (0 = unlimited). Hitting
+  /// the limit is not an error: the answer's status stays OK and its
+  /// outcome becomes kTruncated.
+  uint64_t row_limit = 0;
+  /// Wall-clock evaluation budget, anchored when the request is admitted
+  /// (so queue wait counts against it in QueryService).
+  std::optional<std::chrono::milliseconds> deadline;
+  /// Per-request override of EvalOptions::max_facts.
+  std::optional<uint64_t> max_facts;
+  /// Cooperative cancellation: set to true (from any thread) to abort the
+  /// evaluation; the answer's outcome becomes kCancelled.
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  /// True when any bound requires the evaluation-time control hook.
+  bool NeedsControl() const {
+    return row_limit != 0 || deadline.has_value() || cancel != nullptr;
+  }
+};
+
+/// How one request ended, beyond its Status: the truncation/limit outcomes
+/// keep status OK or carry a matching non-OK code (kDeadlineExceeded /
+/// kCancelled), while kError covers every other non-OK status.
+enum class AnswerStatus {
+  kOk,                // complete answer set
+  kError,             // see QueryAnswer::status
+  kTruncated,         // QueryLimits::row_limit reached; tuples are a prefix
+  kDeadlineExceeded,  // deadline expired mid-run; tuples are a prefix
+  kCancelled,         // cancellation token set; tuples are a prefix
+  kOverloaded,        // rejected by admission control; never evaluated
+};
+
+std::string AnswerStatusName(AnswerStatus status);
+
+/// Streaming hook: called once per distinct answer tuple (projected onto
+/// the query's free positions), in derivation order, from the evaluating
+/// thread. Return false to stop evaluation early (outcome kTruncated).
+/// When a request supplies a sink, the answer's `tuples` are left empty —
+/// the tuples went to the sink; materializing a second sorted copy would
+/// defeat the point of streaming.
+using AnswerSink = std::function<bool(const std::vector<TermId>&)>;
+
 /// The result of answering one query.
 struct QueryAnswer {
   Status status;
+  /// How the request ended; refines `status` with the limit outcomes.
+  AnswerStatus outcome = AnswerStatus::kOk;
   /// Answer tuples over the query's free positions, sorted and deduplicated.
   std::vector<std::vector<TermId>> tuples;
   /// Bottom-up statistics (empty for the top-down strategy).
@@ -61,6 +126,8 @@ struct QueryAnswer {
   std::string rewritten_text;
   std::string safety_note;
   std::string strategy_name;
+
+  bool truncated() const { return outcome == AnswerStatus::kTruncated; }
 };
 
 /// One-stop facade: validate -> adorn -> rewrite -> (safety-check) ->
@@ -71,6 +138,16 @@ class QueryEngine {
 
   QueryAnswer Run(const Program& program, const Query& query,
                   const Database& db) const;
+
+  /// Resource-bounded run: enforces `limits` during evaluation (all
+  /// strategies, including naive/semi-naive/top-down) and streams each
+  /// distinct answer to `sink` as it is derived. `admitted` anchors the
+  /// deadline (defaults to entry time).
+  QueryAnswer Run(const Program& program, const Query& query,
+                  const Database& db, const QueryLimits& limits,
+                  const AnswerSink& sink = {},
+                  std::optional<std::chrono::steady_clock::time_point>
+                      admitted = std::nullopt) const;
 
   /// Rewrites an adorned program under any of the rewriting strategies
   /// (exposed for tests and benchmarks that inspect the programs).
@@ -89,6 +166,74 @@ class QueryEngine {
 std::vector<std::vector<TermId>> ExtractAnswers(
     Universe& u, const RewrittenProgram& rewritten, const Query& query,
     const EvalResult& eval);
+
+/// The row filter + projection behind ExtractAnswers, reusable one row at a
+/// time so answer sinks can stream during evaluation instead of scanning
+/// after it: decides whether one stored tuple belongs to `query`'s instance
+/// and projects it onto the query's free positions.
+class AnswerProjector {
+ public:
+  /// Rows of `rewritten.answer_pred` (index fields must be zero, surviving
+  /// bound columns must match the instance constants).
+  static AnswerProjector ForRewritten(Universe& u,
+                                      const RewrittenProgram& rewritten,
+                                      const Query& query);
+  /// Rows of the query predicate itself (direct evaluation / top-down
+  /// answer tables): bound positions must match the instance constants.
+  static AnswerProjector ForDirect(const Universe& u, const Query& query);
+
+  /// Returns true and fills `*out` (cleared first) when `tuple` is an
+  /// answer row of this instance.
+  bool Project(std::span<const TermId> tuple,
+               std::vector<TermId>* out) const;
+
+ private:
+  AnswerProjector() = default;
+
+  /// Leading columns that must equal a specific term (a counting rewrite's
+  /// index fields, pinned to the seed's level 0).
+  std::vector<std::pair<int, TermId>> required_;
+  /// (column, constant) checks for the instance's bound arguments.
+  std::vector<std::pair<int, TermId>> bound_checks_;
+  /// Columns of the stored tuple holding the query's free positions.
+  std::vector<int> free_columns_;
+};
+
+/// Accumulates distinct projected answers during one evaluation: dedups,
+/// enforces QueryLimits::row_limit, and forwards each new tuple to an
+/// optional user sink. Accept() is the EvalControl::on_fact payload.
+class AnswerCollector {
+ public:
+  AnswerCollector(uint64_t row_limit, const AnswerSink* sink)
+      : row_limit_(row_limit), sink_(sink) {}
+
+  /// Returns false when evaluation should stop (row limit reached, or the
+  /// user sink asked to stop).
+  bool Accept(std::vector<TermId> tuple);
+
+  bool truncated() const { return truncated_; }
+  size_t size() const { return seen_.size(); }
+
+  /// The collected answers; std::set iteration order is already the sorted
+  /// order ExtractAnswers produces.
+  std::vector<std::vector<TermId>> TakeSorted();
+
+ private:
+  uint64_t row_limit_;
+  const AnswerSink* sink_;
+  std::set<std::vector<TermId>> seen_;
+  bool truncated_ = false;
+};
+
+/// Builds the EvalControl::on_fact hook that filters rows through
+/// `projector` and accumulates the projections in `collector`. Both are
+/// captured by reference and must outlive the evaluation.
+std::function<bool(std::span<const TermId>)> MakeAnswerHook(
+    const AnswerProjector& projector, AnswerCollector& collector);
+
+/// Maps an evaluation's stop reason (plus whether the collector hit its row
+/// limit) onto the answer-level outcome classification.
+AnswerStatus ClassifyOutcome(StopReason stop, const Status& status);
 
 }  // namespace magic
 

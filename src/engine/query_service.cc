@@ -3,9 +3,56 @@
 #include <thread>
 #include <utility>
 
+#include "util/check.h"
 #include "util/hash.h"
+#include "util/stopwatch.h"
 
 namespace magic {
+
+// --- AnswerCursor ------------------------------------------------------------
+
+AnswerCursor::~AnswerCursor() {
+  // Dropping an unfinished cursor cancels its evaluation; the worker holds
+  // its own reference to the state, so nothing dangles.
+  if (state_ != nullptr) Cancel();
+}
+
+AnswerCursor& AnswerCursor::operator=(AnswerCursor&& other) noexcept {
+  if (this != &other) {
+    if (state_ != nullptr) Cancel();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+bool AnswerCursor::Next(size_t max_rows, std::vector<std::vector<TermId>>* out) {
+  out->clear();
+  if (state_ == nullptr) return false;
+  if (max_rows == 0) max_rows = 1;
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->ready.wait(lock,
+                     [&] { return state_->done || !state_->buffer.empty(); });
+  while (!state_->buffer.empty() && out->size() < max_rows) {
+    out->push_back(std::move(state_->buffer.front()));
+    state_->buffer.pop_front();
+  }
+  return !out->empty();
+}
+
+const QueryAnswer& AnswerCursor::Finish() {
+  MAGIC_CHECK_MSG(state_ != nullptr, "Finish() on an empty AnswerCursor");
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->ready.wait(lock, [&] { return state_->done; });
+  return state_->final;
+}
+
+void AnswerCursor::Cancel() {
+  if (state_ != nullptr && state_->cancel != nullptr) {
+    state_->cancel->store(true, std::memory_order_relaxed);
+  }
+}
+
+// --- QueryService ------------------------------------------------------------
 
 size_t QueryService::FormKeyHash::operator()(const FormKey& key) const {
   uint64_t h = HashCombine(key.pred, key.bound_mask);
@@ -37,14 +84,22 @@ QueryService::QueryService(const Program& program, const Database& db,
 
 QueryService::~QueryService() = default;
 
-const PreparedQueryForm* QueryService::GetOrCompile(
-    const QueryRequest& request, const FormKey& key, Status* error) {
+QueryService::FormKey QueryService::MakeKey(const QueryRequest& request) const {
+  FormKey key;
+  key.pred = request.query.goal.pred;
+  key.bound_mask = BoundMask(*program_.universe(), request.query);
+  key.strategy = request.strategy.value_or(options_.engine.strategy);
+  key.sip = request.sip.value_or(options_.engine.sip);
+  return key;
+}
+
+QueryService::CachedForm* QueryService::GetOrCompile(
+    const QueryRequest& request, const FormKey& key) {
   std::lock_guard<std::mutex> lock(form_mutex_);
   auto it = forms_.find(key);
   if (it != forms_.end()) {
     ++cache_hits_;
-    *error = it->second.error;
-    return it->second.form.get();
+    return &it->second;
   }
   EngineOptions engine_options = options_.engine;
   engine_options.strategy = key.strategy;
@@ -56,50 +111,145 @@ const PreparedQueryForm* QueryService::GetOrCompile(
     return PreparedQueryForm::Prepare(program_, request.query, engine_options);
   }();
   CachedForm& cached = forms_[key];
+  const Universe& u = *program_.universe();
+  cached.pred_name = u.symbols().Name(u.predicates().info(key.pred).name);
+  cached.strategy = StrategyName(key.strategy);
+  cached.sip = key.sip;
   if (!form.ok()) {
     cached.error = form.status();
-    *error = cached.error;
-    return nullptr;
+    return &cached;
   }
   ++forms_compiled_;
   cached.form = std::make_unique<PreparedQueryForm>(std::move(*form));
-  return cached.form.get();
+  return &cached;
 }
 
-std::future<QueryAnswer> QueryService::Submit(const QueryRequest& request) {
-  auto promise = std::make_shared<std::promise<QueryAnswer>>();
-  std::future<QueryAnswer> future = promise->get_future();
-  const Universe& u = *program_.universe();
+bool QueryService::Admit(bool enforce_admission) {
+  size_t prev = pending_.fetch_add(1, std::memory_order_relaxed);
+  if (enforce_admission && options_.max_pending != 0 &&
+      prev >= options_.max_pending) {
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
 
+QueryAnswer QueryService::OverloadedAnswer() const {
+  QueryAnswer answer;
+  answer.status = Status::ResourceExhausted(
+      "submission queue is full (max_pending=" +
+      std::to_string(options_.max_pending) + ")");
+  answer.outcome = AnswerStatus::kOverloaded;
+  return answer;
+}
+
+void QueryService::DispatchForm(const PreparedQueryForm* form,
+                                FormCounters* counters,
+                                std::vector<TermId> bound_values,
+                                QueryLimits limits, AnswerSink sink,
+                                bool enforce_admission, Completion done) {
+  if (!Admit(enforce_admission)) {
+    done(OverloadedAnswer());
+    return;
+  }
+  const auto admitted = std::chrono::steady_clock::now();
+  pool_.Submit([this, form, counters, bound_values = std::move(bound_values),
+                limits = std::move(limits), sink = std::move(sink),
+                done = std::move(done), admitted] {
+    std::shared_lock<std::shared_mutex> serving(serve_mutex_);
+    Stopwatch watch;
+    // Streamed answers leave tuples empty (the AnswerSink contract), so
+    // count emitted rows through a wrapper for the per-form stats.
+    size_t streamed = 0;
+    AnswerSink counted;
+    if (sink) {
+      counted = [&](const std::vector<TermId>& tuple) {
+        ++streamed;
+        return sink(tuple);
+      };
+    }
+    QueryAnswer answer = form->Answer(bound_values, db_, limits, counted,
+                                      admitted);
+    if (counters != nullptr) {
+      counters->queries.fetch_add(1, std::memory_order_relaxed);
+      counters->rows.fetch_add(answer.tuples.size() + streamed,
+                               std::memory_order_relaxed);
+      if (answer.outcome == AnswerStatus::kTruncated) {
+        counters->truncated.fetch_add(1, std::memory_order_relaxed);
+      }
+      counters->eval_micros.fetch_add(
+          static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6),
+          std::memory_order_relaxed);
+    }
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    done(std::move(answer));
+  });
+}
+
+void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
+                            bool enforce_admission, Completion done) {
   // Base-predicate queries are direct selections over the EDB; any strategy
   // serves them without compilation.
   if (!program_.IsHeadPredicate(request.query.goal.pred)) {
-    Query query = request.query;
-    pool_.Submit([this, query, promise] {
+    if (!Admit(enforce_admission)) {
+      done(OverloadedAnswer());
+      return;
+    }
+    const auto admitted = std::chrono::steady_clock::now();
+    pool_.Submit([this, query = request.query, limits = request.limits,
+                  sink = std::move(sink), done = std::move(done), admitted] {
       std::shared_lock<std::shared_mutex> serving(serve_mutex_);
       QueryEngine engine(options_.engine);
-      QueryAnswer answer = engine.Run(program_, query, db_);
+      QueryAnswer answer = engine.Run(program_, query, db_, limits, sink,
+                                      admitted);
       queries_served_.fetch_add(1, std::memory_order_relaxed);
-      promise->set_value(std::move(answer));
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      done(std::move(answer));
     });
-    return future;
+    return;
   }
 
-  FormKey key;
-  key.pred = request.query.goal.pred;
-  key.bound_mask = BoundMask(u, request.query);
-  key.strategy = request.strategy.value_or(options_.engine.strategy);
-  key.sip = request.sip.value_or(options_.engine.sip);
+  const Strategy strategy =
+      request.strategy.value_or(options_.engine.strategy);
+  if (!IsRewritingStrategy(strategy)) {
+    // Non-rewriting fallback: these strategies evaluate the original
+    // program (top-down additionally adorns it, mutating the Universe), so
+    // they run under the exclusive lock, serialized against everything.
+    if (!Admit(enforce_admission)) {
+      done(OverloadedAnswer());
+      return;
+    }
+    EngineOptions engine_options = options_.engine;
+    engine_options.strategy = strategy;
+    engine_options.sip = request.sip.value_or(options_.engine.sip);
+    const auto admitted = std::chrono::steady_clock::now();
+    pool_.Submit([this, query = request.query, limits = request.limits,
+                  engine_options, sink = std::move(sink),
+                  done = std::move(done), admitted] {
+      std::unique_lock<std::shared_mutex> exclusive(serve_mutex_);
+      QueryEngine engine(engine_options);
+      QueryAnswer answer = engine.Run(program_, query, db_, limits, sink,
+                                      admitted);
+      fallback_served_.fetch_add(1, std::memory_order_relaxed);
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      done(std::move(answer));
+    });
+    return;
+  }
 
-  Status error;
-  const PreparedQueryForm* form = GetOrCompile(request, key, &error);
-  if (form == nullptr) {
+  const FormKey key = MakeKey(request);
+  CachedForm* cached = GetOrCompile(request, key);
+  if (cached->form == nullptr) {
     QueryAnswer answer;
-    answer.status = error;
+    answer.status = cached->error;
+    answer.outcome = AnswerStatus::kError;
     answer.strategy_name = StrategyName(key.strategy);
     queries_served_.fetch_add(1, std::memory_order_relaxed);
-    promise->set_value(std::move(answer));
-    return future;
+    done(std::move(answer));
+    return;
   }
 
   std::vector<TermId> bound_values;
@@ -108,20 +258,157 @@ std::future<QueryAnswer> QueryService::Submit(const QueryRequest& request) {
       bound_values.push_back(request.query.goal.args[i]);
     }
   }
+  DispatchForm(cached->form.get(), &cached->counters, std::move(bound_values),
+               request.limits, std::move(sink), enforce_admission,
+               std::move(done));
+}
 
-  pool_.Submit([this, form, bound_values = std::move(bound_values), promise] {
-    std::shared_lock<std::shared_mutex> serving(serve_mutex_);
-    QueryAnswer answer = form->Answer(bound_values, db_);
-    queries_served_.fetch_add(1, std::memory_order_relaxed);
-    promise->set_value(std::move(answer));
-  });
+Result<QueryService::FormHandle> QueryService::Prepare(
+    const QueryRequest& request) {
+  if (!program_.IsHeadPredicate(request.query.goal.pred)) {
+    return Status::InvalidArgument(
+        "base-predicate queries need no preparation; use Submit/Answer "
+        "directly");
+  }
+  const Strategy strategy =
+      request.strategy.value_or(options_.engine.strategy);
+  if (!IsRewritingStrategy(strategy)) {
+    return Status::InvalidArgument(
+        "only rewriting strategies compile to form handles (got " +
+        StrategyName(strategy) +
+        "); Submit serves non-rewriting strategies via the exclusive "
+        "fallback");
+  }
+  CachedForm* cached = GetOrCompile(request, MakeKey(request));
+  if (cached->form == nullptr) return cached->error;
+  FormHandle handle;
+  handle.form_ = cached->form.get();
+  handle.counters_ = &cached->counters;
+  return handle;
+}
+
+std::future<QueryAnswer> QueryService::SubmitImpl(const QueryRequest& request,
+                                                  bool enforce_admission) {
+  auto promise = std::make_shared<std::promise<QueryAnswer>>();
+  std::future<QueryAnswer> future = promise->get_future();
+  Dispatch(request, {}, enforce_admission,
+           [promise](QueryAnswer answer) {
+             promise->set_value(std::move(answer));
+           });
   return future;
+}
+
+std::future<QueryAnswer> QueryService::SubmitImpl(
+    const FormHandle& handle, std::vector<TermId> bound_values,
+    QueryLimits limits, bool enforce_admission) {
+  auto promise = std::make_shared<std::promise<QueryAnswer>>();
+  std::future<QueryAnswer> future = promise->get_future();
+  if (!handle.valid()) {
+    QueryAnswer answer;
+    answer.status = Status::InvalidArgument("invalid form handle");
+    answer.outcome = AnswerStatus::kError;
+    promise->set_value(std::move(answer));
+    return future;
+  }
+  DispatchForm(handle.form_, handle.counters_, std::move(bound_values),
+               std::move(limits), {}, enforce_admission,
+               [promise](QueryAnswer answer) {
+                 promise->set_value(std::move(answer));
+               });
+  return future;
+}
+
+std::future<QueryAnswer> QueryService::Submit(const QueryRequest& request) {
+  return SubmitImpl(request, /*enforce_admission=*/false);
+}
+
+std::future<QueryAnswer> QueryService::Submit(
+    const FormHandle& handle, std::vector<TermId> bound_values,
+    QueryLimits limits) {
+  return SubmitImpl(handle, std::move(bound_values), std::move(limits),
+                    /*enforce_admission=*/false);
+}
+
+std::future<QueryAnswer> QueryService::TrySubmit(const QueryRequest& request) {
+  return SubmitImpl(request, /*enforce_admission=*/true);
+}
+
+std::future<QueryAnswer> QueryService::TrySubmit(
+    const FormHandle& handle, std::vector<TermId> bound_values,
+    QueryLimits limits) {
+  return SubmitImpl(handle, std::move(bound_values), std::move(limits),
+                    /*enforce_admission=*/true);
 }
 
 QueryAnswer QueryService::Answer(const Query& query) {
   QueryRequest request;
   request.query = query;
   return Submit(request).get();
+}
+
+QueryAnswer QueryService::Answer(const FormHandle& handle,
+                                 std::vector<TermId> bound_values,
+                                 QueryLimits limits) {
+  return Submit(handle, std::move(bound_values), std::move(limits)).get();
+}
+
+std::shared_ptr<AnswerCursor::State> QueryService::MakeStreamState(
+    QueryLimits* limits, AnswerSink* sink, Completion* done) {
+  auto state = std::make_shared<AnswerCursor::State>();
+  if (limits->cancel == nullptr) {
+    limits->cancel = std::make_shared<std::atomic<bool>>(false);
+  }
+  state->cancel = limits->cancel;
+  *sink = [state](const std::vector<TermId>& tuple) {
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->buffer.push_back(tuple);
+    }
+    state->ready.notify_all();
+    return true;
+  };
+  *done = [state](QueryAnswer answer) {
+    // Sink-fed answers arrive with empty tuples (the AnswerSink contract:
+    // everything was streamed); the clear covers inline error paths that
+    // never evaluated.
+    answer.tuples.clear();
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->final = std::move(answer);
+      state->done = true;
+    }
+    state->ready.notify_all();
+  };
+  return state;
+}
+
+AnswerCursor QueryService::Stream(const QueryRequest& request) {
+  QueryRequest streamed = request;
+  AnswerSink sink;
+  Completion done;
+  auto state = MakeStreamState(&streamed.limits, &sink, &done);
+  Dispatch(streamed, std::move(sink), /*enforce_admission=*/false,
+           std::move(done));
+  return AnswerCursor(std::move(state));
+}
+
+AnswerCursor QueryService::Stream(const FormHandle& handle,
+                                  std::vector<TermId> bound_values,
+                                  QueryLimits limits) {
+  AnswerSink sink;
+  Completion done;
+  auto state = MakeStreamState(&limits, &sink, &done);
+  if (!handle.valid()) {
+    QueryAnswer answer;
+    answer.status = Status::InvalidArgument("invalid form handle");
+    answer.outcome = AnswerStatus::kError;
+    done(std::move(answer));
+    return AnswerCursor(std::move(state));
+  }
+  DispatchForm(handle.form_, handle.counters_, std::move(bound_values),
+               std::move(limits), std::move(sink),
+               /*enforce_admission=*/false, std::move(done));
+  return AnswerCursor(std::move(state));
 }
 
 std::vector<QueryAnswer> QueryService::AnswerBatch(
@@ -152,6 +439,24 @@ QueryService::Stats QueryService::stats() const {
   stats.forms_compiled = forms_compiled_;
   stats.cache_hits = cache_hits_;
   stats.queries_served = queries_served_.load(std::memory_order_relaxed);
+  stats.overloaded = overloaded_.load(std::memory_order_relaxed);
+  stats.fallback_served = fallback_served_.load(std::memory_order_relaxed);
+  for (const auto& [key, cached] : forms_) {
+    if (cached.form == nullptr) continue;
+    Stats::FormStats form_stats;
+    form_stats.pred = cached.pred_name;
+    form_stats.adornment = cached.form->adornment().ToString();
+    form_stats.strategy = cached.strategy;
+    form_stats.sip = cached.sip;
+    form_stats.queries =
+        cached.counters.queries.load(std::memory_order_relaxed);
+    form_stats.rows = cached.counters.rows.load(std::memory_order_relaxed);
+    form_stats.truncated =
+        cached.counters.truncated.load(std::memory_order_relaxed);
+    form_stats.eval_micros =
+        cached.counters.eval_micros.load(std::memory_order_relaxed);
+    stats.forms.push_back(std::move(form_stats));
+  }
   return stats;
 }
 

@@ -2,6 +2,9 @@
 #define MAGIC_ENGINE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -9,6 +12,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "engine/prepared.h"
@@ -17,19 +21,72 @@
 
 namespace magic {
 
-/// One query plus optional per-request overrides of the service defaults.
+/// One query plus optional per-request overrides of the service defaults
+/// and per-request resource bounds.
 struct QueryRequest {
   Query query;
   std::optional<Strategy> strategy;
   std::optional<std::string> sip;
+  QueryLimits limits;
 };
 
 struct QueryServiceOptions {
   /// Worker threads; 0 means std::thread::hardware_concurrency().
   size_t num_threads = 0;
+  /// Admission control: maximum requests submitted-but-not-finished before
+  /// TrySubmit answers kOverloaded. 0 = unbounded (TrySubmit never
+  /// rejects). Plain Submit always queues regardless.
+  size_t max_pending = 0;
   /// Defaults for requests that don't override strategy/sip; `eval` and
   /// `guard_mode` always come from here.
   EngineOptions engine;
+};
+
+/// A pull-based stream over one query's answers, fed by the evaluator's
+/// answer sink while the fixpoint is still running. Tuples arrive in
+/// derivation order, deduplicated but NOT sorted (sorting requires the full
+/// set). Move-only; dropping an unfinished cursor cancels its evaluation.
+///
+/// Next() may be called from one consumer thread; Cancel() from any thread.
+class AnswerCursor {
+ public:
+  AnswerCursor() = default;
+  ~AnswerCursor();
+  AnswerCursor(AnswerCursor&&) = default;
+  /// Cancels the stream currently held (if any) before taking `other`'s,
+  /// so reassigning a cursor variable never leaks a running evaluation.
+  AnswerCursor& operator=(AnswerCursor&& other) noexcept;
+  AnswerCursor(const AnswerCursor&) = delete;
+  AnswerCursor& operator=(const AnswerCursor&) = delete;
+
+  /// Pulls up to `max_rows` (>= 1) more tuples into `*out` (cleared first),
+  /// blocking until at least one is available or evaluation completes.
+  /// Returns false — with `*out` empty — once the stream is exhausted.
+  bool Next(size_t max_rows, std::vector<std::vector<TermId>>* out);
+
+  /// Blocks until evaluation completes and returns the final answer
+  /// (status/outcome/eval stats). Its `tuples` are empty: they were
+  /// streamed through Next().
+  const QueryAnswer& Finish();
+
+  /// Requests cooperative cancellation; the evaluation stops at its next
+  /// control poll and Finish() reports kCancelled.
+  void Cancel();
+
+ private:
+  friend class QueryService;
+  struct State {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::vector<TermId>> buffer;
+    bool done = false;
+    QueryAnswer final;
+    std::shared_ptr<std::atomic<bool>> cancel;
+  };
+  explicit AnswerCursor(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
 };
 
 /// Serves many concurrent queries against one shared read-only Database.
@@ -41,21 +98,58 @@ struct QueryServiceOptions {
 /// just a per-query seed over the same rewritten program. Per-query seeds
 /// are independent (Drabent, arXiv:1012.2299), so instances evaluate
 /// concurrently on a fixed thread pool without re-running the
-/// transformation.
+/// transformation — and can stop early (row limits, deadlines,
+/// cancellation) without affecting any other instance.
+///
+/// Two tiers of API:
+///   * Request tier: Submit/TrySubmit/Answer/AnswerBatch/Stream take a
+///     QueryRequest, resolve its form through the cache (one mutex
+///     round-trip), compiling on the calling thread if needed.
+///   * Handle tier: Prepare returns a FormHandle; the Submit/TrySubmit/
+///     Answer/Stream overloads taking a handle skip form hashing and the
+///     cache mutex entirely — the steady-state hot path is one shared-lock
+///     acquire plus pool dispatch.
 ///
 /// Concurrency contract:
 ///   * The Program and Database must outlive the service and must not be
 ///     mutated while it is serving.
-///   * Submit/Answer/AnswerBatch may be called from any number of threads.
+///   * All public methods may be called from any number of threads.
 ///   * Form compilation mutates the shared Universe (it interns symbols and
 ///     declares adorned/magic predicates), so it runs under an exclusive
 ///     lock that excludes all concurrent evaluation; cached forms are
 ///     served under a shared lock. Steady-state traffic therefore runs
 ///     fully in parallel, limited only by the pool size.
+///   * Non-rewriting strategies (naive/semi-naive/top-down) have no
+///     compiled form; their requests evaluate under the exclusive lock
+///     (top-down adornment mutates the Universe), serialized with respect
+///     to everything else. A compatibility path, not a fast path.
 ///   * Worker-side term interning (the matcher's affine/compound
 ///     construction) is safe because TermArena is internally synchronized.
+///   * Answer sinks and cursor buffers are touched only by the evaluating
+///     worker and the consumer, under the cursor's own mutex.
 class QueryService {
+ private:
+  struct FormCounters;
+
  public:
+  /// An opaque, copyable reference to one compiled query form. Valid for
+  /// the lifetime of the service that returned it; handles are stable
+  /// across cache growth and shareable between threads.
+  class FormHandle {
+   public:
+    FormHandle() = default;
+    bool valid() const { return form_ != nullptr; }
+    /// The adornment of the compiled form (e.g. "bf").
+    const Adornment& adornment() const { return form_->adornment(); }
+    /// Number of bound values an instance of this form takes.
+    size_t bound_arity() const { return form_->bound_arity(); }
+
+   private:
+    friend class QueryService;
+    const PreparedQueryForm* form_ = nullptr;
+    FormCounters* counters_ = nullptr;
+  };
+
   QueryService(const Program& program, const Database& db,
                QueryServiceOptions options = {});
   ~QueryService();
@@ -63,13 +157,47 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
+  /// Compiles (or fetches from the cache) the query form of
+  /// `request.query`'s binding pattern and returns a stable handle to it.
+  /// Requires a derived-predicate query and a rewriting strategy:
+  /// base-predicate queries need no preparation, and the non-rewriting
+  /// strategies have no compiled artifact (Submit serves both).
+  Result<FormHandle> Prepare(const QueryRequest& request);
+
   /// Enqueues one query; the future resolves when a worker has evaluated
   /// it. Compilation of a not-yet-cached form happens on the calling
-  /// thread.
+  /// thread. `request.limits` are enforced during evaluation; the deadline
+  /// is anchored here, so queue wait counts against it.
   std::future<QueryAnswer> Submit(const QueryRequest& request);
+
+  /// Handle hot path: evaluates one instance of a prepared form. Skips the
+  /// form cache entirely. `bound_values` are the constants for the form's
+  /// bound positions, in position order.
+  std::future<QueryAnswer> Submit(const FormHandle& handle,
+                                  std::vector<TermId> bound_values,
+                                  QueryLimits limits = {});
+
+  /// Admission-controlled variants: when options.max_pending > 0 and that
+  /// many requests are in flight, the future resolves immediately with
+  /// outcome kOverloaded (status ResourceExhausted) instead of queueing.
+  std::future<QueryAnswer> TrySubmit(const QueryRequest& request);
+  std::future<QueryAnswer> TrySubmit(const FormHandle& handle,
+                                     std::vector<TermId> bound_values,
+                                     QueryLimits limits = {});
 
   /// Answers one query synchronously.
   QueryAnswer Answer(const Query& query);
+  QueryAnswer Answer(const FormHandle& handle,
+                     std::vector<TermId> bound_values,
+                     QueryLimits limits = {});
+
+  /// Streams one query's answers in chunks while it evaluates, instead of
+  /// materializing the full sorted answer set first. If `limits.cancel` is
+  /// null a token is created so the cursor can cancel its evaluation.
+  AnswerCursor Stream(const QueryRequest& request);
+  AnswerCursor Stream(const FormHandle& handle,
+                      std::vector<TermId> bound_values,
+                      QueryLimits limits = {});
 
   /// Answers a batch; answers are returned in input order. Queries of the
   /// batch evaluate concurrently across the pool.
@@ -80,6 +208,23 @@ class QueryService {
     size_t forms_compiled = 0;
     size_t cache_hits = 0;
     size_t queries_served = 0;
+    /// TrySubmit rejections (never evaluated, not counted as served).
+    size_t overloaded = 0;
+    /// Requests served via the exclusive-locked non-rewriting fallback.
+    size_t fallback_served = 0;
+
+    /// Per-form serving counters, one entry per successfully compiled form.
+    struct FormStats {
+      std::string pred;       // predicate name
+      std::string adornment;  // e.g. "bf"
+      std::string strategy;
+      std::string sip;
+      uint64_t queries = 0;    // instances evaluated
+      uint64_t rows = 0;       // answer tuples returned
+      uint64_t truncated = 0;  // instances stopped by a row limit
+      uint64_t eval_micros = 0;  // total evaluation wall time
+    };
+    std::vector<FormStats> forms;
   };
   Stats stats() const;
 
@@ -97,24 +242,71 @@ class QueryService {
     size_t operator()(const FormKey& key) const;
   };
 
+  /// Per-form serving counters, written lock-free by workers.
+  struct FormCounters {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> truncated{0};
+    std::atomic<uint64_t> eval_micros{0};
+  };
+
   /// A compilation outcome. Failures are cached too (they are
   /// deterministic per form key), so a stream of unpreparable requests
-  /// pays the exclusive compile lock once, not per request.
+  /// pays the exclusive compile lock once, not per request. Lives at a
+  /// stable address (unordered_map nodes don't move), so FormHandles can
+  /// point into it.
   struct CachedForm {
     std::unique_ptr<PreparedQueryForm> form;  // null when compilation failed
     Status error;
+    std::string pred_name;  // static labels for Stats::FormStats
+    std::string strategy;
+    std::string sip;
+    FormCounters counters;
   };
 
-  /// Looks up or compiles the form for `request`. Returns nullptr with
-  /// `*error` set when the query cannot be prepared.
-  const PreparedQueryForm* GetOrCompile(const QueryRequest& request,
-                                        const FormKey& key, Status* error);
+  using Completion = std::function<void(QueryAnswer)>;
+
+  FormKey MakeKey(const QueryRequest& request) const;
+
+  /// Looks up or compiles the form for `request`. Never returns null; a
+  /// compilation failure is a CachedForm with a null `form`.
+  CachedForm* GetOrCompile(const QueryRequest& request, const FormKey& key);
+
+  /// Reserves one admission slot. Returns false (and leaves no slot taken)
+  /// when `enforce_admission` and the bounded queue is full.
+  bool Admit(bool enforce_admission);
+  QueryAnswer OverloadedAnswer() const;
+
+  /// Resolves `request` on the calling thread (form cache, fallback
+  /// routing) and dispatches its evaluation; `done` is invoked exactly once
+  /// with the final answer — inline for compile errors and admission
+  /// rejections, from a worker otherwise.
+  void Dispatch(const QueryRequest& request, AnswerSink sink,
+                bool enforce_admission, Completion done);
+
+  /// The handle hot path: one shared-lock acquire plus pool dispatch.
+  void DispatchForm(const PreparedQueryForm* form, FormCounters* counters,
+                    std::vector<TermId> bound_values, QueryLimits limits,
+                    AnswerSink sink, bool enforce_admission, Completion done);
+
+  std::future<QueryAnswer> SubmitImpl(const QueryRequest& request,
+                                      bool enforce_admission);
+  std::future<QueryAnswer> SubmitImpl(const FormHandle& handle,
+                                      std::vector<TermId> bound_values,
+                                      QueryLimits limits,
+                                      bool enforce_admission);
+
+  /// Builds the shared cursor state plus the sink/completion pair that
+  /// feeds it, injecting a cancellation token into `*limits` if absent.
+  static std::shared_ptr<AnswerCursor::State> MakeStreamState(
+      QueryLimits* limits, AnswerSink* sink, Completion* done);
 
   const Program& program_;
   const Database& db_;
   QueryServiceOptions options_;
 
-  /// Exclusive = universe-mutating compilation; shared = evaluation.
+  /// Exclusive = universe-mutating compilation and the non-rewriting
+  /// fallback; shared = prepared-form and base-predicate evaluation.
   std::shared_mutex serve_mutex_;
 
   /// Lock order: form_mutex_ may be held while acquiring serve_mutex_
@@ -125,6 +317,10 @@ class QueryService {
   size_t forms_compiled_ = 0;
   size_t cache_hits_ = 0;
   std::atomic<size_t> queries_served_{0};
+  std::atomic<size_t> fallback_served_{0};
+  std::atomic<size_t> overloaded_{0};
+  /// Requests submitted but not yet completed (admission-control depth).
+  std::atomic<size_t> pending_{0};
 
   ThreadPool pool_;
 };

@@ -45,12 +45,34 @@ struct RulePlan {
 
 }  // namespace
 
+StopReason PollEvalControl(const EvalControl* control) {
+  if (control == nullptr) return StopReason::kNone;
+  if (control->cancel != nullptr &&
+      control->cancel->load(std::memory_order_relaxed)) {
+    return StopReason::kCancelled;
+  }
+  if (control->deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *control->deadline) {
+    return StopReason::kDeadline;
+  }
+  return StopReason::kNone;
+}
+
 EvalResult Evaluator::Run(const Program& program, const Database& edb,
-                          const std::vector<Fact>& seeds) const {
+                          const std::vector<Fact>& seeds,
+                          const EvalControl* control) const {
   EvalResult result;
   result.status = Status::OK();
   Stopwatch watch;
   Universe& u = program.u();
+
+  StopReason stop = StopReason::kNone;
+  auto control_stop = [&]() -> bool {
+    StopReason polled = PollEvalControl(control);
+    if (polled == StopReason::kNone) return false;
+    stop = polled;
+    return true;
+  };
 
   // Determine the IDB: head predicates plus seed predicates.
   std::vector<PredId> idb_preds = program.HeadPredicates();
@@ -182,6 +204,11 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
           result.provenance.emplace(ref,
                                     Justification{rule_index, match_trace});
         }
+        if (control != nullptr && rule.head.pred == control->sink_pred &&
+            control->on_fact && !control->on_fact(head_tuple)) {
+          stop = StopReason::kSink;
+          return false;
+        }
         if (result.stats.new_facts + result.stats.duplicate_facts >
             options_.max_facts) {
           return false;
@@ -213,6 +240,9 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
       view.rel->Probe(mask, key, view.from, view.to, &rows);
       for (uint32_t row : rows) {
         ++result.stats.join_probes;
+        if ((result.stats.join_probes & 0xFFF) == 0 && control_stop()) {
+          return false;
+        }
         size_t mark = subst.Mark();
         std::span<const TermId> tuple = view.rel->Row(row);
         bool matched = true;
@@ -238,6 +268,7 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
 
   // Fixpoint loop.
   while (true) {
+    if (control_stop()) break;
     if (result.stats.iterations >= options_.max_iterations) {
       budget_hit = true;
       break;
@@ -287,7 +318,18 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
     if (!any_new) break;
   }
 
-  if (budget_hit) {
+  // An EvalControl stop takes precedence over the budget classification:
+  // eval_rule also returns false for control stops, which would otherwise
+  // read as budget_hit.
+  result.stop_reason = stop;
+  if (stop == StopReason::kDeadline) {
+    result.status = Status::DeadlineExceeded(
+        "evaluation deadline exceeded after " +
+        std::to_string(result.stats.new_facts) + " facts, " +
+        std::to_string(result.stats.iterations) + " iterations");
+  } else if (stop == StopReason::kCancelled) {
+    result.status = Status::Cancelled("evaluation cancelled");
+  } else if (stop == StopReason::kNone && budget_hit) {
     result.status = Status::ResourceExhausted(
         "evaluation budget exhausted after " +
         std::to_string(result.stats.new_facts) + " facts, " +

@@ -1,6 +1,11 @@
 #ifndef MAGIC_EVAL_EVALUATOR_H_
 #define MAGIC_EVAL_EVALUATOR_H_
 
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +31,44 @@ struct EvalOptions {
   bool track_provenance = false;
 };
 
+/// Why an evaluation stopped before reaching its natural fixpoint.
+enum class StopReason {
+  kNone,       // ran to fixpoint (or a budget; see the result's status)
+  kSink,       // EvalControl::on_fact returned false (caller got enough)
+  kDeadline,   // EvalControl::deadline passed
+  kCancelled,  // EvalControl::cancel was set
+};
+
+/// Per-run stop conditions and the answer-sink hook. All members are
+/// optional; a default-constructed EvalControl never stops anything. The
+/// struct is borrowed for the duration of Run and must outlive it.
+///
+/// This is what makes resource-bounded serving sound: bottom-up evaluation
+/// only ever derives facts that are true in the fixpoint, so stopping at an
+/// arbitrary point yields a correct *prefix* of the answers (per-seed
+/// independence of magic instances; Drabent, arXiv:1012.2299).
+struct EvalControl {
+  /// Predicate whose newly inserted facts are streamed to `on_fact`
+  /// (typically the rewritten program's answer predicate).
+  PredId sink_pred = kInvalidPred;
+  /// Called once per new (deduplicated) fact of `sink_pred`, with the full
+  /// tuple, in derivation order. Return false to stop evaluation (the
+  /// result's stop_reason becomes kSink).
+  std::function<bool(std::span<const TermId>)> on_fact;
+  /// Absolute wall-clock deadline; polled once per fixpoint round and every
+  /// few thousand join probes.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Cooperative cancellation flag, polled alongside the deadline. Owned by
+  /// the caller; may be set from any thread.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Polls `control`'s cancellation flag and deadline (in that order, so a
+/// cancelled request reports kCancelled even when its deadline has also
+/// passed). Returns kNone when evaluation may continue. Shared by the
+/// bottom-up and top-down engines.
+StopReason PollEvalControl(const EvalControl* control);
+
 /// Work counters for one evaluation. `join_probes` counts candidate-tuple
 /// match attempts and is the paper's proxy for "duplicated work" when
 /// comparing GMS against GSMS (Section 5).
@@ -45,6 +88,9 @@ struct EvalResult {
   Status status;
   std::unordered_map<PredId, Relation> idb;
   EvalStats stats;
+  /// Set when an EvalControl condition stopped the run early; the partial
+  /// IDB is a sound prefix of the fixpoint.
+  StopReason stop_reason = StopReason::kNone;
   /// Populated when EvalOptions::track_provenance is set.
   ProvenanceMap provenance;
 
@@ -69,8 +115,11 @@ class Evaluator {
  public:
   explicit Evaluator(EvalOptions options = {}) : options_(options) {}
 
+  /// `control`, when non-null, supplies per-run stop conditions (answer
+  /// sink, deadline, cancellation) checked during the fixpoint.
   EvalResult Run(const Program& program, const Database& edb,
-                 const std::vector<Fact>& seeds = {}) const;
+                 const std::vector<Fact>& seeds = {},
+                 const EvalControl* control = nullptr) const;
 
  private:
   EvalOptions options_;

@@ -28,11 +28,22 @@ std::vector<std::vector<TermId>> TopDownResult::QueryAnswers(
 }
 
 TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
-                                 const Database& edb) const {
+                                 const Database& edb,
+                                 const EvalControl* control) const {
   TopDownResult result;
   result.status = Status::OK();
   Stopwatch watch;
   Universe& u = *adorned.program.universe();
+
+  // Deadline/cancellation polling, shared with the bottom-up evaluator.
+  StopReason stop = StopReason::kNone;
+  uint64_t poll = 0;
+  auto control_stop = [&]() -> bool {
+    StopReason polled = PollEvalControl(control);
+    if (polled == StopReason::kNone) return false;
+    stop = polled;
+    return true;
+  };
 
   // Query and answer tables for every adorned (derived) predicate.
   std::vector<PredId> derived = adorned.program.HeadPredicates();
@@ -71,6 +82,11 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
       Relation& rel = result.answers.at(rule.head.pred);
       if (rel.Insert(head_tuple)) {
         *changed = true;
+        if (control != nullptr && rule.head.pred == control->sink_pred &&
+            control->on_fact && !control->on_fact(head_tuple)) {
+          stop = StopReason::kSink;
+          return false;
+        }
         if (++total > options_.max_facts) return false;
       }
       return true;
@@ -112,6 +128,7 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
     std::vector<uint32_t> rows;
     rel->Probe(mask, key, 0, rel->size(), &rows);
     for (uint32_t row : rows) {
+      if ((++poll & 0xFFF) == 0 && control_stop()) return false;
       size_t mark = subst.Mark();
       std::span<const TermId> tuple = rel->Row(row);
       bool matched = true;
@@ -132,6 +149,7 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
   // fixpoint handles recursion).
   bool changed = true;
   while (changed) {
+    if (control_stop()) break;
     if (result.stats.passes >= options_.max_iterations) {
       budget_hit = true;
       break;
@@ -179,7 +197,14 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
     result.stats.queries += result.queries.at(pred).size();
     result.stats.answers += result.answers.at(pred).size();
   }
-  if (budget_hit) {
+  result.stop_reason = stop;
+  if (stop == StopReason::kDeadline) {
+    result.status = Status::DeadlineExceeded(
+        "top-down deadline exceeded after " + std::to_string(total) +
+        " queries+facts");
+  } else if (stop == StopReason::kCancelled) {
+    result.status = Status::Cancelled("top-down evaluation cancelled");
+  } else if (stop == StopReason::kNone && budget_hit) {
     result.status = Status::ResourceExhausted(
         "top-down budget exhausted after " + std::to_string(total) +
         " queries+facts");

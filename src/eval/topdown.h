@@ -21,6 +21,9 @@ struct TopDownStats {
 
 struct TopDownResult {
   Status status;
+  /// Set when an EvalControl condition stopped the run early; the partial
+  /// tables are a sound prefix of the fixpoint.
+  StopReason stop_reason = StopReason::kNone;
   /// Per adorned predicate: the set of subqueries (tuples over the bound
   /// positions). Comparable one-to-one with the magic predicates of P^mg
   /// (Theorem 9.1).
@@ -50,7 +53,11 @@ class TopDownEngine {
  public:
   explicit TopDownEngine(EvalOptions options = {}) : options_(options) {}
 
-  TopDownResult Run(const AdornedProgram& adorned, const Database& edb) const;
+  /// `control`, when non-null, supplies per-run stop conditions; its
+  /// `sink_pred`/`on_fact` hook observes new facts of that adorned
+  /// predicate's *answer* table.
+  TopDownResult Run(const AdornedProgram& adorned, const Database& edb,
+                    const EvalControl* control = nullptr) const;
 
  private:
   EvalOptions options_;

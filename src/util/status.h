@@ -17,6 +17,8 @@ enum class StatusCode {
   kNotFound,           // missing predicate/relation
   kFailedPrecondition, // operation not valid in current state
   kResourceExhausted,  // evaluation hit a fact/iteration budget
+  kDeadlineExceeded,   // a per-request deadline expired mid-evaluation
+  kCancelled,          // a per-request cancellation token was set
   kUnsafe,             // static analysis proved or failed to prove safety
   kUnimplemented,
   kInternal,
@@ -39,6 +41,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
   static Status Unsafe(std::string msg) {
     return Status(StatusCode::kUnsafe, std::move(msg));
@@ -66,6 +74,8 @@ class Status {
       case StatusCode::kNotFound: return "NotFound";
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kCancelled: return "Cancelled";
       case StatusCode::kUnsafe: return "Unsafe";
       case StatusCode::kUnimplemented: return "Unimplemented";
       case StatusCode::kInternal: return "Internal";

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <span>
+
 #include "ast/parser.h"
 #include "eval/matcher.h"
 
@@ -165,6 +169,50 @@ TEST(EvaluatorTest, FactBudgetStopsDivergence) {
   EvalResult result = Evaluator(options).Run(f.program, f.db);
   EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
   EXPECT_LE(result.stats.new_facts, 110u);
+}
+
+TEST(EvaluatorTest, ControlSinkStopsFixpointEarly) {
+  Fixture f(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    par(a,b). par(b,c). par(c,d). par(d,e). par(e,f).
+  )");
+  PredId anc =
+      *f.universe->predicates().Find(*f.universe->symbols().Find("anc"), 2);
+
+  EvalResult full = Evaluator().Run(f.program, f.db);
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_EQ(full.stop_reason, StopReason::kNone);
+
+  size_t seen = 0;
+  EvalControl control;
+  control.sink_pred = anc;
+  control.on_fact = [&](std::span<const TermId>) { return ++seen < 2; };
+  EvalResult stopped = Evaluator().Run(f.program, f.db, {}, &control);
+  ASSERT_TRUE(stopped.status.ok());  // a sink stop is not an error
+  EXPECT_EQ(stopped.stop_reason, StopReason::kSink);
+  EXPECT_EQ(seen, 2u);
+  EXPECT_LT(stopped.stats.new_facts, full.stats.new_facts);
+}
+
+TEST(EvaluatorTest, ControlDeadlineAndCancellation) {
+  Fixture f(R"(
+    anc(X,Y) :- par(X,Y).
+    anc(X,Y) :- par(X,Z), anc(Z,Y).
+    par(a,b). par(b,c).
+  )");
+  EvalControl expired;
+  expired.deadline = std::chrono::steady_clock::now();
+  EvalResult dead = Evaluator().Run(f.program, f.db, {}, &expired);
+  EXPECT_EQ(dead.stop_reason, StopReason::kDeadline);
+  EXPECT_EQ(dead.status.code(), StatusCode::kDeadlineExceeded);
+
+  std::atomic<bool> flag{true};
+  EvalControl cancelled;
+  cancelled.cancel = &flag;
+  EvalResult stopped = Evaluator().Run(f.program, f.db, {}, &cancelled);
+  EXPECT_EQ(stopped.stop_reason, StopReason::kCancelled);
+  EXPECT_EQ(stopped.status.code(), StatusCode::kCancelled);
 }
 
 TEST(EvaluatorTest, FunctionSymbolHeads) {

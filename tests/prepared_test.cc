@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "workload/generators.h"
 
 namespace magic {
@@ -61,6 +64,70 @@ TEST(PreparedQueryFormTest, ValidatesInstanceArity) {
   EXPECT_EQ(too_many.status.code(), StatusCode::kInvalidArgument);
   QueryAnswer non_ground = form->Answer({u.Variable("X")}, w.db);
   EXPECT_EQ(non_ground.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PreparedQueryFormTest, RowLimitedAnswerDoesStrictlyLessWork) {
+  Workload w = MakeAncestorChain(200);
+  Universe& u = *w.universe;
+  auto form = PreparedQueryForm::Prepare(w.program, w.query);
+  ASSERT_TRUE(form.ok());
+
+  QueryAnswer unlimited = form->Answer({u.Constant("c0")}, w.db);
+  ASSERT_TRUE(unlimited.status.ok());
+  EXPECT_EQ(unlimited.tuples.size(), 199u);
+
+  QueryLimits limits;
+  limits.row_limit = 1;
+  QueryAnswer limited = form->Answer({u.Constant("c0")}, w.db, limits);
+  ASSERT_TRUE(limited.status.ok());
+  EXPECT_EQ(limited.outcome, AnswerStatus::kTruncated);
+  EXPECT_EQ(limited.tuples.size(), 1u);
+  EXPECT_LT(limited.eval_stats.new_facts, unlimited.eval_stats.new_facts);
+  EXPECT_LT(limited.eval_stats.iterations,
+            unlimited.eval_stats.iterations);
+}
+
+TEST(PreparedQueryFormTest, SinkStreamsDistinctAnswersInDerivationOrder) {
+  Workload w = MakeAncestorChain(12);
+  Universe& u = *w.universe;
+  auto form = PreparedQueryForm::Prepare(w.program, w.query);
+  ASSERT_TRUE(form.ok());
+
+  QueryAnswer materialized = form->Answer({u.Constant("c0")}, w.db);
+  ASSERT_TRUE(materialized.status.ok());
+
+  std::vector<std::vector<TermId>> streamed;
+  AnswerSink sink = [&](const std::vector<TermId>& tuple) {
+    streamed.push_back(tuple);
+    return true;
+  };
+  QueryAnswer answer =
+      form->Answer({u.Constant("c0")}, w.db, QueryLimits{}, sink);
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_EQ(answer.outcome, AnswerStatus::kOk);
+  // With a sink the answer's tuples stay empty (everything streamed); the
+  // sink saw each distinct answer exactly once, and sorted they equal the
+  // materialized run.
+  EXPECT_TRUE(answer.tuples.empty());
+  EXPECT_EQ(streamed.size(), materialized.tuples.size());
+  std::sort(streamed.begin(), streamed.end());
+  EXPECT_EQ(streamed, materialized.tuples);
+}
+
+TEST(PreparedQueryFormTest, SinkReturningFalseTruncates) {
+  Workload w = MakeAncestorChain(50);
+  Universe& u = *w.universe;
+  auto form = PreparedQueryForm::Prepare(w.program, w.query);
+  ASSERT_TRUE(form.ok());
+
+  size_t seen = 0;
+  AnswerSink sink = [&](const std::vector<TermId>&) { return ++seen < 4; };
+  QueryAnswer answer =
+      form->Answer({u.Constant("c0")}, w.db, QueryLimits{}, sink);
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_EQ(answer.outcome, AnswerStatus::kTruncated);
+  EXPECT_EQ(seen, 4u);
+  EXPECT_TRUE(answer.tuples.empty());  // streamed, not materialized
 }
 
 TEST(PreparedQueryFormTest, FullyBoundFormAnswersMembership) {

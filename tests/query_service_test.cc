@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -176,14 +181,361 @@ TEST(QueryServiceTest, BasePredicateQueriesAreDirectSelections) {
   EXPECT_EQ(service.stats().forms_compiled, 0u);
 }
 
-TEST(QueryServiceTest, RejectsNonPreparableStrategies) {
+TEST(QueryServiceTest, ServesNonRewritingStrategiesViaExclusiveFallback) {
+  // naive/seminaive/topdown have no compiled form; the service evaluates
+  // them under the exclusive lock instead of rejecting them, interleaved
+  // here with rewriting-strategy requests on the same pool.
+  Workload w = MakeAncestorChain(16);
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  QueryService service(w.program, w.db, options);
+
+  const Strategy fallback[] = {Strategy::kNaiveBottomUp,
+                               Strategy::kSemiNaiveBottomUp,
+                               Strategy::kTopDown};
+  std::vector<QueryRequest> batch;
+  for (Strategy strategy : fallback) {
+    for (int i = 0; i < 8; ++i) {
+      QueryRequest request;
+      request.query = InstanceAt(w, "c" + std::to_string(i));
+      request.strategy = strategy;
+      batch.push_back(request);
+      QueryRequest rewriting = request;
+      rewriting.strategy = Strategy::kSupplementaryMagic;
+      batch.push_back(rewriting);
+    }
+  }
+  std::vector<QueryAnswer> answers = service.AnswerBatch(batch);
+  ASSERT_EQ(answers.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(answers[i].status.ok())
+        << "query #" << i << ": " << answers[i].status.ToString();
+    EngineOptions engine_options;
+    engine_options.strategy = *batch[i].strategy;
+    QueryAnswer expected =
+        QueryEngine(engine_options).Run(w.program, batch[i].query, w.db);
+    EXPECT_EQ(answers[i].tuples, expected.tuples)
+        << StrategyName(*batch[i].strategy) << " query #" << i;
+  }
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.fallback_served, std::size(fallback) * 8);
+  EXPECT_EQ(stats.queries_served, batch.size());
+}
+
+TEST(QueryServiceTest, PrepareRejectsBasePredicatesAndNonRewriting) {
   Workload w = MakeAncestorChain(5);
+  Universe& u = *w.universe;
   QueryServiceOptions options;
   options.num_threads = 2;
-  options.engine.strategy = Strategy::kTopDown;
   QueryService service(w.program, w.db, options);
-  QueryAnswer answer = service.Answer(w.query);
-  EXPECT_EQ(answer.status.code(), StatusCode::kInvalidArgument);
+
+  QueryRequest base;
+  base.query.goal.pred = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  base.query.goal.args = {u.Constant("c0"), u.FreshVariable("Y")};
+  EXPECT_EQ(service.Prepare(base).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QueryRequest topdown;
+  topdown.query = w.query;
+  topdown.strategy = Strategy::kTopDown;
+  EXPECT_EQ(service.Prepare(topdown).status().code(),
+            StatusCode::kInvalidArgument);
+
+  QueryRequest bad_sip;
+  bad_sip.query = w.query;
+  bad_sip.sip = "no-such-sip";
+  EXPECT_FALSE(service.Prepare(bad_sip).ok());
+}
+
+TEST(QueryServiceTest, RowLimitStopsEvaluationEarly) {
+  // The issue's acceptance bar: over a large recursive EDB, a row_limit=1
+  // query must do strictly less evaluation work than the unlimited run,
+  // not just return fewer rows.
+  Workload w = MakeAncestorChain(300);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  EXPECT_TRUE(handle->valid());
+  EXPECT_EQ(handle->bound_arity(), 1u);
+
+  QueryAnswer unlimited = service.Answer(*handle, {u.Constant("c0")});
+  ASSERT_TRUE(unlimited.status.ok()) << unlimited.status.ToString();
+  EXPECT_EQ(unlimited.outcome, AnswerStatus::kOk);
+  EXPECT_EQ(unlimited.tuples.size(), 299u);
+
+  QueryLimits limits;
+  limits.row_limit = 1;
+  QueryAnswer limited = service.Answer(*handle, {u.Constant("c0")}, limits);
+  ASSERT_TRUE(limited.status.ok()) << limited.status.ToString();
+  EXPECT_EQ(limited.outcome, AnswerStatus::kTruncated);
+  EXPECT_TRUE(limited.truncated());
+  ASSERT_EQ(limited.tuples.size(), 1u);
+  // The single tuple is a genuine answer.
+  EXPECT_TRUE(std::find(unlimited.tuples.begin(), unlimited.tuples.end(),
+                        limited.tuples[0]) != unlimited.tuples.end());
+
+  // Strictly less work: fewer facts derived and fewer fixpoint rounds.
+  EXPECT_LT(limited.eval_stats.new_facts, unlimited.eval_stats.new_facts);
+  EXPECT_LT(limited.eval_stats.iterations, unlimited.eval_stats.iterations);
+  EXPECT_LT(limited.total_facts, unlimited.total_facts);
+
+  // A mid-sized limit is also an exact prefix size.
+  limits.row_limit = 7;
+  QueryAnswer seven = service.Answer(*handle, {u.Constant("c0")}, limits);
+  ASSERT_TRUE(seven.status.ok());
+  EXPECT_EQ(seven.tuples.size(), 7u);
+  EXPECT_EQ(seven.outcome, AnswerStatus::kTruncated);
+
+  QueryService::Stats stats = service.stats();
+  ASSERT_EQ(stats.forms.size(), 1u);
+  EXPECT_EQ(stats.forms[0].pred, "anc");
+  EXPECT_EQ(stats.forms[0].adornment, "bf");
+  EXPECT_EQ(stats.forms[0].queries, 3u);
+  EXPECT_EQ(stats.forms[0].truncated, 2u);
+  EXPECT_EQ(stats.forms[0].rows, 299u + 1u + 7u);
+}
+
+TEST(QueryServiceTest, DeadlineExpiryReportsDeadlineExceeded) {
+  Workload w = MakeAncestorChain(64);
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest request;
+  request.query = w.query;
+  request.limits.deadline = std::chrono::milliseconds(0);  // already expired
+  QueryAnswer answer = service.Submit(request).get();
+  EXPECT_EQ(answer.outcome, AnswerStatus::kDeadlineExceeded);
+  EXPECT_EQ(answer.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryServiceTest, PresetCancellationTokenReportsCancelled) {
+  Workload w = MakeAncestorChain(64);
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest request;
+  request.query = w.query;
+  request.limits.cancel = std::make_shared<std::atomic<bool>>(true);
+  QueryAnswer answer = service.Submit(request).get();
+  EXPECT_EQ(answer.outcome, AnswerStatus::kCancelled);
+  EXPECT_EQ(answer.status.code(), StatusCode::kCancelled);
+
+  // Base-predicate (direct selection) requests honor the limits too.
+  Universe& u = *w.universe;
+  QueryRequest base = request;
+  base.query.goal.pred = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  base.query.goal.args = {u.Constant("c0"), u.FreshVariable("Y")};
+  QueryAnswer base_answer = service.Submit(base).get();
+  EXPECT_EQ(base_answer.outcome, AnswerStatus::kCancelled);
+}
+
+TEST(QueryServiceTest, CursorStreamsChunksToExhaustion) {
+  Workload w = MakeAncestorChain(32);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  QueryAnswer expected = service.Answer(*handle, {u.Constant("c0")});
+  ASSERT_TRUE(expected.status.ok());
+  ASSERT_EQ(expected.tuples.size(), 31u);
+
+  AnswerCursor cursor = service.Stream(*handle, {u.Constant("c0")});
+  std::vector<std::vector<TermId>> streamed;
+  std::vector<std::vector<TermId>> chunk;
+  size_t chunks = 0;
+  while (cursor.Next(5, &chunk)) {
+    ASSERT_FALSE(chunk.empty());
+    ASSERT_LE(chunk.size(), 5u);
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+    ++chunks;
+  }
+  EXPECT_TRUE(chunk.empty());
+  EXPECT_GE(chunks, 7u);  // 31 tuples in chunks of <= 5
+  // Exhausted cursors stay exhausted.
+  EXPECT_FALSE(cursor.Next(5, &chunk));
+
+  const QueryAnswer& final = cursor.Finish();
+  EXPECT_TRUE(final.status.ok()) << final.status.ToString();
+  EXPECT_EQ(final.outcome, AnswerStatus::kOk);
+  EXPECT_TRUE(final.tuples.empty());  // streamed, not materialized
+
+  // Derivation order is a permutation of the sorted answer set, with no
+  // duplicates.
+  EXPECT_EQ(streamed.size(), expected.tuples.size());
+  std::vector<std::vector<TermId>> sorted = streamed;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, expected.tuples);
+
+  // On an ancestor chain from c0, derivation order is the chain order:
+  // the first streamed tuple is the first derived fact (c1), which the
+  // full sorted run would only confirm after the whole fixpoint.
+  EXPECT_EQ(u.TermToString(streamed[0][0]), "c1");
+}
+
+TEST(QueryServiceTest, CursorHonorsRowLimit) {
+  Workload w = MakeAncestorChain(40);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+
+  QueryLimits limits;
+  limits.row_limit = 3;
+  AnswerCursor cursor = service.Stream(*handle, {u.Constant("c0")}, limits);
+  std::vector<std::vector<TermId>> streamed;
+  std::vector<std::vector<TermId>> chunk;
+  while (cursor.Next(2, &chunk)) {
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(streamed.size(), 3u);
+  EXPECT_EQ(cursor.Finish().outcome, AnswerStatus::kTruncated);
+}
+
+TEST(QueryServiceTest, TrySubmitRejectsWhenQueueIsFull) {
+  // Deterministic overload: a counting-strategy query over cyclic data
+  // diverges (paper, Section 6), so with one worker it provably occupies
+  // the pool until its cancellation token fires — no timing assumptions.
+  Workload w = MakeAncestorCycle(48);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  options.max_pending = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest divergent;
+  divergent.query = w.query;
+  divergent.strategy = Strategy::kCounting;
+  divergent.limits.max_facts = uint64_t{1} << 60;  // never self-terminates
+  divergent.limits.cancel = std::make_shared<std::atomic<bool>>(false);
+  std::future<QueryAnswer> running = service.Submit(divergent);
+
+  // A second request queues behind it: depth is now max_pending.
+  QueryRequest queued;
+  queued.query.goal.pred = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  queued.query.goal.args = {u.Constant("c0"), u.FreshVariable("Y")};
+  std::future<QueryAnswer> waiting = service.Submit(queued);
+
+  QueryAnswer rejected = service.TrySubmit(queued).get();
+  EXPECT_EQ(rejected.outcome, AnswerStatus::kOverloaded);
+  EXPECT_EQ(rejected.status.code(), StatusCode::kResourceExhausted);
+
+  // Plain Submit still queues regardless of depth.
+  std::future<QueryAnswer> forced = service.Submit(queued);
+
+  divergent.limits.cancel->store(true);
+  QueryAnswer cancelled = running.get();
+  EXPECT_EQ(cancelled.outcome, AnswerStatus::kCancelled);
+  ASSERT_TRUE(waiting.get().status.ok());
+  ASSERT_TRUE(forced.get().status.ok());
+
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.overloaded, 1u);
+  EXPECT_EQ(stats.queries_served, 3u);  // the rejection is not "served"
+
+  // With the queue drained, TrySubmit admits again.
+  QueryAnswer admitted = service.TrySubmit(queued).get();
+  EXPECT_TRUE(admitted.status.ok());
+}
+
+TEST(QueryServiceTest, HandleReuseHammerAcrossEightThreads) {
+  // The tentpole's steady-state hot path: one prepared handle shared by 8
+  // client threads, mixing unlimited, row-limited, and streaming requests.
+  // Must stay TSan-clean.
+  Workload w = MakeAncestorChain(24);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 8;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto prepared = service.Prepare(exemplar);
+  ASSERT_TRUE(prepared.ok());
+  QueryService::FormHandle handle = *prepared;
+
+  // Expected answer counts per start node, computed single-threaded.
+  std::vector<size_t> expected_rows(24);
+  for (int i = 0; i < 24; ++i) {
+    QueryAnswer answer =
+        service.Answer(handle, {u.Constant("c" + std::to_string(i))});
+    ASSERT_TRUE(answer.status.ok());
+    expected_rows[i] = answer.tuples.size();
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 48;
+  std::vector<int> failures(kClients, 0);
+  {
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int q = 0; q < kQueriesPerClient; ++q) {
+          size_t node = (c * 5 + q * 3) % 24;
+          std::vector<TermId> seed = {
+              u.Constant("c" + std::to_string(node))};
+          switch ((c + q) % 3) {
+            case 0: {  // unlimited future
+              QueryAnswer answer = service.Submit(handle, seed).get();
+              if (!answer.status.ok() ||
+                  answer.tuples.size() != expected_rows[node]) {
+                ++failures[c];
+              }
+              break;
+            }
+            case 1: {  // row-limited
+              QueryLimits limits;
+              limits.row_limit = 2;
+              QueryAnswer answer =
+                  service.Answer(handle, std::move(seed), limits);
+              size_t want = std::min<size_t>(2, expected_rows[node]);
+              if (!answer.status.ok() || answer.tuples.size() != want) {
+                ++failures[c];
+              }
+              break;
+            }
+            case 2: {  // streamed
+              AnswerCursor cursor = service.Stream(handle, std::move(seed));
+              size_t rows = 0;
+              std::vector<std::vector<TermId>> chunk;
+              while (cursor.Next(4, &chunk)) rows += chunk.size();
+              if (!cursor.Finish().status.ok() ||
+                  rows != expected_rows[node]) {
+                ++failures[c];
+              }
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.forms_compiled, 1u);
+  ASSERT_EQ(stats.forms.size(), 1u);
+  EXPECT_EQ(stats.forms[0].queries,
+            24u + static_cast<size_t>(kClients) * kQueriesPerClient);
 }
 
 TEST(QueryServiceTest, AnswersComeBackInInputOrder) {

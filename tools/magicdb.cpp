@@ -17,14 +17,24 @@
 //   --check-safety           refuse strategies the static analysis rejects
 //   --stats                  print evaluation statistics
 //   --max-facts N            evaluation budget (default 10M)
+//   --limit N                stop each query after N answer rows
+//   --deadline-ms N          per-query evaluation deadline
+//
+// Batch answers stream through AnswerCursor as they are derived (chunked,
+// in derivation order, not sorted); single-query answers stay sorted. The
+// exit status is nonzero when any query fails (including deadline expiry;
+// hitting --limit is a success).
 //
 // Examples:
 //   magicdb --strategy gms --explain --stats family.dl
 //   magicdb --batch queries.txt --threads 8 --stats family.dl
+//   magicdb --query "anc(c0, Y)" --limit 1 --deadline-ms 50 family.dl
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -47,27 +57,13 @@ struct Args {
   std::string facts_dir;
   size_t threads = 0;  // 0 = hardware concurrency
   EngineOptions options;
+  QueryLimits limits;
   bool explain = false;
   bool safety = false;
   bool stats = false;
   bool ok = true;
   std::string error;
 };
-
-Strategy ParseStrategy(const std::string& name, bool* ok) {
-  *ok = true;
-  if (name == "naive") return Strategy::kNaiveBottomUp;
-  if (name == "seminaive") return Strategy::kSemiNaiveBottomUp;
-  if (name == "gms") return Strategy::kMagic;
-  if (name == "gsms") return Strategy::kSupplementaryMagic;
-  if (name == "gc") return Strategy::kCounting;
-  if (name == "gsc") return Strategy::kSupplementaryCounting;
-  if (name == "gc+sj") return Strategy::kCountingSemijoin;
-  if (name == "gsc+sj") return Strategy::kSupCountingSemijoin;
-  if (name == "topdown") return Strategy::kTopDown;
-  *ok = false;
-  return Strategy::kSupplementaryMagic;
-}
 
 Args ParseArgs(int argc, char** argv) {
   Args args;
@@ -98,9 +94,11 @@ Args ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--strategy") {
       if (const char* v = need_value(i)) {
-        bool ok = true;
-        args.options.strategy = ParseStrategy(v, &ok);
-        if (!ok) {
+        // One shared name<->enum table with the library (StrategyName's
+        // inverse), so the CLI cannot drift from the engine.
+        if (std::optional<Strategy> strategy = StrategyFromName(v)) {
+          args.options.strategy = *strategy;
+        } else {
           args.ok = false;
           args.error = "unknown strategy: " + std::string(v);
         }
@@ -136,6 +134,15 @@ Args ParseArgs(int argc, char** argv) {
       if (const char* v = need_value(i)) {
         args.options.eval.max_facts = std::strtoull(v, nullptr, 10);
       }
+    } else if (arg == "--limit") {
+      if (const char* v = need_value(i)) {
+        args.limits.row_limit = std::strtoull(v, nullptr, 10);
+      }
+    } else if (arg == "--deadline-ms") {
+      if (const char* v = need_value(i)) {
+        args.limits.deadline =
+            std::chrono::milliseconds(std::strtoull(v, nullptr, 10));
+      }
     } else if (arg.rfind("--", 0) == 0) {
       args.ok = false;
       args.error = "unknown option: " + arg;
@@ -157,7 +164,10 @@ Args ParseArgs(int argc, char** argv) {
 }
 
 /// Serves every query in the batch file concurrently and prints each
-/// query's answers in input order, separated by `% query:` headers.
+/// query's answers in input order, separated by `% query:` headers. Each
+/// query streams through an AnswerCursor: rows print chunk-by-chunk as the
+/// fixpoint derives them (derivation order, deduplicated, not sorted)
+/// instead of waiting for the full materialized answer set.
 int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
   std::ifstream in(args.batch_path);
   if (!in) {
@@ -193,40 +203,63 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
   QueryService service(parsed.program, db, service_options);
 
   Stopwatch watch;
-  std::vector<QueryAnswer> answers = service.AnswerBatch(queries);
-  double seconds = watch.ElapsedSeconds();
+  std::vector<AnswerCursor> cursors;
+  cursors.reserve(queries.size());
+  for (const Query& query : queries) {
+    QueryRequest request;
+    request.query = query;
+    request.limits = args.limits;
+    cursors.push_back(service.Stream(request));
+  }
 
+  constexpr size_t kChunk = 64;
   Universe& u = *parsed.program.universe();
   int failed = 0;
-  for (size_t i = 0; i < answers.size(); ++i) {
+  int truncated = 0;
+  size_t total_rows = 0;
+  std::vector<std::vector<TermId>> chunk;
+  for (size_t i = 0; i < cursors.size(); ++i) {
     std::printf("%% query: %s\n", lines[i].c_str());
-    if (!answers[i].status.ok()) {
-      std::printf("error: %s\n", answers[i].status.ToString().c_str());
+    std::vector<int> free_positions = QueryFreePositions(u, queries[i]);
+    size_t rows = 0;
+    while (cursors[i].Next(kChunk, &chunk)) {
+      rows += chunk.size();
+      if (free_positions.empty()) continue;  // boolean query: count only
+      for (const auto& tuple : chunk) {
+        std::string row;
+        for (TermId term : tuple) {
+          if (!row.empty()) row += "\t";
+          row += u.TermToString(term);
+        }
+        std::printf("%s\n", row.c_str());
+      }
+    }
+    const QueryAnswer& answer = cursors[i].Finish();
+    if (!answer.status.ok()) {
+      std::printf("error: %s\n", answer.status.ToString().c_str());
       ++failed;
       continue;
     }
-    std::vector<int> free_positions = QueryFreePositions(u, queries[i]);
     if (free_positions.empty()) {
-      std::printf("%s\n", answers[i].tuples.empty() ? "false" : "true");
-      continue;
+      std::printf("%s\n", rows == 0 ? "false" : "true");
     }
-    for (const auto& tuple : answers[i].tuples) {
-      std::string row;
-      for (TermId term : tuple) {
-        if (!row.empty()) row += "\t";
-        row += u.TermToString(term);
-      }
-      std::printf("%s\n", row.c_str());
+    if (answer.truncated()) {
+      std::printf("%% truncated after %zu row(s)\n", rows);
+      ++truncated;
     }
+    total_rows += rows;
   }
+  double seconds = watch.ElapsedSeconds();
   if (args.stats) {
     QueryService::Stats stats = service.stats();
     std::fprintf(stderr,
                  "%% %zu quer(ies) on %zu thread(s) in %.3f ms (%.0f qps), "
-                 "%zu form(s) compiled, %zu cache hit(s), %d failed\n",
-                 answers.size(), service.num_threads(), seconds * 1e3,
-                 static_cast<double>(answers.size()) / seconds,
-                 stats.forms_compiled, stats.cache_hits, failed);
+                 "%zu row(s), %zu form(s) compiled, %zu cache hit(s), "
+                 "%zu fallback, %d truncated, %d failed\n",
+                 queries.size(), service.num_threads(), seconds * 1e3,
+                 static_cast<double>(queries.size()) / seconds, total_rows,
+                 stats.forms_compiled, stats.cache_hits,
+                 stats.fallback_served, truncated, failed);
   }
   return failed == 0 ? 0 : 1;
 }
@@ -313,7 +346,7 @@ int Run(const Args& args) {
   }
 
   QueryEngine engine(args.options);
-  QueryAnswer answer = engine.Run(parsed->program, *query, db);
+  QueryAnswer answer = engine.Run(parsed->program, *query, db, args.limits);
   if (args.explain && !answer.rewritten_text.empty()) {
     std::printf("%% rewritten program (%s, sip=%s)\n%s%%\n",
                 StrategyName(args.options.strategy).c_str(),
@@ -335,6 +368,10 @@ int Run(const Args& args) {
       }
       std::printf("%s\n", row.c_str());
     }
+  }
+  if (answer.truncated()) {
+    std::fprintf(stderr, "magicdb: truncated after %zu row(s) (--limit)\n",
+                 answer.tuples.size());
   }
   if (args.stats) {
     std::fprintf(stderr,
@@ -360,7 +397,8 @@ int main(int argc, char** argv) {
                  "usage: magicdb [--query Q] [--batch FILE] [--threads N] "
                  "[--strategy S] [--sip NAME] "
                  "[--guards MODE] [--facts DIR] [--explain] [--safety] "
-                 "[--check-safety] [--stats] [--max-facts N] program.dl\n");
+                 "[--check-safety] [--stats] [--max-facts N] [--limit N] "
+                 "[--deadline-ms N] program.dl\n");
     return 2;
   }
   return Run(args);
