@@ -7,7 +7,9 @@
 #   scripts/bench_trajectory.sh [bench-binary] [label] [output-file]
 #
 # Environment: THREADS (default 4), QUERIES (default 256), MODE (default
-# all). Run from the repository root.
+# all — includes the `repeat` zipfian cold/warm AnswerCache mode, whose
+# repeat_cold/repeat_warm line pair records the memoization speedup).
+# Run from the repository root.
 set -eu
 
 BIN=${1:-./build/bench_throughput}

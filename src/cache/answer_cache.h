@@ -1,0 +1,209 @@
+#ifndef MAGIC_CACHE_ANSWER_CACHE_H_
+#define MAGIC_CACHE_ANSWER_CACHE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/term.h"
+
+namespace magic {
+
+struct AnswerCacheOptions {
+  /// Total byte budget across all shards (answers + key/entry overhead,
+  /// estimated). An entry whose own footprint exceeds the per-shard share
+  /// is not cached at all. 0 disables the cache (Get always misses, Put is
+  /// a no-op).
+  size_t max_bytes = size_t{64} << 20;
+  /// Shard count, rounded up to a power of two. More shards mean less
+  /// writer contention and smaller copy-on-write tables, at the cost of a
+  /// coarser (per-shard) LRU horizon.
+  size_t shards = 16;
+};
+
+/// A concurrent, sharded memo of completed query answers, keyed by
+/// (form tag, seed tuple, database epoch).
+///
+/// The magic transformation specializes evaluation to a query's binding
+/// seed, so a serving workload with repeated seeds recomputes identical
+/// magic/IDB facts per request; this cache short-circuits that repetition.
+/// The caller supplies an opaque `tag` naming the compiled query form (the
+/// serving layer uses the PreparedQueryForm address) and the mutation
+/// `epoch` of the database the answer was computed against. Epochs make
+/// invalidation free: any EDB write advances Database::epoch(), so every
+/// entry filled before the write becomes unreachable — no flush, no sweep,
+/// no lock on the write path. Stale entries stop being touched and age out
+/// of the byte-budgeted LRU.
+///
+/// Concurrency contract:
+///   * Get is lock-free: a reader registers itself in a per-shard active
+///     counter (two atomic RMWs), loads the shard's atomically published
+///     immutable table snapshot, and copies out one shared_ptr — it never
+///     blocks on a writer and never takes a mutex. LRU recency is an
+///     atomic timestamp on the entry, stamped on hit.
+///   * Put serializes on the shard mutex. It copies the shard's table
+///     (copy-on-write), inserts, evicts least-recently-used entries while
+///     over the shard's byte share, and publishes the new snapshot with a
+///     seq_cst store. Retired snapshots are reclaimed once the reader
+///     counter has been observed at zero after the retirement — a reader
+///     registered later can only see the newer table (quiescent-state
+///     reclamation). The check is opportunistic per Put; if sustained
+///     reader traffic keeps losing it the race, the writer yield-waits
+///     for a quiescent instant once a small retired-list bound is
+///     exceeded, so memory stays bounded by the live table, a few
+///     retired snapshots, and whatever in-flight readers pin.
+///   * Answer payloads are immutable and shared_ptr-owned; a tuple set
+///     returned by Get stays valid after the entry is evicted.
+class AnswerCache {
+ public:
+  using Tuples = std::vector<std::vector<TermId>>;
+
+  explicit AnswerCache(AnswerCacheOptions options = {});
+  ~AnswerCache();
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  bool enabled() const { return options_.max_bytes != 0; }
+
+  /// Returns the cached answer for (tag, seed, epoch), or null on a miss.
+  /// Lock-free; stamps the entry's recency on a hit.
+  std::shared_ptr<const Tuples> Get(uintptr_t tag,
+                                    std::span<const TermId> seed,
+                                    uint64_t epoch) const;
+
+  /// Caches `tuples` for (tag, seed, epoch). First writer wins: if the key
+  /// is already present (two threads missed and evaluated concurrently)
+  /// the existing entry is kept. Oversized answers are dropped.
+  void Put(uintptr_t tag, std::vector<TermId> seed, uint64_t epoch,
+           std::shared_ptr<const Tuples> tuples);
+
+  /// Drops every entry (counters are kept).
+  void Clear();
+
+  /// Point-in-time counters. `hits`/`misses` count Get outcomes;
+  /// `inserts`/`evictions`/`rejected_oversize` count Put outcomes; `bytes`
+  /// and `entries` describe current occupancy.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+    uint64_t rejected_oversize = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+    size_t max_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Key {
+    uintptr_t tag = 0;
+    uint64_t epoch = 0;
+    std::vector<TermId> seed;
+  };
+  /// Borrowed view of a Key, so the lock-free Get never allocates.
+  struct KeyView {
+    uintptr_t tag = 0;
+    uint64_t epoch = 0;
+    std::span<const TermId> seed;
+  };
+  static size_t HashOf(uintptr_t tag, uint64_t epoch,
+                       std::span<const TermId> seed);
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(const Key& key) const {
+      return HashOf(key.tag, key.epoch, key.seed);
+    }
+    size_t operator()(const KeyView& key) const {
+      return HashOf(key.tag, key.epoch, key.seed);
+    }
+  };
+  struct KeyEqual {
+    using is_transparent = void;
+    static bool Eq(uintptr_t tag, uint64_t epoch,
+                   std::span<const TermId> seed, const Key& key) {
+      return key.tag == tag && key.epoch == epoch &&
+             std::equal(seed.begin(), seed.end(), key.seed.begin(),
+                        key.seed.end());
+    }
+    bool operator()(const Key& a, const Key& b) const {
+      return Eq(a.tag, a.epoch, a.seed, b);
+    }
+    bool operator()(const KeyView& a, const Key& b) const {
+      return Eq(a.tag, a.epoch, a.seed, b);
+    }
+    bool operator()(const Key& a, const KeyView& b) const {
+      return Eq(b.tag, b.epoch, b.seed, a);
+    }
+  };
+
+  struct Entry {
+    std::shared_ptr<const Tuples> tuples;
+    size_t bytes = 0;
+    /// LRU recency: the cache-global tick at the last hit/insert. Written
+    /// lock-free from the hit path, read by the evictor under the shard
+    /// mutex — monotonicity is approximate and that is fine for LRU.
+    mutable std::atomic<uint64_t> last_used{0};
+  };
+
+  /// Immutable once published; replaced wholesale by each Put.
+  using Table =
+      std::unordered_map<Key, std::shared_ptr<Entry>, KeyHash, KeyEqual>;
+
+  struct Shard {
+    /// Seq_cst publication point of the current table (null = empty). The
+    /// seq_cst pairing with `active_readers` is what lets the writer prove
+    /// a quiescent point: it stores the new table, then reads the counter;
+    /// any reader it misses registered after the store and therefore loads
+    /// the new table, never a retired one.
+    std::atomic<const Table*> table{nullptr};
+    std::atomic<int64_t> active_readers{0};
+
+    std::mutex mutex;  // writers: current_owner, retired, bytes
+    std::unique_ptr<const Table> current_owner;
+    std::vector<std::unique_ptr<const Table>> retired;
+    size_t bytes = 0;
+
+    /// Occupancy mirrors for stats(), updated under mutex, read anywhere.
+    std::atomic<size_t> bytes_published{0};
+    std::atomic<size_t> entries_published{0};
+  };
+
+  /// Shard selection uses the upper half of the hash so it stays
+  /// uncorrelated with the table's bucket index (which consumes the low
+  /// bits) while still addressing every shard for any sane shard count.
+  /// The shift is half the operand width, so it is well-defined (and
+  /// non-degenerate) even where size_t is 32 bits.
+  Shard& ShardFor(size_t hash) const {
+    constexpr int kHalf = std::numeric_limits<size_t>::digits / 2;
+    return shards_[(hash >> kHalf) & shard_mask_];
+  }
+  /// Publishes `next` as `shard`'s table and reclaims retired tables if
+  /// the shard is quiescent. Caller holds the shard mutex.
+  static void PublishTable(Shard& shard, std::unique_ptr<const Table> next);
+
+  static size_t EntryBytes(const Key& key, const Tuples& tuples);
+
+  AnswerCacheOptions options_;
+  size_t shard_mask_ = 0;
+  size_t shard_budget_ = 0;  // max_bytes / shard count
+  mutable std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<uint64_t> tick_{0};
+
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> rejected_oversize_{0};
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_CACHE_ANSWER_CACHE_H_

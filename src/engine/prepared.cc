@@ -36,6 +36,20 @@ Result<PreparedQueryForm> PreparedQueryForm::Prepare(
   return form;
 }
 
+bool PreparedQueryForm::fully_free() const {
+  if (!bound_positions_.empty()) return false;
+  const auto& args = exemplar_.goal.args;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (universe_->terms().Get(args[i]).kind != TermKind::kVariable) {
+      return false;
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (args[j] == args[i]) return false;  // repeated variable
+    }
+  }
+  return true;
+}
+
 QueryAnswer PreparedQueryForm::Answer(const std::vector<TermId>& bound_values,
                                       const Database& db) const {
   return Answer(bound_values, db, QueryLimits{});

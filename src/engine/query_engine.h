@@ -114,6 +114,10 @@ struct QueryAnswer {
   Status status;
   /// How the request ended; refines `status` with the limit outcomes.
   AnswerStatus outcome = AnswerStatus::kOk;
+  /// True when the answer was served from the cross-query AnswerCache
+  /// without any evaluation; `eval_stats`/`total_facts` are zero then (no
+  /// fixpoint ran), which keeps "work done" metrics honest.
+  bool from_cache = false;
   /// Answer tuples over the query's free positions, sorted and deduplicated.
   std::vector<std::vector<TermId>> tuples;
   /// Bottom-up statistics (empty for the top-down strategy).

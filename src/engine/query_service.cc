@@ -1,5 +1,8 @@
 #include "engine/query_service.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -54,6 +57,14 @@ void AnswerCursor::Cancel() {
 
 // --- QueryService ------------------------------------------------------------
 
+const Adornment& QueryService::FormHandle::adornment() const {
+  return cached_->form->adornment();
+}
+
+size_t QueryService::FormHandle::bound_arity() const {
+  return cached_->form->bound_arity();
+}
+
 size_t QueryService::FormKeyHash::operator()(const FormKey& key) const {
   uint64_t h = HashCombine(key.pred, key.bound_mask);
   h = HashCombine(h, static_cast<uint64_t>(key.strategy));
@@ -72,6 +83,48 @@ uint64_t BoundMask(const Universe& u, const Query& query) {
   return mask;
 }
 
+/// The AnswerCache tag of a compiled form: its stable address. Forms live
+/// as long as the service (and so does the cache), so tags never alias.
+uintptr_t CacheTag(const PreparedQueryForm* form) {
+  return reinterpret_cast<uintptr_t>(form);
+}
+
+/// Subsumption filter: selects the tuples of a fully-free form's answer
+/// set (columns = all argument positions, sorted lexicographically) that
+/// match `bound_values` at `bound_positions`, projected onto the free
+/// positions. The selection of a sorted, deduplicated set is itself
+/// sorted and deduplicated: rows agree on every bound column, so the
+/// first differing column is a kept one — order and distinctness survive
+/// the projection.
+AnswerCache::Tuples FilterSubsumed(const AnswerCache::Tuples& all,
+                                   const std::vector<int>& bound_positions,
+                                   const std::vector<TermId>& bound_values) {
+  AnswerCache::Tuples out;
+  for (const std::vector<TermId>& tuple : all) {
+    bool match = true;
+    for (size_t k = 0; k < bound_positions.size(); ++k) {
+      if (tuple[bound_positions[k]] != bound_values[k]) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    std::vector<TermId> projected;
+    projected.reserve(tuple.size() - bound_positions.size());
+    size_t k = 0;
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (k < bound_positions.size() &&
+          static_cast<int>(i) == bound_positions[k]) {
+        ++k;
+        continue;
+      }
+      projected.push_back(tuple[i]);
+    }
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
 }  // namespace
 
 QueryService::QueryService(const Program& program, const Database& db,
@@ -79,6 +132,7 @@ QueryService::QueryService(const Program& program, const Database& db,
     : program_(program),
       db_(db),
       options_(std::move(options)),
+      cache_(AnswerCacheOptions{.max_bytes = options_.cache_bytes}),
       pool_(options_.num_threads != 0 ? options_.num_threads
                                       : std::thread::hardware_concurrency()) {}
 
@@ -98,7 +152,7 @@ QueryService::CachedForm* QueryService::GetOrCompile(
   std::lock_guard<std::mutex> lock(form_mutex_);
   auto it = forms_.find(key);
   if (it != forms_.end()) {
-    ++cache_hits_;
+    ++form_cache_hits_;
     return &it->second;
   }
   EngineOptions engine_options = options_.engine;
@@ -111,6 +165,7 @@ QueryService::CachedForm* QueryService::GetOrCompile(
     return PreparedQueryForm::Prepare(program_, request.query, engine_options);
   }();
   CachedForm& cached = forms_[key];
+  cached.key = key;
   const Universe& u = *program_.universe();
   cached.pred_name = u.symbols().Name(u.predicates().info(key.pred).name);
   cached.strategy = StrategyName(key.strategy);
@@ -144,43 +199,193 @@ QueryAnswer QueryService::OverloadedAnswer() const {
   return answer;
 }
 
-void QueryService::DispatchForm(const PreparedQueryForm* form,
-                                FormCounters* counters,
+bool QueryService::TryServeCached(CachedForm* cached,
+                                  const std::vector<TermId>& bound_values,
+                                  uint64_t epoch, const QueryLimits& limits,
+                                  const AnswerSink& sink,
+                                  const Completion& done) {
+  // Instances with a malformed seed must flow to Answer() for its error
+  // reporting; they can never have been cached (fills follow successful
+  // evaluations only).
+  if (bound_values.size() != cached->form->bound_arity()) return false;
+  std::shared_ptr<const AnswerCache::Tuples> tuples =
+      cache_.Get(CacheTag(cached->form.get()), bound_values, epoch);
+  bool subsumed = false;
+  if (tuples == nullptr && options_.cache_subsumption &&
+      !bound_values.empty()) {
+    // Subsumption fast path: a complete fully-free answer set of the same
+    // (pred, strategy, sip) serves any bound instance by filtering. The
+    // filtered result is promoted to an exact entry so the next repeat of
+    // this seed skips the filter too.
+    if (CachedForm* free_form = FindFreeSibling(cached)) {
+      if (auto all = cache_.Get(CacheTag(free_form->form.get()), {}, epoch)) {
+        auto filtered = std::make_shared<AnswerCache::Tuples>(FilterSubsumed(
+            *all, cached->form->bound_positions(), bound_values));
+        cache_.Put(CacheTag(cached->form.get()), bound_values, epoch,
+                   filtered);
+        tuples = std::move(filtered);
+        subsumed = true;
+      }
+    }
+  }
+  if (tuples == nullptr) return false;
+  ServeHit(cached, std::move(tuples), limits, sink, done, subsumed);
+  return true;
+}
+
+void QueryService::ServeHit(CachedForm* cached,
+                            std::shared_ptr<const AnswerCache::Tuples> tuples,
+                            const QueryLimits& limits, const AnswerSink& sink,
+                            const Completion& done, bool subsumed) {
+  QueryAnswer answer;
+  answer.from_cache = true;
+  answer.strategy_name = cached->strategy;
+  const size_t total = tuples->size();
+  size_t serve = total;
+  // Mirror the evaluated path's outcome exactly: AnswerCollector marks
+  // kTruncated the moment row_limit answers are reached, including when
+  // the limit equals the answer count — cache temperature must not change
+  // what a client observes.
+  const bool limit_hit = limits.row_limit != 0 && total >= limits.row_limit;
+  if (limit_hit) serve = static_cast<size_t>(limits.row_limit);
+  bool sink_stopped = false;
+  if (sink) {
+    for (size_t i = 0; i < serve; ++i) {
+      if (!sink((*tuples)[i])) {
+        serve = i + 1;
+        sink_stopped = true;
+        break;
+      }
+    }
+  } else {
+    answer.tuples.assign(tuples->begin(),
+                         tuples->begin() + static_cast<ptrdiff_t>(serve));
+  }
+  answer.outcome = (limit_hit || sink_stopped) ? AnswerStatus::kTruncated
+                                               : AnswerStatus::kOk;
+
+  FormCounters& counters = cached->counters;
+  counters.queries.fetch_add(1, std::memory_order_relaxed);
+  counters.rows.fetch_add(serve, std::memory_order_relaxed);
+  if (answer.outcome == AnswerStatus::kTruncated) {
+    counters.truncated.fetch_add(1, std::memory_order_relaxed);
+  }
+  // eval_micros deliberately untouched: no evaluation ran.
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  answers_from_cache_.fetch_add(1, std::memory_order_relaxed);
+  if (subsumed) answers_subsumed_.fetch_add(1, std::memory_order_relaxed);
+  done(std::move(answer));
+}
+
+QueryService::CachedForm* QueryService::FindFreeSibling(CachedForm* cached) {
+  if (CachedForm* memo = cached->free_sibling.load(std::memory_order_acquire)) {
+    return memo;
+  }
+  FormKey key = cached->key;
+  key.bound_mask = 0;
+  CachedForm* found = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(form_mutex_);
+    auto it = forms_.find(key);
+    // bound_mask == 0 is necessary but not sufficient: a repeated-variable
+    // or non-ground-compound exemplar (anc(X,X), p(f(X),Y)) also has no
+    // bound positions yet caches a *restricted* answer set that must never
+    // subsume a bound instance.
+    if (it != forms_.end() && it->second.form != nullptr &&
+        it->second.form->fully_free()) {
+      found = &it->second;
+    }
+  }
+  // Only positive results are memoized: the sibling may be Prepared later,
+  // so a miss must keep re-checking. Forms are never erased, so a found
+  // pointer stays valid for the service's lifetime.
+  if (found != nullptr) {
+    cached->free_sibling.store(found, std::memory_order_release);
+  }
+  return found;
+}
+
+void QueryService::DispatchForm(CachedForm* cached,
                                 std::vector<TermId> bound_values,
                                 QueryLimits limits, AnswerSink sink,
                                 bool enforce_admission, Completion done) {
+  // One epoch read per request: it is both the probe key and the fill
+  // key. Writes happen only at quiescent points (no queries in flight),
+  // so the epoch cannot move while this request is anywhere between
+  // dispatch and completion — and capturing it before evaluation reads
+  // the database means an entry can never claim to be fresher than the
+  // data it was computed from.
+  const uint64_t epoch = cache_.enabled() ? db_.epoch() : 0;
+  if (cache_.enabled() &&
+      TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
+    return;  // warm hit: completed inline, nothing dispatched
+  }
   if (!Admit(enforce_admission)) {
     done(OverloadedAnswer());
     return;
   }
   const auto admitted = std::chrono::steady_clock::now();
-  pool_.Submit([this, form, counters, bound_values = std::move(bound_values),
+  pool_.Submit([this, cached, bound_values = std::move(bound_values),
                 limits = std::move(limits), sink = std::move(sink),
-                done = std::move(done), admitted] {
+                done = std::move(done), admitted, epoch]() mutable {
     std::shared_lock<std::shared_mutex> serving(serve_mutex_);
+    // Second chance: a fill that completed while this request sat in the
+    // pool queue serves it now — a concurrent batch of repeated seeds
+    // evaluates once, not once per repeat. Exact key only: the
+    // subsumption probe takes form_mutex_, which must not nest inside
+    // serve_mutex_ (GetOrCompile acquires them in the opposite order).
+    if (cache_.enabled() &&
+        bound_values.size() == cached->form->bound_arity()) {
+      if (std::shared_ptr<const AnswerCache::Tuples> tuples = cache_.Get(
+              CacheTag(cached->form.get()), bound_values, epoch)) {
+        ServeHit(cached, std::move(tuples), limits, sink, done,
+                 /*subsumed=*/false);
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        return;
+      }
+    }
     Stopwatch watch;
     // Streamed answers leave tuples empty (the AnswerSink contract), so
-    // count emitted rows through a wrapper for the per-form stats.
+    // count emitted rows through a wrapper for the per-form stats — and,
+    // when the cache wants a fill, keep a copy of what streamed by.
     size_t streamed = 0;
+    const bool collect = cache_.enabled() && static_cast<bool>(sink);
+    std::vector<std::vector<TermId>> collected;
     AnswerSink counted;
     if (sink) {
       counted = [&](const std::vector<TermId>& tuple) {
         ++streamed;
+        if (collect) collected.push_back(tuple);
         return sink(tuple);
       };
     }
-    QueryAnswer answer = form->Answer(bound_values, db_, limits, counted,
-                                      admitted);
-    if (counters != nullptr) {
-      counters->queries.fetch_add(1, std::memory_order_relaxed);
-      counters->rows.fetch_add(answer.tuples.size() + streamed,
-                               std::memory_order_relaxed);
-      if (answer.outcome == AnswerStatus::kTruncated) {
-        counters->truncated.fetch_add(1, std::memory_order_relaxed);
+    QueryAnswer answer = cached->form->Answer(bound_values, db_, limits,
+                                              counted, admitted);
+    FormCounters& counters = cached->counters;
+    counters.queries.fetch_add(1, std::memory_order_relaxed);
+    counters.rows.fetch_add(answer.tuples.size() + streamed,
+                            std::memory_order_relaxed);
+    if (answer.outcome == AnswerStatus::kTruncated) {
+      counters.truncated.fetch_add(1, std::memory_order_relaxed);
+    }
+    counters.eval_micros.fetch_add(
+        static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6),
+        std::memory_order_relaxed);
+    // Fill on bounded-clean completions only: kOk means the fixpoint ran
+    // to completion under no truncating limit, so the tuple set is the
+    // full answer. Sink-fed runs are re-sorted to the canonical order
+    // (sinks see derivation order).
+    if (cache_.enabled() && answer.status.ok() &&
+        answer.outcome == AnswerStatus::kOk) {
+      auto tuples = std::make_shared<AnswerCache::Tuples>();
+      if (collect) {
+        std::sort(collected.begin(), collected.end());
+        *tuples = std::move(collected);
+      } else {
+        *tuples = answer.tuples;
       }
-      counters->eval_micros.fetch_add(
-          static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6),
-          std::memory_order_relaxed);
+      cache_.Put(CacheTag(cached->form.get()), std::move(bound_values),
+                 epoch, std::move(tuples));
     }
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     pending_.fetch_sub(1, std::memory_order_relaxed);
@@ -258,9 +463,8 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
       bound_values.push_back(request.query.goal.args[i]);
     }
   }
-  DispatchForm(cached->form.get(), &cached->counters, std::move(bound_values),
-               request.limits, std::move(sink), enforce_admission,
-               std::move(done));
+  DispatchForm(cached, std::move(bound_values), request.limits,
+               std::move(sink), enforce_admission, std::move(done));
 }
 
 Result<QueryService::FormHandle> QueryService::Prepare(
@@ -282,8 +486,7 @@ Result<QueryService::FormHandle> QueryService::Prepare(
   CachedForm* cached = GetOrCompile(request, MakeKey(request));
   if (cached->form == nullptr) return cached->error;
   FormHandle handle;
-  handle.form_ = cached->form.get();
-  handle.counters_ = &cached->counters;
+  handle.cached_ = cached;
   return handle;
 }
 
@@ -310,9 +513,8 @@ std::future<QueryAnswer> QueryService::SubmitImpl(
     promise->set_value(std::move(answer));
     return future;
   }
-  DispatchForm(handle.form_, handle.counters_, std::move(bound_values),
-               std::move(limits), {}, enforce_admission,
-               [promise](QueryAnswer answer) {
+  DispatchForm(handle.cached_, std::move(bound_values), std::move(limits),
+               {}, enforce_admission, [promise](QueryAnswer answer) {
                  promise->set_value(std::move(answer));
                });
   return future;
@@ -405,9 +607,8 @@ AnswerCursor QueryService::Stream(const FormHandle& handle,
     done(std::move(answer));
     return AnswerCursor(std::move(state));
   }
-  DispatchForm(handle.form_, handle.counters_, std::move(bound_values),
-               std::move(limits), std::move(sink),
-               /*enforce_admission=*/false, std::move(done));
+  DispatchForm(handle.cached_, std::move(bound_values), std::move(limits),
+               std::move(sink), /*enforce_admission=*/false, std::move(done));
   return AnswerCursor(std::move(state));
 }
 
@@ -433,14 +634,62 @@ std::vector<QueryAnswer> QueryService::AnswerBatch(
   return AnswerBatch(batch);
 }
 
+QueryService::Stats::Totals QueryService::Stats::totals() const {
+  Totals totals;
+  for (const FormStats& form : forms) {
+    totals.queries += form.queries;
+    totals.rows += form.rows;
+    totals.truncated += form.truncated;
+    totals.eval_micros += form.eval_micros;
+  }
+  return totals;
+}
+
+std::string QueryService::Stats::Summary() const {
+  const Totals all = totals();
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "%zu form(s) compiled, %zu form-cache hit(s); answer cache: "
+      "%" PRIu64 " hit(s), %" PRIu64 " miss(es), %zu served from cache "
+      "(%zu subsumed), %" PRIu64 " eviction(s), %zu/%zu byte(s); "
+      "served %zu (%zu fallback, %zu overloaded); form rows %" PRIu64
+      " (%" PRIu64 " truncated)",
+      forms_compiled, form_cache_hits, answer_cache.hits,
+      answer_cache.misses, answers_from_cache, answers_subsumed,
+      answer_cache.evictions, answer_cache.bytes, answer_cache.max_bytes,
+      queries_served, fallback_served, overloaded, all.rows, all.truncated);
+  return buffer;
+}
+
+std::string QueryService::Stats::JsonFragment() const {
+  const Totals all = totals();
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "\"forms_compiled\":%zu,\"form_cache_hits\":%zu,"
+      "\"answer_hits\":%" PRIu64 ",\"answer_misses\":%" PRIu64
+      ",\"answers_from_cache\":%zu,\"answers_subsumed\":%zu,"
+      "\"answer_evictions\":%" PRIu64 ",\"answer_bytes\":%zu,"
+      "\"form_rows\":%" PRIu64 ",\"form_truncated\":%" PRIu64,
+      forms_compiled, form_cache_hits, answer_cache.hits,
+      answer_cache.misses, answers_from_cache, answers_subsumed,
+      answer_cache.evictions, answer_cache.bytes, all.rows, all.truncated);
+  return buffer;
+}
+
 QueryService::Stats QueryService::stats() const {
   std::lock_guard<std::mutex> lock(form_mutex_);
   Stats stats;
   stats.forms_compiled = forms_compiled_;
-  stats.cache_hits = cache_hits_;
+  stats.form_cache_hits = form_cache_hits_;
   stats.queries_served = queries_served_.load(std::memory_order_relaxed);
   stats.overloaded = overloaded_.load(std::memory_order_relaxed);
   stats.fallback_served = fallback_served_.load(std::memory_order_relaxed);
+  stats.answers_from_cache =
+      answers_from_cache_.load(std::memory_order_relaxed);
+  stats.answers_subsumed = answers_subsumed_.load(std::memory_order_relaxed);
+  stats.answer_cache = cache_.stats();
   for (const auto& [key, cached] : forms_) {
     if (cached.form == nullptr) continue;
     Stats::FormStats form_stats;

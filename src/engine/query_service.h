@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/answer_cache.h"
 #include "engine/prepared.h"
 #include "storage/database.h"
 #include "util/thread_pool.h"
@@ -37,6 +38,16 @@ struct QueryServiceOptions {
   /// TrySubmit answers kOverloaded. 0 = unbounded (TrySubmit never
   /// rejects). Plain Submit always queues regardless.
   size_t max_pending = 0;
+  /// Byte budget of the cross-query AnswerCache (memoized completed
+  /// answers keyed by form, seed, and database epoch). 0 disables
+  /// memoization entirely. Warm hits are served inline on the calling
+  /// thread — no universe lock, no worker, no admission slot.
+  size_t cache_bytes = size_t{64} << 20;
+  /// Subsumption fast path: when the exact (form, seed) entry misses but
+  /// the same predicate's fully-free form has a cached complete answer
+  /// set for the current epoch, serve the bound instance by filtering it
+  /// (and promote the filtered result to an exact entry).
+  bool cache_subsumption = true;
   /// Defaults for requests that don't override strategy/sip; `eval` and
   /// `guard_mode` always come from here.
   EngineOptions engine;
@@ -110,9 +121,20 @@ class AnswerCursor {
 ///     cache mutex entirely — the steady-state hot path is one shared-lock
 ///     acquire plus pool dispatch.
 ///
+/// Both tiers sit behind the cross-query AnswerCache: a completed clean
+/// answer (outcome kOk) is memoized under (form, seed, database epoch),
+/// and a repeated seed is then served inline on the calling thread — no
+/// universe lock, no worker, no admission slot. Any EDB write advances
+/// Database::epoch() and makes every earlier entry unreachable, so
+/// alternating write/serve phases never see stale answers. Truncated,
+/// deadline-expired, cancelled, and failed answers are never cached;
+/// base-predicate and non-rewriting-fallback requests bypass the cache.
+///
 /// Concurrency contract:
 ///   * The Program and Database must outlive the service and must not be
-///     mutated while it is serving.
+///     mutated while queries are in flight. Between requests (any
+///     externally synchronized quiescent point) EDB writes are fine: the
+///     next request observes the new epoch and re-evaluates.
 ///   * All public methods may be called from any number of threads.
 ///   * Form compilation mutates the shared Universe (it interns symbols and
 ///     declares adorned/magic predicates), so it runs under an exclusive
@@ -129,7 +151,7 @@ class AnswerCursor {
 ///     worker and the consumer, under the cursor's own mutex.
 class QueryService {
  private:
-  struct FormCounters;
+  struct CachedForm;
 
  public:
   /// An opaque, copyable reference to one compiled query form. Valid for
@@ -138,16 +160,15 @@ class QueryService {
   class FormHandle {
    public:
     FormHandle() = default;
-    bool valid() const { return form_ != nullptr; }
+    bool valid() const { return cached_ != nullptr; }
     /// The adornment of the compiled form (e.g. "bf").
-    const Adornment& adornment() const { return form_->adornment(); }
+    const Adornment& adornment() const;
     /// Number of bound values an instance of this form takes.
-    size_t bound_arity() const { return form_->bound_arity(); }
+    size_t bound_arity() const;
 
    private:
     friend class QueryService;
-    const PreparedQueryForm* form_ = nullptr;
-    FormCounters* counters_ = nullptr;
+    CachedForm* cached_ = nullptr;
   };
 
   QueryService(const Program& program, const Database& db,
@@ -204,14 +225,27 @@ class QueryService {
   std::vector<QueryAnswer> AnswerBatch(const std::vector<QueryRequest>& batch);
   std::vector<QueryAnswer> AnswerBatch(const std::vector<Query>& queries);
 
+  /// Serving counters. Naming contract (the one reporting path magicdb
+  /// and the benches share): `form_cache_hits` counts request-tier
+  /// lookups that found an already-compiled form; `answer_cache` holds
+  /// the raw AnswerCache counters (exact hits/misses/evictions/bytes);
+  /// `answers_from_cache` counts requests answered without evaluation
+  /// (including subsumed ones), and every such request still counts in
+  /// `queries_served` and its form's FormStats.
   struct Stats {
     size_t forms_compiled = 0;
-    size_t cache_hits = 0;
+    size_t form_cache_hits = 0;
     size_t queries_served = 0;
     /// TrySubmit rejections (never evaluated, not counted as served).
     size_t overloaded = 0;
     /// Requests served via the exclusive-locked non-rewriting fallback.
     size_t fallback_served = 0;
+    /// Requests served from the AnswerCache (no evaluation ran).
+    size_t answers_from_cache = 0;
+    /// Of those, requests served by filtering a fully-free cached entry.
+    size_t answers_subsumed = 0;
+    /// Raw cross-query answer-cache counters.
+    AnswerCache::Stats answer_cache;
 
     /// Per-form serving counters, one entry per successfully compiled form.
     struct FormStats {
@@ -219,12 +253,29 @@ class QueryService {
       std::string adornment;  // e.g. "bf"
       std::string strategy;
       std::string sip;
-      uint64_t queries = 0;    // instances evaluated
+      uint64_t queries = 0;    // instances served (evaluated or cached)
       uint64_t rows = 0;       // answer tuples returned
       uint64_t truncated = 0;  // instances stopped by a row limit
       uint64_t eval_micros = 0;  // total evaluation wall time
     };
     std::vector<FormStats> forms;
+
+    /// Cache-wide aggregation of the per-form counters — the single
+    /// aggregation path every reporter (magicdb --stats, benches) uses.
+    struct Totals {
+      uint64_t queries = 0;
+      uint64_t rows = 0;
+      uint64_t truncated = 0;
+      uint64_t eval_micros = 0;
+    };
+    Totals totals() const;
+
+    /// One-line human-readable counter summary (magicdb --stats).
+    std::string Summary() const;
+
+    /// Comma-separated `"key":value` pairs (no braces) for splicing into
+    /// a JSON record — the benches' reporting path.
+    std::string JsonFragment() const;
   };
   Stats stats() const;
 
@@ -258,6 +309,10 @@ class QueryService {
   struct CachedForm {
     std::unique_ptr<PreparedQueryForm> form;  // null when compilation failed
     Status error;
+    FormKey key;            // the form-cache key this entry lives under
+    /// Memoized FindFreeSibling result (null until one is found; set-once,
+    /// benign race — both writers store the same pointer).
+    std::atomic<CachedForm*> free_sibling{nullptr};
     std::string pred_name;  // static labels for Stats::FormStats
     std::string strategy;
     std::string sip;
@@ -279,15 +334,43 @@ class QueryService {
 
   /// Resolves `request` on the calling thread (form cache, fallback
   /// routing) and dispatches its evaluation; `done` is invoked exactly once
-  /// with the final answer — inline for compile errors and admission
-  /// rejections, from a worker otherwise.
+  /// with the final answer — inline for compile errors, admission
+  /// rejections, and answer-cache hits, from a worker otherwise.
   void Dispatch(const QueryRequest& request, AnswerSink sink,
                 bool enforce_admission, Completion done);
 
-  /// The handle hot path: one shared-lock acquire plus pool dispatch.
-  void DispatchForm(const PreparedQueryForm* form, FormCounters* counters,
-                    std::vector<TermId> bound_values, QueryLimits limits,
-                    AnswerSink sink, bool enforce_admission, Completion done);
+  /// The handle hot path: an answer-cache probe, then (on a miss) one
+  /// shared-lock acquire plus pool dispatch; clean complete answers fill
+  /// the cache on the way out.
+  void DispatchForm(CachedForm* cached, std::vector<TermId> bound_values,
+                    QueryLimits limits, AnswerSink sink,
+                    bool enforce_admission, Completion done);
+
+  /// Serves `cached`'s instance from the AnswerCache when possible
+  /// (exact-key hit, or the fully-free subsumption fast path). `epoch` is
+  /// the database epoch read once per request — writes only happen at
+  /// quiescent points, so it cannot move while the request is in flight.
+  /// Returns true when `done` was invoked — inline, on the calling
+  /// thread, with no universe lock, worker, or admission slot involved.
+  bool TryServeCached(CachedForm* cached,
+                      const std::vector<TermId>& bound_values, uint64_t epoch,
+                      const QueryLimits& limits, const AnswerSink& sink,
+                      const Completion& done);
+
+  /// Completes a request from a cached tuple set: applies the row limit,
+  /// feeds the sink (streaming) or materializes `tuples` (unary), and
+  /// updates the per-form and service counters.
+  void ServeHit(CachedForm* cached,
+                std::shared_ptr<const AnswerCache::Tuples> tuples,
+                const QueryLimits& limits, const AnswerSink& sink,
+                const Completion& done, bool subsumed);
+
+  /// The compiled genuinely fully-free sibling of `cached` (same
+  /// predicate, strategy, and sip; every goal argument a distinct
+  /// variable), or null if none was ever compiled. A found sibling is
+  /// memoized on `cached` (forms_ entries are never erased, so the
+  /// pointer stays valid), so steady-state probes skip form_mutex_.
+  CachedForm* FindFreeSibling(CachedForm* cached);
 
   std::future<QueryAnswer> SubmitImpl(const QueryRequest& request,
                                       bool enforce_admission);
@@ -315,12 +398,18 @@ class QueryService {
   mutable std::mutex form_mutex_;  // guards forms_ and the compile counters
   std::unordered_map<FormKey, CachedForm, FormKeyHash> forms_;
   size_t forms_compiled_ = 0;
-  size_t cache_hits_ = 0;
+  size_t form_cache_hits_ = 0;
   std::atomic<size_t> queries_served_{0};
   std::atomic<size_t> fallback_served_{0};
   std::atomic<size_t> overloaded_{0};
+  std::atomic<size_t> answers_from_cache_{0};
+  std::atomic<size_t> answers_subsumed_{0};
   /// Requests submitted but not yet completed (admission-control depth).
   std::atomic<size_t> pending_{0};
+
+  /// Cross-query answer memo; internally synchronized (lock-free hit
+  /// path), so it sits outside the serve/form lock order entirely.
+  AnswerCache cache_;
 
   ThreadPool pool_;
 };

@@ -23,11 +23,20 @@ Status Database::AddFact(PredId pred, std::vector<TermId> args) {
   return AddFact(Fact{pred, std::move(args)});
 }
 
+void Database::Clear(PredId pred) {
+  auto it = relations_.find(pred);
+  if (it != relations_.end()) it->second.Clear();
+}
+
 Relation& Database::GetOrCreate(PredId pred) {
   auto it = relations_.find(pred);
   if (it != relations_.end()) return it->second;
   uint32_t arity = universe_->predicates().info(pred).arity;
-  return relations_.try_emplace(pred, arity).first->second;
+  Relation& relation = relations_.try_emplace(pred, arity).first->second;
+  // Every relation reports its mutations into the database-wide epoch, so
+  // writes made directly through this reference are observed in O(1).
+  relation.BindEpochCounter(epoch_counter_.get());
+  return relation;
 }
 
 const Relation* Database::Find(PredId pred) const {

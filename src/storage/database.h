@@ -1,6 +1,7 @@
 #ifndef MAGIC_STORAGE_DATABASE_H_
 #define MAGIC_STORAGE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
 #include <unordered_map>
 
@@ -27,6 +28,25 @@ class Database {
   /// Convenience: add p(args...) built from constants by name.
   Status AddFact(PredId pred, std::vector<TermId> args);
 
+  /// Removes every fact of `pred` (a no-op when the relation was never
+  /// created — an absent relation already answers like an empty one).
+  /// Requires exclusive access, like AddFact.
+  void Clear(PredId pred);
+
+  /// The database's monotonically increasing mutation epoch. Every
+  /// relation handed out by GetOrCreate is bound to one shared counter
+  /// (heap-owned, so its address survives Database moves), so *any* EDB
+  /// write — including one made directly through a GetOrCreate reference
+  /// — advances it in O(1), and reading it is a single atomic load (it
+  /// sits on the serving layer's per-request fast path). Duplicate
+  /// inserts and reads leave it unchanged. Cross-query caches
+  /// (AnswerCache) key entries by the epoch observed at fill time; a later
+  /// epoch makes those entries unreachable, which is how invalidation
+  /// works without a flush.
+  uint64_t epoch() const {
+    return epoch_counter_->load(std::memory_order_acquire);
+  }
+
   Relation& GetOrCreate(PredId pred);
   const Relation* Find(PredId pred) const;
 
@@ -43,6 +63,8 @@ class Database {
  private:
   std::shared_ptr<Universe> universe_;
   std::unordered_map<PredId, Relation> relations_;
+  std::shared_ptr<std::atomic<uint64_t>> epoch_counter_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace magic

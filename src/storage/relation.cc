@@ -10,6 +10,7 @@ bool Relation::Insert(std::span<const TermId> tuple) {
   if (arity_ == 0) {
     if (zero_ary_count_ > 0) return false;
     zero_ary_count_ = 1;
+    BumpEpoch();
     return true;
   }
   uint64_t h = HashRange(tuple.begin(), tuple.end());
@@ -28,7 +29,23 @@ bool Relation::Insert(std::span<const TermId> tuple) {
   uint32_t row = static_cast<uint32_t>(size());
   data_.insert(data_.end(), tuple.begin(), tuple.end());
   bucket.push_back(row);
+  BumpEpoch();
   return true;
+}
+
+void Relation::Clear() {
+  data_.clear();
+  zero_ary_count_ = 0;
+  dedup_.clear();
+  // Drop all indices: the watermark design only supports appends, so a
+  // truncation must start index state from scratch. Exclusive access means
+  // no probe is in flight, so the retired snapshots can go too (they point
+  // into indices_).
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  index_table_.store(nullptr, std::memory_order_release);
+  indices_.clear();
+  table_owner_.clear();
+  BumpEpoch();
 }
 
 bool Relation::Contains(std::span<const TermId> tuple) const {

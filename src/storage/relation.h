@@ -42,8 +42,29 @@ class Relation {
   uint32_t arity() const { return arity_; }
   size_t size() const { return arity_ == 0 ? zero_ary_count_ : data_.size() / arity_; }
 
+  /// Monotonically increasing mutation epoch: bumped by every mutation that
+  /// changes the tuple set (an Insert of a new tuple, a Clear), never by a
+  /// duplicate insert or by reads. Cross-query caches key their entries by
+  /// the epoch observed at fill time, so any write makes stale entries
+  /// unreachable without a flush. Reading the epoch is always safe; the
+  /// writes it observes follow the class's mutation contract (exclusive
+  /// access), so an epoch read racing a write is the caller's existing bug,
+  /// not a new one.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Mirrors every epoch bump into `counter` (Database's O(1) aggregate
+  /// epoch). The counter must outlive the relation; pass null to unbind.
+  void BindEpochCounter(std::atomic<uint64_t>* counter) {
+    aggregate_epoch_ = counter;
+  }
+
   /// Inserts a tuple; returns true if it was new.
   bool Insert(std::span<const TermId> tuple);
+
+  /// Removes every tuple (and all indices); bumps the mutation epoch even
+  /// when already empty, so callers can use it as an explicit invalidation
+  /// point. Requires exclusive access, like Insert.
+  void Clear();
 
   bool Contains(std::span<const TermId> tuple) const;
 
@@ -87,7 +108,17 @@ class Relation {
                   uint64_t mask, size_t from_row, size_t to_row,
                   std::vector<uint32_t>* out) const;
 
+  /// Bumps the mutation epoch (and the bound aggregate, if any).
+  void BumpEpoch() {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    if (aggregate_epoch_ != nullptr) {
+      aggregate_epoch_->fetch_add(1, std::memory_order_acq_rel);
+    }
+  }
+
   uint32_t arity_;
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t>* aggregate_epoch_ = nullptr;
   std::vector<TermId> data_;
   size_t zero_ary_count_ = 0;  // 0-ary relations hold at most one tuple
   std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;

@@ -1,0 +1,246 @@
+// AnswerCache unit tests: exact get/put semantics, epoch-keyed
+// invalidation, byte-budgeted LRU eviction, disabled mode, and the
+// concurrency hammer the issue calls for — 8 threads mixing hits, misses,
+// fills, and epoch advances against one cache. Run under TSan/ASan in CI.
+
+#include "cache/answer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace magic {
+namespace {
+
+using Tuples = AnswerCache::Tuples;
+
+std::shared_ptr<const Tuples> MakeTuples(
+    std::initializer_list<std::initializer_list<TermId>> rows) {
+  auto tuples = std::make_shared<Tuples>();
+  for (const auto& row : rows) tuples->emplace_back(row);
+  return tuples;
+}
+
+/// A payload of `rows` single-column tuples, for byte-budget tests.
+std::shared_ptr<const Tuples> MakeBulk(size_t rows, TermId value) {
+  auto tuples = std::make_shared<Tuples>();
+  tuples->reserve(rows);  // pin capacity so the byte estimate is stable
+  for (size_t i = 0; i < rows; ++i) {
+    tuples->push_back({value, static_cast<TermId>(i)});
+  }
+  return tuples;
+}
+
+constexpr uintptr_t kFormA = 0x1000;
+constexpr uintptr_t kFormB = 0x2000;
+
+TEST(AnswerCacheTest, ExactKeyGetPutRoundTrip) {
+  AnswerCache cache;
+  std::vector<TermId> seed = {7};
+
+  EXPECT_EQ(cache.Get(kFormA, seed, /*epoch=*/1), nullptr);
+  cache.Put(kFormA, seed, 1, MakeTuples({{8}, {9}}));
+
+  auto hit = cache.Get(kFormA, seed, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[0][0], 8u);
+
+  // Every component of the key discriminates.
+  EXPECT_EQ(cache.Get(kFormB, seed, 1), nullptr);      // other form
+  std::vector<TermId> other_seed = {8};
+  EXPECT_EQ(cache.Get(kFormA, other_seed, 1), nullptr);  // other seed
+  EXPECT_EQ(cache.Get(kFormA, seed, 2), nullptr);        // other epoch
+
+  AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(AnswerCacheTest, EpochAdvanceMakesStaleEntriesUnreachable) {
+  AnswerCache cache;
+  std::vector<TermId> seed = {1};
+  cache.Put(kFormA, seed, /*epoch=*/10, MakeTuples({{1}}));
+  ASSERT_NE(cache.Get(kFormA, seed, 10), nullptr);
+
+  // A database write advanced the epoch: the old answer must not serve.
+  EXPECT_EQ(cache.Get(kFormA, seed, 11), nullptr);
+  cache.Put(kFormA, seed, 11, MakeTuples({{1}, {2}}));
+  auto fresh = cache.Get(kFormA, seed, 11);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->size(), 2u);
+}
+
+TEST(AnswerCacheTest, FirstWriterWinsOnDuplicatePut) {
+  AnswerCache cache;
+  std::vector<TermId> seed = {3};
+  cache.Put(kFormA, seed, 1, MakeTuples({{1}}));
+  cache.Put(kFormA, seed, 1, MakeTuples({{2}}));  // concurrent-miss fill race
+  auto hit = cache.Get(kFormA, seed, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0][0], 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(AnswerCacheTest, ByteBudgetedLruEviction) {
+  // One shard so the LRU horizon is global and deterministic; a budget
+  // that fits two bulk entries (~1.8 KB each) but not three.
+  AnswerCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = 4200;
+  AnswerCache cache(options);
+
+  std::vector<TermId> s1 = {1}, s2 = {2}, s3 = {3};
+  cache.Put(kFormA, s1, 1, MakeBulk(50, 1));
+  cache.Put(kFormA, s2, 1, MakeBulk(50, 2));
+  ASSERT_EQ(cache.stats().entries, 2u);
+  ASSERT_EQ(cache.stats().evictions, 0u);
+  ASSERT_LE(cache.stats().bytes, options.max_bytes);
+
+  // Touch s1 so s2 is the least recently used, then overflow the budget.
+  ASSERT_NE(cache.Get(kFormA, s1, 1), nullptr);
+  cache.Put(kFormA, s3, 1, MakeBulk(50, 3));
+
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_LE(cache.stats().bytes, options.max_bytes);
+  EXPECT_NE(cache.Get(kFormA, s1, 1), nullptr);  // recently used: kept
+  EXPECT_EQ(cache.Get(kFormA, s2, 1), nullptr);  // LRU: evicted
+  EXPECT_NE(cache.Get(kFormA, s3, 1), nullptr);  // just inserted: kept
+}
+
+TEST(AnswerCacheTest, PayloadOutlivesEviction) {
+  AnswerCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = 2500;  // fits one ~1.8 KB bulk entry, not two
+  AnswerCache cache(options);
+
+  std::vector<TermId> s1 = {1}, s2 = {2};
+  cache.Put(kFormA, s1, 1, MakeBulk(50, 1));
+  auto pinned = cache.Get(kFormA, s1, 1);
+  ASSERT_NE(pinned, nullptr);
+
+  cache.Put(kFormA, s2, 1, MakeBulk(50, 2));  // evicts s1
+  EXPECT_EQ(cache.Get(kFormA, s1, 1), nullptr);
+  // The shared_ptr returned before the eviction still reads valid data.
+  EXPECT_EQ(pinned->size(), 50u);
+  EXPECT_EQ((*pinned)[0][0], 1u);
+}
+
+TEST(AnswerCacheTest, OversizedAnswersAreNotCached) {
+  AnswerCacheOptions options;
+  options.shards = 1;
+  options.max_bytes = 512;
+  AnswerCache cache(options);
+
+  std::vector<TermId> seed = {1};
+  cache.Put(kFormA, seed, 1, MakeBulk(1000, 1));
+  EXPECT_EQ(cache.Get(kFormA, seed, 1), nullptr);
+  EXPECT_EQ(cache.stats().rejected_oversize, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(AnswerCacheTest, DisabledCacheNeverHits) {
+  AnswerCacheOptions options;
+  options.max_bytes = 0;
+  AnswerCache cache(options);
+  EXPECT_FALSE(cache.enabled());
+
+  std::vector<TermId> seed = {1};
+  cache.Put(kFormA, seed, 1, MakeTuples({{1}}));
+  EXPECT_EQ(cache.Get(kFormA, seed, 1), nullptr);
+  EXPECT_EQ(cache.stats().inserts, 0u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(AnswerCacheTest, ClearDropsEverything) {
+  AnswerCache cache;
+  std::vector<TermId> s1 = {1}, s2 = {2};
+  cache.Put(kFormA, s1, 1, MakeTuples({{1}}));
+  cache.Put(kFormB, s2, 1, MakeTuples({{2}}));
+  ASSERT_EQ(cache.stats().entries, 2u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.Get(kFormA, s1, 1), nullptr);
+  EXPECT_EQ(cache.Get(kFormB, s2, 1), nullptr);
+}
+
+TEST(AnswerCacheTest, EightThreadMixedHitMissInvalidateHammer) {
+  // The issue's concurrency bar: 8 threads hammer one cache with a mix of
+  // lookups (hits and misses), fills, and epoch advances (the shared
+  // "database epoch" each thread reads before lookup, as QueryService
+  // does), plus periodic Clear calls. Correctness invariants checked
+  // per-operation: a hit's payload always matches its key (first tuple
+  // encodes the seed and epoch), i.e. invalidation never serves a stale
+  // epoch's answer. TSan/ASan validate the reclamation protocol.
+  AnswerCacheOptions options;
+  options.shards = 4;
+  options.max_bytes = 64 << 10;  // small enough to force eviction churn
+  AnswerCache cache(options);
+
+  std::atomic<uint64_t> db_epoch{0};
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 4000;
+  std::atomic<int> wrong_payloads{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      uint64_t rng = 0x9e3779b97f4a7c15ULL * (t + 1);
+      auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+      };
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const uint64_t roll = next() % 100;
+        const uintptr_t tag = (next() % 2) ? kFormA : kFormB;
+        std::vector<TermId> seed = {static_cast<TermId>(next() % 64)};
+        const uint64_t epoch = db_epoch.load(std::memory_order_acquire);
+        if (roll < 70) {  // lookup, fill on miss (the serving pattern)
+          auto hit = cache.Get(tag, seed, epoch);
+          if (hit != nullptr) {
+            if (hit->size() != 1 || (*hit)[0].size() != 2 ||
+                (*hit)[0][0] != seed[0] ||
+                (*hit)[0][1] != static_cast<TermId>(epoch)) {
+              wrong_payloads.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            auto tuples = std::make_shared<Tuples>();
+            tuples->push_back({seed[0], static_cast<TermId>(epoch)});
+            cache.Put(tag, std::move(seed), epoch, std::move(tuples));
+          }
+        } else if (roll < 95) {  // pure lookup
+          (void)cache.Get(tag, seed, epoch);
+        } else if (roll < 99) {  // invalidate: a simulated EDB write
+          db_epoch.fetch_add(1, std::memory_order_acq_rel);
+        } else {
+          cache.Clear();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong_payloads.load(), 0);
+  AnswerCache::Stats stats = cache.stats();
+  // Every Get resolved to exactly one of hit/miss.
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_GT(stats.inserts, 0u);
+  EXPECT_LE(stats.bytes, options.max_bytes);
+}
+
+}  // namespace
+}  // namespace magic

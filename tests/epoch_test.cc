@@ -1,0 +1,160 @@
+// Mutation-epoch plumbing on Relation and Database, independent of the
+// AnswerCache that consumes it: epochs bump on writes (new-tuple inserts,
+// Clear), never on duplicate inserts or reads, and the database epoch
+// observes writes made directly through a GetOrCreate reference.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ast/parser.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace magic {
+namespace {
+
+TEST(RelationEpochTest, BumpsOnNewInsertOnly) {
+  Relation rel(2);
+  EXPECT_EQ(rel.epoch(), 0u);
+
+  std::vector<TermId> t1 = {1, 2};
+  EXPECT_TRUE(rel.Insert(t1));
+  EXPECT_EQ(rel.epoch(), 1u);
+
+  // Duplicate insert: tuple set unchanged, epoch unchanged.
+  EXPECT_FALSE(rel.Insert(t1));
+  EXPECT_EQ(rel.epoch(), 1u);
+
+  std::vector<TermId> t2 = {1, 3};
+  EXPECT_TRUE(rel.Insert(t2));
+  EXPECT_EQ(rel.epoch(), 2u);
+}
+
+TEST(RelationEpochTest, StableAcrossReads) {
+  Relation rel(2);
+  std::vector<TermId> t1 = {4, 5};
+  ASSERT_TRUE(rel.Insert(t1));
+  uint64_t before = rel.epoch();
+
+  EXPECT_TRUE(rel.Contains(t1));
+  EXPECT_EQ(rel.FindRow(t1), 0u);
+  std::vector<uint32_t> rows;
+  std::vector<TermId> key = {4};
+  rel.Probe(/*mask=*/0b01, key, 0, rel.size(), &rows);  // builds an index
+  EXPECT_EQ(rows.size(), 1u);
+  rel.Probe(0b01, key, 0, rel.size(), &rows);  // indexed fast path
+  EXPECT_EQ(rel.size(), 1u);
+
+  EXPECT_EQ(rel.epoch(), before);
+}
+
+TEST(RelationEpochTest, ClearBumpsEvenWhenEmptyAndResetsRows) {
+  Relation rel(1);
+  rel.Clear();
+  EXPECT_EQ(rel.epoch(), 1u);  // explicit invalidation point
+  EXPECT_EQ(rel.size(), 0u);
+
+  std::vector<TermId> t = {7};
+  ASSERT_TRUE(rel.Insert(t));
+  std::vector<uint32_t> rows;
+  rel.Probe(0b1, t, 0, rel.size(), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+
+  uint64_t before = rel.epoch();
+  rel.Clear();
+  EXPECT_EQ(rel.epoch(), before + 1);
+  EXPECT_EQ(rel.size(), 0u);
+  EXPECT_FALSE(rel.Contains(t));
+
+  // Post-clear state is fully usable: re-insert and probe again (the
+  // cleared indices rebuild from scratch).
+  EXPECT_TRUE(rel.Insert(t));
+  rows.clear();
+  rel.Probe(0b1, t, 0, rel.size(), &rows);
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST(RelationEpochTest, ZeroAryRelationBumpsOnce) {
+  Relation rel(0);
+  std::vector<TermId> empty;
+  EXPECT_TRUE(rel.Insert(empty));
+  EXPECT_EQ(rel.epoch(), 1u);
+  EXPECT_FALSE(rel.Insert(empty));  // at most one 0-ary tuple
+  EXPECT_EQ(rel.epoch(), 1u);
+}
+
+class DatabaseEpochTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto parsed = ParseUnit("anc(X,Y) :- par(X,Y). par(c0, c1). par(c1, c2).");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    universe_ = parsed->program.universe();
+    facts_ = parsed->facts;
+    par_ = *universe_->predicates().Find(*universe_->symbols().Find("par"), 2);
+  }
+
+  std::shared_ptr<Universe> universe_;
+  std::vector<Fact> facts_;
+  PredId par_ = 0;
+};
+
+TEST_F(DatabaseEpochTest, AddFactBumpsDuplicateDoesNot) {
+  Database db(universe_);
+  EXPECT_EQ(db.epoch(), 0u);
+
+  ASSERT_TRUE(db.AddFact(facts_[0]).ok());
+  EXPECT_EQ(db.epoch(), 1u);
+  ASSERT_TRUE(db.AddFact(facts_[1]).ok());
+  EXPECT_EQ(db.epoch(), 2u);
+
+  // Idempotent duplicate: OK status, no epoch movement (the tuple set is
+  // unchanged, so cached answers keyed to the current epoch stay valid).
+  ASSERT_TRUE(db.AddFact(facts_[0]).ok());
+  EXPECT_EQ(db.epoch(), 2u);
+
+  // A rejected fact (wrong arity) mutates nothing.
+  Fact bad{par_, {universe_->Constant("c0")}};
+  EXPECT_FALSE(db.AddFact(bad).ok());
+  EXPECT_EQ(db.epoch(), 2u);
+}
+
+TEST_F(DatabaseEpochTest, StableAcrossReads) {
+  Database db(universe_);
+  for (const Fact& fact : facts_) ASSERT_TRUE(db.AddFact(fact).ok());
+  uint64_t before = db.epoch();
+
+  EXPECT_NE(db.Find(par_), nullptr);
+  EXPECT_EQ(db.FactCount(par_), 2u);
+  EXPECT_EQ(db.TotalFacts(), 2u);
+  (void)db.relations();
+
+  EXPECT_EQ(db.epoch(), before);
+}
+
+TEST_F(DatabaseEpochTest, ClearBumpsAndDirectRelationWritesAreObserved) {
+  Database db(universe_);
+  for (const Fact& fact : facts_) ASSERT_TRUE(db.AddFact(fact).ok());
+  uint64_t before = db.epoch();
+
+  db.Clear(par_);
+  EXPECT_EQ(db.epoch(), before + 1);
+  EXPECT_EQ(db.FactCount(par_), 0u);
+
+  // Writes that bypass AddFact still advance the database epoch (it
+  // aggregates per-relation epochs), so invalidation cannot be dodged.
+  std::vector<TermId> tuple = {universe_->Constant("c5"),
+                               universe_->Constant("c6")};
+  EXPECT_TRUE(db.GetOrCreate(par_).Insert(tuple));
+  EXPECT_EQ(db.epoch(), before + 2);
+
+  // Clearing a never-created relation is a no-op (absent == empty).
+  uint64_t now = db.epoch();
+  PredId anc =
+      *universe_->predicates().Find(*universe_->symbols().Find("anc"), 2);
+  db.Clear(anc);
+  EXPECT_EQ(db.epoch(), now);
+}
+
+}  // namespace
+}  // namespace magic

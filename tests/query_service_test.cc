@@ -64,7 +64,8 @@ TEST(QueryServiceTest, BatchMatchesSingleThreadedEngineForEveryStrategy) {
 
     QueryService::Stats stats = service.stats();
     EXPECT_EQ(stats.forms_compiled, 1u) << StrategyName(strategy);
-    EXPECT_EQ(stats.cache_hits, batch.size() - 1) << StrategyName(strategy);
+    EXPECT_EQ(stats.form_cache_hits, batch.size() - 1)
+        << StrategyName(strategy);
     EXPECT_EQ(stats.queries_served, batch.size()) << StrategyName(strategy);
   }
 }
@@ -255,6 +256,9 @@ TEST(QueryServiceTest, RowLimitStopsEvaluationEarly) {
   Universe& u = *w.universe;
   QueryServiceOptions options;
   options.num_threads = 2;
+  // This test measures evaluation work; a warm AnswerCache would serve the
+  // repeats without evaluating and make the comparisons vacuous.
+  options.cache_bytes = 0;
   QueryService service(w.program, w.db, options);
 
   QueryRequest exemplar;
@@ -342,6 +346,9 @@ TEST(QueryServiceTest, CursorStreamsChunksToExhaustion) {
   Universe& u = *w.universe;
   QueryServiceOptions options;
   options.num_threads = 2;
+  // Derivation order is the point here; a cached serve of the repeated
+  // seed would feed the cursor in sorted order instead.
+  options.cache_bytes = 0;
   QueryService service(w.program, w.db, options);
 
   QueryRequest exemplar;
@@ -536,6 +543,291 @@ TEST(QueryServiceTest, HandleReuseHammerAcrossEightThreads) {
   ASSERT_EQ(stats.forms.size(), 1u);
   EXPECT_EQ(stats.forms[0].queries,
             24u + static_cast<size_t>(kClients) * kQueriesPerClient);
+}
+
+TEST(QueryServiceTest, RepeatedSeedServesFromAnswerCache) {
+  Workload w = MakeAncestorChain(16);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+
+  QueryAnswer first = service.Answer(*handle, {u.Constant("c0")});
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.from_cache);
+  ASSERT_EQ(first.tuples.size(), 15u);
+
+  QueryAnswer repeat = service.Answer(*handle, {u.Constant("c0")});
+  ASSERT_TRUE(repeat.status.ok());
+  EXPECT_TRUE(repeat.from_cache);
+  EXPECT_EQ(repeat.outcome, AnswerStatus::kOk);
+  EXPECT_EQ(repeat.tuples, first.tuples);
+  // No evaluation ran for the hit, and the metrics say so.
+  EXPECT_EQ(repeat.total_facts, 0u);
+
+  // A row limit applies to the cached set too, without refilling it.
+  QueryLimits limits;
+  limits.row_limit = 4;
+  QueryAnswer limited = service.Answer(*handle, {u.Constant("c0")}, limits);
+  EXPECT_TRUE(limited.from_cache);
+  EXPECT_EQ(limited.outcome, AnswerStatus::kTruncated);
+  ASSERT_EQ(limited.tuples.size(), 4u);
+  EXPECT_TRUE(std::equal(limited.tuples.begin(), limited.tuples.end(),
+                         first.tuples.begin()));
+
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.answers_from_cache, 2u);
+  EXPECT_EQ(stats.answer_cache.hits, 2u);
+  EXPECT_EQ(stats.answer_cache.inserts, 1u);
+  EXPECT_GT(stats.answer_cache.bytes, 0u);
+  // Cached serves still count as served, per form and service-wide.
+  EXPECT_EQ(stats.queries_served, 3u);
+  ASSERT_EQ(stats.forms.size(), 1u);
+  EXPECT_EQ(stats.forms[0].queries, 3u);
+  EXPECT_EQ(stats.forms[0].rows, 15u + 15u + 4u);
+}
+
+TEST(QueryServiceTest, PostWriteQueryNeverServesStaleAnswer) {
+  // The issue's invalidation bar: an EDB write between two identical
+  // queries must yield the updated answer — the cache may never serve the
+  // pre-write snapshot. Writes happen at quiescent points (the documented
+  // contract); the post-write reads hammer from 8 threads under TSan.
+  Workload w = MakeAncestorChain(8);  // c0 -> ... -> c7
+  Universe& u = *w.universe;
+  PredId par = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  std::vector<TermId> seed = {u.Constant("c0")};
+
+  ASSERT_EQ(service.Answer(*handle, seed).tuples.size(), 7u);
+  QueryAnswer warm = service.Answer(*handle, seed);
+  EXPECT_TRUE(warm.from_cache);  // the pre-write entry is live
+
+  // Quiescent write: extend the chain by one edge.
+  ASSERT_TRUE(w.db.AddFact(par, {u.Constant("c7"), u.Constant("c8")}).ok());
+
+  QueryAnswer updated = service.Answer(*handle, seed);
+  ASSERT_TRUE(updated.status.ok());
+  EXPECT_FALSE(updated.from_cache);  // the stale entry became unreachable
+  ASSERT_EQ(updated.tuples.size(), 8u);
+
+  // Concurrent post-write reads: every thread must see the 8-row answer,
+  // whether it evaluates or hits the freshly filled entry.
+  std::atomic<int> stale{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      for (int q = 0; q < 32; ++q) {
+        QueryAnswer answer = service.Answer(*handle, seed);
+        if (!answer.status.ok() || answer.tuples.size() != 8u) {
+          stale.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(stale.load(), 0);
+
+  // A truncating write (Clear) invalidates too: the whole derived set is
+  // gone with the base facts.
+  w.db.Clear(par);
+  QueryAnswer empty = service.Answer(*handle, seed);
+  ASSERT_TRUE(empty.status.ok());
+  EXPECT_FALSE(empty.from_cache);
+  EXPECT_TRUE(empty.tuples.empty());
+}
+
+TEST(QueryServiceTest, FreeFormAnswersSubsumeBoundInstances) {
+  Workload w = MakeAncestorChain(12);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  // Fill the cache with the fully-free form's complete answer set.
+  QueryRequest free_request;
+  free_request.query = w.query;
+  free_request.query.goal.args[0] = u.FreshVariable("X");
+  auto free_handle = service.Prepare(free_request);
+  ASSERT_TRUE(free_handle.ok());
+  EXPECT_EQ(free_handle->bound_arity(), 0u);
+  QueryAnswer all = service.Answer(*free_handle, {});
+  ASSERT_TRUE(all.status.ok());
+  EXPECT_FALSE(all.from_cache);
+
+  // A bound instance of the same predicate misses its exact key but is
+  // served by filtering the free set — no evaluation.
+  QueryRequest bound_request;
+  bound_request.query = w.query;
+  auto bound_handle = service.Prepare(bound_request);
+  ASSERT_TRUE(bound_handle.ok());
+  QueryAnswer filtered = service.Answer(*bound_handle, {u.Constant("c3")});
+  ASSERT_TRUE(filtered.status.ok());
+  EXPECT_TRUE(filtered.from_cache);
+  ASSERT_EQ(filtered.tuples.size(), 8u);  // c4 .. c11
+
+  // It matches what evaluation would have produced.
+  QueryEngine engine;
+  QueryAnswer expected = engine.Run(w.program, InstanceAt(w, "c3"), w.db);
+  ASSERT_TRUE(expected.status.ok());
+  EXPECT_EQ(filtered.tuples, expected.tuples);
+
+  // The filtered result was promoted to an exact entry: the repeat is an
+  // exact hit, not a second subsumption.
+  QueryAnswer repeat = service.Answer(*bound_handle, {u.Constant("c3")});
+  EXPECT_TRUE(repeat.from_cache);
+  EXPECT_EQ(repeat.tuples, filtered.tuples);
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.answers_subsumed, 1u);
+  EXPECT_EQ(stats.answers_from_cache, 2u);
+
+  // With subsumption disabled, a different bound seed evaluates instead.
+  QueryServiceOptions exact_only = options;
+  exact_only.cache_subsumption = false;
+  QueryService strict(w.program, w.db, exact_only);
+  auto strict_free = strict.Prepare(free_request);
+  ASSERT_TRUE(strict_free.ok());
+  ASSERT_TRUE(strict.Answer(*strict_free, {}).status.ok());
+  auto strict_bound = strict.Prepare(bound_request);
+  ASSERT_TRUE(strict_bound.ok());
+  QueryAnswer evaluated = strict.Answer(*strict_bound, {u.Constant("c3")});
+  EXPECT_FALSE(evaluated.from_cache);
+  EXPECT_EQ(evaluated.tuples, expected.tuples);
+}
+
+TEST(QueryServiceTest, RepeatedVariableFormNeverSubsumes) {
+  // anc(X,X) has zero bound positions, but its answer set is not
+  // guaranteed to be the complete relation (a repeated variable denotes
+  // the diagonal — today's engine happens to drop the repetition, but
+  // subsumption must not depend on that quirk). When the mask-0 form's
+  // exemplar is not genuinely fully free, bound instances must evaluate.
+  Workload w = MakeAncestorChain(12);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest diagonal;
+  diagonal.query = w.query;
+  TermId x = u.FreshVariable("X");
+  diagonal.query.goal.args = {x, x};
+  auto diagonal_handle = service.Prepare(diagonal);
+  ASSERT_TRUE(diagonal_handle.ok());
+  EXPECT_EQ(diagonal_handle->bound_arity(), 0u);
+  ASSERT_TRUE(service.Answer(*diagonal_handle, {}).status.ok());  // fills
+
+  QueryRequest bound_request;
+  bound_request.query = w.query;
+  auto bound_handle = service.Prepare(bound_request);
+  ASSERT_TRUE(bound_handle.ok());
+  QueryAnswer answer = service.Answer(*bound_handle, {u.Constant("c3")});
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_FALSE(answer.from_cache);  // evaluated, not filtered
+  EXPECT_EQ(answer.tuples.size(), 8u);
+  EXPECT_EQ(service.stats().answers_subsumed, 0u);
+}
+
+TEST(QueryServiceTest, TruncatedAnswersAreNeverCached) {
+  Workload w = MakeAncestorChain(32);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  std::vector<TermId> seed = {u.Constant("c0")};
+
+  QueryLimits limits;
+  limits.row_limit = 2;
+  QueryAnswer truncated = service.Answer(*handle, seed, limits);
+  EXPECT_EQ(truncated.outcome, AnswerStatus::kTruncated);
+
+  // The partial answer set must not masquerade as the full one.
+  QueryAnswer full = service.Answer(*handle, seed);
+  ASSERT_TRUE(full.status.ok());
+  EXPECT_FALSE(full.from_cache);
+  EXPECT_EQ(full.tuples.size(), 31u);
+  EXPECT_EQ(service.stats().answer_cache.inserts, 1u);  // the full run only
+
+  // Outcome parity with the evaluated path at the boundary: a limit equal
+  // to the answer count reports kTruncated cold (AnswerCollector stops at
+  // >= row_limit) and must report kTruncated warm too; one past it is kOk.
+  limits.row_limit = 31;
+  QueryAnswer at_limit = service.Answer(*handle, seed, limits);
+  EXPECT_TRUE(at_limit.from_cache);
+  EXPECT_EQ(at_limit.outcome, AnswerStatus::kTruncated);
+  EXPECT_EQ(at_limit.tuples.size(), 31u);
+  limits.row_limit = 32;
+  QueryAnswer past_limit = service.Answer(*handle, seed, limits);
+  EXPECT_TRUE(past_limit.from_cache);
+  EXPECT_EQ(past_limit.outcome, AnswerStatus::kOk);
+}
+
+TEST(QueryServiceTest, DisabledCacheAlwaysEvaluates) {
+  Workload w = MakeAncestorChain(8);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  options.cache_bytes = 0;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  for (int i = 0; i < 2; ++i) {
+    QueryAnswer answer = service.Answer(*handle, {u.Constant("c0")});
+    ASSERT_TRUE(answer.status.ok());
+    EXPECT_FALSE(answer.from_cache);
+    EXPECT_GT(answer.total_facts, 0u);  // evaluation really ran
+  }
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.answers_from_cache, 0u);
+  EXPECT_EQ(stats.answer_cache.hits, 0u);
+  EXPECT_EQ(stats.answer_cache.inserts, 0u);
+}
+
+TEST(QueryServiceTest, StreamServesWarmHitsThroughTheCursor) {
+  Workload w = MakeAncestorChain(20);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  QueryAnswer fill = service.Answer(*handle, {u.Constant("c0")});
+  ASSERT_TRUE(fill.status.ok());
+  ASSERT_EQ(fill.tuples.size(), 19u);
+
+  // The warm hit feeds the cursor inline (sorted order — the cached
+  // canonical set, not a live derivation).
+  AnswerCursor cursor = service.Stream(*handle, {u.Constant("c0")});
+  std::vector<std::vector<TermId>> streamed;
+  std::vector<std::vector<TermId>> chunk;
+  while (cursor.Next(4, &chunk)) {
+    streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+  }
+  const QueryAnswer& final = cursor.Finish();
+  EXPECT_TRUE(final.status.ok());
+  EXPECT_TRUE(final.from_cache);
+  EXPECT_EQ(streamed, fill.tuples);
 }
 
 TEST(QueryServiceTest, AnswersComeBackInInputOrder) {

@@ -19,6 +19,9 @@
 //   --max-facts N            evaluation budget (default 10M)
 //   --limit N                stop each query after N answer rows
 //   --deadline-ms N          per-query evaluation deadline
+//   --cache-bytes N          AnswerCache byte budget for --batch
+//                            (default 64 MiB; repeated seeds serve warm)
+//   --no-cache               disable cross-query answer memoization
 //
 // Batch answers stream through AnswerCursor as they are derived (chunked,
 // in derivation order, not sorted); single-query answers stay sorted. The
@@ -56,6 +59,7 @@ struct Args {
   std::string batch_path;
   std::string facts_dir;
   size_t threads = 0;  // 0 = hardware concurrency
+  size_t cache_bytes = QueryServiceOptions{}.cache_bytes;
   EngineOptions options;
   QueryLimits limits;
   bool explain = false;
@@ -143,6 +147,19 @@ Args ParseArgs(int argc, char** argv) {
         args.limits.deadline =
             std::chrono::milliseconds(std::strtoull(v, nullptr, 10));
       }
+    } else if (arg == "--cache-bytes") {
+      if (const char* v = need_value(i)) {
+        char* end = nullptr;
+        unsigned long long bytes = std::strtoull(v, &end, 10);
+        if (*v == '\0' || *v == '-' || *end != '\0') {
+          args.ok = false;
+          args.error = "bad --cache-bytes value: " + std::string(v);
+        } else {
+          args.cache_bytes = static_cast<size_t>(bytes);
+        }
+      }
+    } else if (arg == "--no-cache") {
+      args.cache_bytes = 0;
     } else if (arg.rfind("--", 0) == 0) {
       args.ok = false;
       args.error = "unknown option: " + arg;
@@ -199,6 +216,7 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
 
   QueryServiceOptions service_options;
   service_options.num_threads = args.threads;
+  service_options.cache_bytes = args.cache_bytes;
   service_options.engine = args.options;
   QueryService service(parsed.program, db, service_options);
 
@@ -251,15 +269,15 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
   }
   double seconds = watch.ElapsedSeconds();
   if (args.stats) {
+    // Counter details come from the one shared reporting path
+    // (Stats::Summary) so this tool never re-aggregates by hand.
     QueryService::Stats stats = service.stats();
     std::fprintf(stderr,
                  "%% %zu quer(ies) on %zu thread(s) in %.3f ms (%.0f qps), "
-                 "%zu row(s), %zu form(s) compiled, %zu cache hit(s), "
-                 "%zu fallback, %d truncated, %d failed\n",
+                 "%zu row(s), %d truncated, %d failed\n%% %s\n",
                  queries.size(), service.num_threads(), seconds * 1e3,
                  static_cast<double>(queries.size()) / seconds, total_rows,
-                 stats.forms_compiled, stats.cache_hits,
-                 stats.fallback_served, truncated, failed);
+                 truncated, failed, stats.Summary().c_str());
   }
   return failed == 0 ? 0 : 1;
 }
@@ -398,7 +416,8 @@ int main(int argc, char** argv) {
                  "[--strategy S] [--sip NAME] "
                  "[--guards MODE] [--facts DIR] [--explain] [--safety] "
                  "[--check-safety] [--stats] [--max-facts N] [--limit N] "
-                 "[--deadline-ms N] program.dl\n");
+                 "[--deadline-ms N] [--cache-bytes N] [--no-cache] "
+                 "program.dl\n");
     return 2;
   }
   return Run(args);
