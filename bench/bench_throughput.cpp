@@ -23,6 +23,13 @@
 //           AnswerCache disabled (repeat_cold line) and once against a
 //           pre-filled cache (repeat_warm line) — the cross-query
 //           memoization win on skewed real-world traffic
+//   strategy  non-rewriting strategies (seminaive, topdown) served as
+//           prepared handles — one strategy_seminaive and one
+//           strategy_topdown line per thread count. These used to run
+//           under an exclusive lock (QPS flat in threads by design);
+//           their thread scaling is the fallback-removal win. Capped at
+//           16 queries: each instance evaluates the whole (adorned)
+//           program, so the uncapped count would dominate the run.
 //
 // Workloads: `ancestor` (chain of 256), `samegen` (10x6 grid), or `all`
 // (default). Indexes and the form cache are warmed before measuring so
@@ -283,6 +290,32 @@ void RunCase(const BenchCase& c, size_t max_threads,
       }
     }
 
+    if (mode == "strategy" || mode == "all") {
+      const size_t strategy_queries = std::min<size_t>(seeds.size(), 16);
+      const std::vector<std::vector<TermId>> subset(
+          seeds.begin(),
+          seeds.begin() + static_cast<ptrdiff_t>(strategy_queries));
+      for (Strategy strategy :
+           {Strategy::kSemiNaiveBottomUp, Strategy::kTopDown}) {
+        QueryService service(c.workload.program, c.workload.db, options);
+        QueryRequest exemplar;
+        exemplar.query = c.workload.query;
+        exemplar.strategy = strategy;
+        auto handle = service.Prepare(exemplar);
+        if (!handle.ok()) {
+          std::fprintf(stderr, "bench_throughput: %s\n",
+                       handle.status().ToString().c_str());
+          return;
+        }
+        Stopwatch watch;
+        auto [total_answers, failures] = ServeSeeds(service, *handle, subset);
+        double seconds = watch.ElapsedSeconds();
+        const std::string tier = "strategy_" + StrategyName(strategy);
+        EmitLine(c, tier.c_str(), threads, subset.size(), seconds,
+                 total_answers, failures, service.stats());
+      }
+    }
+
     if (mode == "stream" || mode == "all") {
       QueryService service(c.workload.program, c.workload.db, options);
       QueryRequest exemplar;
@@ -333,7 +366,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: bench_throughput [--threads N] [--queries M] "
                    "[--workload ancestor|samegen|all] "
-                   "[--mode batch|handle|limit1|stream|repeat|all]\n");
+                   "[--mode batch|handle|limit1|stream|repeat|strategy|all]\n");
       return 2;
     }
   }
@@ -344,7 +377,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (mode != "batch" && mode != "handle" && mode != "limit1" &&
-      mode != "stream" && mode != "repeat" && mode != "all") {
+      mode != "stream" && mode != "repeat" && mode != "strategy" &&
+      mode != "all") {
     std::fprintf(stderr, "bench_throughput: unknown mode \"%s\"\n",
                  mode.c_str());
     return 2;

@@ -8,8 +8,10 @@
 #
 # Environment: THREADS (default 4), QUERIES (default 256), MODE (default
 # all — includes the `repeat` zipfian cold/warm AnswerCache mode, whose
-# repeat_cold/repeat_warm line pair records the memoization speedup).
-# Run from the repository root.
+# repeat_cold/repeat_warm line pair records the memoization speedup, and
+# the `strategy` mode, whose strategy_seminaive/strategy_topdown lines
+# record non-rewriting handle QPS vs. threads — the win from removing the
+# exclusive-locked fallback). Run from the repository root.
 set -eu
 
 BIN=${1:-./build/bench_throughput}

@@ -50,17 +50,29 @@ struct PredicateInfo {
 };
 
 /// Registry of predicates, keyed by (name, arity).
+///
+/// Like SymbolTable, a registry may be layered over a frozen base (the
+/// PlanUniverse overlay): ids below the base's size resolve through the
+/// base, new declarations land in this layer, and the base is physically
+/// immutable through the overlay — `mutable_info` on a base id is a
+/// checked error, which is what makes plan compilation provably
+/// side-effect-free on the shared Universe.
 class PredicateTable {
  public:
   PredicateTable() = default;
+  /// Overlay constructor. `base` must outlive this table and must not be
+  /// mutated afterwards (the overlay captures its size as the id offset).
+  explicit PredicateTable(const PredicateTable* base)
+      : base_(base), offset_(static_cast<PredId>(base->size())) {}
   PredicateTable(const PredicateTable&) = delete;
   PredicateTable& operator=(const PredicateTable&) = delete;
 
-  /// Declares a new predicate; the (name, arity) pair must be unused.
+  /// Declares a new predicate; the (name, arity) pair must be unused (in
+  /// the base or this layer).
   PredId Declare(SymbolId name, uint32_t arity, PredKind kind) {
     MAGIC_CHECK_MSG(!Find(name, arity).has_value(),
                     "predicate already declared");
-    PredId id = static_cast<PredId>(infos_.size());
+    PredId id = offset_ + static_cast<PredId>(infos_.size());
     PredicateInfo info;
     info.name = name;
     info.arity = arity;
@@ -72,12 +84,14 @@ class PredicateTable {
 
   /// Returns the existing id or declares a new one. If the predicate exists,
   /// kDerived upgrades kBase (a predicate first seen in a body, later seen
-  /// in a head); any other kind mismatch is a caller bug.
+  /// in a head); any other kind mismatch is a caller bug. The upgrade is a
+  /// base-table write, so it is rejected for base-layer predicates of an
+  /// overlay (parsing happens before plans are compiled, never through one).
   PredId GetOrDeclare(SymbolId name, uint32_t arity, PredKind kind) {
     if (std::optional<PredId> found = Find(name, arity)) {
-      PredicateInfo& info = infos_[*found];
-      if (kind == PredKind::kDerived && info.kind == PredKind::kBase) {
-        info.kind = PredKind::kDerived;
+      const PredicateInfo& existing = info(*found);
+      if (kind == PredKind::kDerived && existing.kind == PredKind::kBase) {
+        mutable_info(*found).kind = PredKind::kDerived;
       }
       return *found;
     }
@@ -85,27 +99,37 @@ class PredicateTable {
   }
 
   std::optional<PredId> Find(SymbolId name, uint32_t arity) const {
+    if (base_ != nullptr) {
+      if (std::optional<PredId> found = base_->Find(name, arity)) {
+        return found;
+      }
+    }
     auto it = index_.find(Key(name, arity));
     if (it == index_.end()) return std::nullopt;
     return it->second;
   }
 
   const PredicateInfo& info(PredId id) const {
-    MAGIC_CHECK(id < infos_.size());
-    return infos_[id];
+    if (id < offset_) return base_->info(id);
+    MAGIC_CHECK(id - offset_ < infos_.size());
+    return infos_[id - offset_];
   }
   PredicateInfo& mutable_info(PredId id) {
-    MAGIC_CHECK(id < infos_.size());
-    return infos_[id];
+    MAGIC_CHECK_MSG(id >= offset_,
+                    "overlay may not mutate a frozen base predicate");
+    MAGIC_CHECK(id - offset_ < infos_.size());
+    return infos_[id - offset_];
   }
 
-  size_t size() const { return infos_.size(); }
+  size_t size() const { return offset_ + infos_.size(); }
 
  private:
   static uint64_t Key(SymbolId name, uint32_t arity) {
     return (static_cast<uint64_t>(name) << 32) | arity;
   }
 
+  const PredicateTable* base_ = nullptr;
+  PredId offset_ = 0;
   std::vector<PredicateInfo> infos_;
   std::unordered_map<uint64_t, PredId> index_;
 };

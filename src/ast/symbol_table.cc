@@ -5,23 +5,30 @@
 namespace magic {
 
 SymbolId SymbolTable::Intern(std::string_view name) {
+  if (base_ != nullptr) {
+    if (std::optional<SymbolId> found = base_->Find(name)) return *found;
+  }
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;
-  SymbolId id = static_cast<SymbolId>(names_.size());
+  SymbolId id = offset_ + static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
   index_.emplace(names_.back(), id);
   return id;
 }
 
 std::optional<SymbolId> SymbolTable::Find(std::string_view name) const {
+  if (base_ != nullptr) {
+    if (std::optional<SymbolId> found = base_->Find(name)) return found;
+  }
   auto it = index_.find(std::string(name));
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
 const std::string& SymbolTable::Name(SymbolId id) const {
-  MAGIC_CHECK(id < names_.size());
-  return names_[id];
+  if (id < offset_) return base_->Name(id);
+  MAGIC_CHECK(id - offset_ < names_.size());
+  return names_[id - offset_];
 }
 
 }  // namespace magic

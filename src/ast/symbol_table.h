@@ -19,24 +19,39 @@ using SymbolId = uint32_t;
 /// Every Universe owns exactly one SymbolTable; SymbolIds from different
 /// tables must never be mixed (enforced only by convention, as in most
 /// interning designs).
+///
+/// A table may be layered over a frozen base table (the PlanUniverse
+/// overlay): ids below the base's size resolve through the base, new
+/// interns land in this table only, and the base is never written. Two
+/// overlays of one base may assign the same id to different strings — that
+/// is fine because ids from different overlays are never mixed (each
+/// compiled plan resolves ids through its own table only).
 class SymbolTable {
  public:
   SymbolTable() = default;
+  /// Overlay constructor. `base` must outlive this table and must not be
+  /// mutated afterwards (the overlay captures its size as the id offset).
+  explicit SymbolTable(const SymbolTable* base)
+      : base_(base), offset_(static_cast<SymbolId>(base->size())) {}
   SymbolTable(const SymbolTable&) = delete;
   SymbolTable& operator=(const SymbolTable&) = delete;
 
-  /// Returns the id for `name`, interning it on first use.
+  /// Returns the id for `name`, interning it on first use. An overlay
+  /// returns the base's id when the base already has the name.
   SymbolId Intern(std::string_view name);
 
-  /// Returns the id for `name` if it has been interned.
+  /// Returns the id for `name` if it has been interned (in the base or
+  /// this layer).
   std::optional<SymbolId> Find(std::string_view name) const;
 
   /// Returns the string for an interned id.
   const std::string& Name(SymbolId id) const;
 
-  size_t size() const { return names_.size(); }
+  size_t size() const { return offset_ + names_.size(); }
 
  private:
+  const SymbolTable* base_ = nullptr;
+  SymbolId offset_ = 0;
   std::vector<std::string> names_;
   std::unordered_map<std::string, SymbolId> index_;
 };

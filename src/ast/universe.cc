@@ -9,7 +9,7 @@ TermId Universe::FreshVariable(std::string_view prefix) {
     std::string name =
         std::string(prefix) + "_" + std::to_string(fresh_counter_++);
     if (!symbols_.Find(name).has_value()) {
-      return terms_.MakeVariable(symbols_.Intern(name));
+      return terms().MakeVariable(symbols_.Intern(name));
     }
   }
 }
@@ -29,7 +29,7 @@ std::string Universe::TermToString(TermId id) const {
 }
 
 void Universe::TermToStringImpl(TermId id, std::string* out) const {
-  const TermData& data = terms_.Get(id);
+  const TermData& data = terms().Get(id);
   switch (data.kind) {
     case TermKind::kConstant:
     case TermKind::kVariable:
@@ -41,7 +41,7 @@ void Universe::TermToStringImpl(TermId id, std::string* out) const {
     case TermKind::kAffine: {
       // Formats mul*V+add the way the paper writes index expressions,
       // e.g. "I+1", "K*2+2", "H*5+4".
-      const TermData& var = terms_.Get(data.children[0]);
+      const TermData& var = terms().Get(data.children[0]);
       if (data.mul != 1) {
         out->append(symbols_.Name(var.symbol));
         out->append("*");
@@ -63,7 +63,7 @@ void Universe::TermToStringImpl(TermId id, std::string* out) const {
         TermId node = id;
         bool first = true;
         while (true) {
-          const TermData& cell = terms_.Get(node);
+          const TermData& cell = terms().Get(node);
           if (cell.kind == TermKind::kCompound &&
               symbols_.Name(cell.symbol) == "." && cell.children.size() == 2) {
             if (!first) out->push_back(',');

@@ -15,34 +15,65 @@ namespace magic {
 /// The shared interning context: symbols, hash-consed terms, and the
 /// predicate registry. A Program and the Database it is evaluated against
 /// must share one Universe so term ids are comparable.
+///
+/// A Universe can also be a *plan overlay* (the PlanUniverse of the
+/// compile/evaluate split): constructed over a frozen base Universe, it
+/// shares the base's TermArena (term ids stay comparable with the EDB) and
+/// layers plan-local symbol/predicate extension tables over the base's.
+/// Compilation (adornment, the magic/counting rewrites) then declares its
+/// adorned/magic predicates into the overlay only — the base tables are
+/// physically immutable through it — so any number of plans can compile
+/// and evaluate concurrently against one shared base. The base must be
+/// quiescent (no symbol interning / predicate declaration) from the first
+/// overlay's construction on; term interning stays safe anytime because
+/// TermArena is internally synchronized.
 class Universe {
  public:
-  Universe() = default;
+  Universe() : terms_(std::make_shared<TermArena>()) {}
+  /// Plan-overlay constructor: layers this universe over the frozen
+  /// `base`, sharing its term arena. Keeps `base` alive.
+  explicit Universe(std::shared_ptr<const Universe> base)
+      : base_(std::move(base)),
+        symbols_(&base_->symbols_),
+        predicates_(&base_->predicates_),
+        terms_(base_->terms_),
+        fresh_counter_(base_->fresh_counter_) {}
   Universe(const Universe&) = delete;
   Universe& operator=(const Universe&) = delete;
 
   SymbolTable& symbols() { return symbols_; }
   const SymbolTable& symbols() const { return symbols_; }
-  TermArena& terms() { return terms_; }
-  const TermArena& terms() const { return terms_; }
+  /// The term arena is internally synchronized (interning serializes on an
+  /// internal mutex; reads are lock-free), so term construction is allowed
+  /// through a const Universe — which is what lets evaluation run against
+  /// `const` compiled plans while still building compound/affine terms.
+  TermArena& terms() const { return *terms_; }
   PredicateTable& predicates() { return predicates_; }
   const PredicateTable& predicates() const { return predicates_; }
 
+  /// True when this universe is a plan overlay over a frozen base.
+  bool is_overlay() const { return base_ != nullptr; }
+  /// The frozen base (null for a root universe).
+  const std::shared_ptr<const Universe>& base() const { return base_; }
+
   // -- Term construction conveniences -------------------------------------
+  // The symbol-interning ones (Sym/Constant/Variable/Compound) mutate the
+  // symbol table and are compile-time only; the arena-only ones
+  // (Integer/Affine) are const and safe during evaluation.
 
   SymbolId Sym(std::string_view name) { return symbols_.Intern(name); }
   TermId Constant(std::string_view name) {
-    return terms_.MakeConstant(Sym(name));
+    return terms().MakeConstant(Sym(name));
   }
-  TermId Integer(int64_t value) { return terms_.MakeInteger(value); }
+  TermId Integer(int64_t value) const { return terms().MakeInteger(value); }
   TermId Variable(std::string_view name) {
-    return terms_.MakeVariable(Sym(name));
+    return terms().MakeVariable(Sym(name));
   }
   TermId Compound(std::string_view functor, std::vector<TermId> args) {
-    return terms_.MakeCompound(Sym(functor), std::move(args));
+    return terms().MakeCompound(Sym(functor), std::move(args));
   }
-  TermId Affine(TermId variable, int64_t mul, int64_t add) {
-    return terms_.MakeAffine(variable, mul, add);
+  TermId Affine(TermId variable, int64_t mul, int64_t add) const {
+    return terms().MakeAffine(variable, mul, add);
   }
 
   /// Returns a variable guaranteed not to collide with any variable interned
@@ -55,7 +86,7 @@ class Universe {
   TermId NilTerm() { return Constant("[]"); }
   /// The cons cell `[head | tail]`, functor '.'/2.
   TermId Cons(TermId head, TermId tail) {
-    return terms_.MakeCompound(Sym("."), {head, tail});
+    return terms().MakeCompound(Sym("."), {head, tail});
   }
   /// Builds a proper list of `items`.
   TermId MakeList(const std::vector<TermId>& items);
@@ -72,9 +103,13 @@ class Universe {
  private:
   void TermToStringImpl(TermId id, std::string* out) const;
 
+  /// Keeps the frozen base alive; set iff this universe is an overlay.
+  /// Declared first so the layered tables below can point into it.
+  std::shared_ptr<const Universe> base_;
   SymbolTable symbols_;
-  TermArena terms_;
   PredicateTable predicates_;
+  /// Shared with every overlay of this universe (and with its base).
+  std::shared_ptr<TermArena> terms_;
   uint64_t fresh_counter_ = 0;
 };
 

@@ -5,7 +5,7 @@
 namespace magic {
 
 std::vector<Fact> MakeSeeds(const RewrittenProgram& rewritten,
-                            const Query& query, Universe& u) {
+                            const Query& query, const Universe& u) {
   std::vector<Fact> seeds;
   if (!rewritten.seed.has_value()) return seeds;
   const SeedTemplate& tpl = *rewritten.seed;

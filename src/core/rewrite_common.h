@@ -55,7 +55,7 @@ struct RewrittenProgram {
 /// Instantiates the seed fact(s) for `query` (empty if the rewrite needed no
 /// seed, i.e. the query had no bound arguments).
 std::vector<Fact> MakeSeeds(const RewrittenProgram& rewritten,
-                            const Query& query, Universe& u);
+                            const Query& query, const Universe& u);
 
 // -- Helpers shared by the rewriting algorithms -----------------------------
 

@@ -1,0 +1,232 @@
+#include "engine/compiled_plan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace magic {
+
+namespace {
+
+/// True when every goal argument is a distinct plain variable. A repeated
+/// variable (p(X,X)) or a non-ground compound (p(f(X),Y)) also has zero
+/// bound positions, yet restricts the answer set — so "fully free" is a
+/// property of the exemplar's shape, not of bound_arity() == 0.
+bool ComputeFullyFree(const Universe& u, const Query& exemplar,
+                      const std::vector<int>& bound_positions) {
+  if (!bound_positions.empty()) return false;
+  const auto& args = exemplar.goal.args;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (u.terms().Get(args[i]).kind != TermKind::kVariable) return false;
+    for (size_t j = 0; j < i; ++j) {
+      if (args[j] == args[i]) return false;  // repeated variable
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const CompiledPlan>> CompiledPlan::Compile(
+    const Program& program, const Query& exemplar,
+    const EngineOptions& options) {
+  if (exemplar.goal.pred == kInvalidPred) {
+    return Status::InvalidArgument("query has no predicate");
+  }
+  if (!program.IsHeadPredicate(exemplar.goal.pred)) {
+    return Status::InvalidArgument(
+        "query predicate is not derived by the program; base-predicate "
+        "queries are answered directly from the database");
+  }
+
+  auto plan = std::make_shared<CompiledPlan>();
+  // All compilation output (adorned/magic/supplementary predicate
+  // declarations, mangled symbol names, fresh variables) lands in this
+  // overlay; the base universe underneath is frozen and shared.
+  plan->universe =
+      std::make_shared<Universe>(std::shared_ptr<const Universe>(
+          program.universe()));
+  plan->strategy = options.strategy;
+  plan->exemplar = exemplar;
+  plan->eval_options = options.eval;
+
+  // The input rules re-bound to the plan universe: every id they carry is a
+  // base id, which the overlay resolves identically.
+  Program plan_program(plan->universe);
+  plan_program.rules() = program.rules();
+
+  const Universe& u = *plan->universe;
+  switch (options.strategy) {
+    case Strategy::kNaiveBottomUp:
+    case Strategy::kSemiNaiveBottomUp: {
+      plan->adornment = QueryAdornment(u, exemplar);
+      plan->eval_options.seminaive =
+          options.strategy == Strategy::kSemiNaiveBottomUp;
+      plan->original = std::move(plan_program);
+      break;
+    }
+    case Strategy::kTopDown: {
+      std::unique_ptr<SipStrategy> sip = MakeSipStrategy(options.sip);
+      if (sip == nullptr) {
+        return Status::InvalidArgument("unknown sip strategy: " + options.sip);
+      }
+      Result<AdornedProgram> adorned = Adorn(plan_program, exemplar, *sip);
+      if (!adorned.ok()) return adorned.status();
+      plan->adornment = adorned->query_adornment;
+      plan->adorned = std::move(*adorned);
+      break;
+    }
+    default: {
+      std::unique_ptr<SipStrategy> sip = MakeSipStrategy(options.sip);
+      if (sip == nullptr) {
+        return Status::InvalidArgument("unknown sip strategy: " + options.sip);
+      }
+      Result<AdornedProgram> adorned = Adorn(plan_program, exemplar, *sip);
+      if (!adorned.ok()) return adorned.status();
+      Result<RewrittenProgram> rewritten = QueryEngine::Rewrite(
+          *adorned, options.strategy, options.guard_mode);
+      if (!rewritten.ok()) return rewritten.status();
+      plan->adornment = adorned->query_adornment;
+      plan->rewritten = std::move(*rewritten);
+      break;
+    }
+  }
+
+  for (size_t i = 0; i < exemplar.goal.args.size(); ++i) {
+    if (plan->adornment.bound(i)) {
+      plan->bound_positions.push_back(static_cast<int>(i));
+    }
+  }
+  plan->fully_free = ComputeFullyFree(u, exemplar, plan->bound_positions);
+  return std::shared_ptr<const CompiledPlan>(std::move(plan));
+}
+
+QueryAnswer CompiledPlan::Answer(
+    const std::vector<TermId>& bound_values, const Database& db,
+    const QueryLimits& limits, const AnswerSink& sink,
+    std::optional<std::chrono::steady_clock::time_point> admitted) const {
+  QueryAnswer answer;
+  answer.strategy_name = IsRewritingStrategy(strategy)
+                             ? rewritten.strategy_name
+                             : StrategyName(strategy);
+  if (bound_values.size() != bound_positions.size()) {
+    answer.status = Status::InvalidArgument(
+        "query form " + adornment.ToString() + " takes " +
+        std::to_string(bound_positions.size()) + " bound value(s), got " +
+        std::to_string(bound_values.size()));
+    answer.outcome = AnswerStatus::kError;
+    return answer;
+  }
+  const Universe& u = *universe;
+  // Per-request scratch: the instance query and everything derived from it.
+  Query instance = exemplar;
+  for (size_t i = 0; i < bound_values.size(); ++i) {
+    if (!u.terms().IsGround(bound_values[i])) {
+      answer.status =
+          Status::InvalidArgument("bound values must be ground terms");
+      answer.outcome = AnswerStatus::kError;
+      return answer;
+    }
+    instance.goal.args[static_cast<size_t>(bound_positions[i])] =
+        bound_values[i];
+  }
+
+  EvalOptions instance_options = eval_options;
+  if (limits.max_facts.has_value()) {
+    instance_options.max_facts = *limits.max_facts;
+  }
+  const bool controlled = limits.NeedsControl() || static_cast<bool>(sink);
+  AnswerCollector collector(limits.row_limit, sink ? &sink : nullptr);
+  EvalControl control;
+  if (limits.deadline.has_value()) {
+    control.deadline =
+        admitted.value_or(std::chrono::steady_clock::now()) + *limits.deadline;
+  }
+  if (limits.cancel != nullptr) control.cancel = limits.cancel.get();
+
+  switch (strategy) {
+    case Strategy::kNaiveBottomUp:
+    case Strategy::kSemiNaiveBottomUp: {
+      AnswerProjector projector = AnswerProjector::ForDirect(u, instance);
+      if (controlled) {
+        control.sink_pred = instance.goal.pred;
+        control.on_fact = MakeAnswerHook(projector, collector);
+      }
+      Evaluator evaluator(instance_options);
+      EvalResult result =
+          evaluator.Run(*original, db, {}, controlled ? &control : nullptr);
+      answer.status = result.status;
+      answer.eval_stats = result.stats;
+      answer.total_facts = result.TotalFacts();
+      if (controlled) {
+        if (!sink) answer.tuples = collector.TakeSorted();
+      } else {
+        auto it = result.idb.find(instance.goal.pred);
+        answer.tuples = ExtractDirectAnswers(
+            u, instance, it == result.idb.end() ? nullptr : &it->second);
+      }
+      answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+      return answer;
+    }
+    case Strategy::kTopDown: {
+      AnswerProjector projector = AnswerProjector::ForDirect(u, instance);
+      if (controlled) {
+        control.sink_pred = adorned->query_pred;
+        control.on_fact = MakeAnswerHook(projector, collector);
+      }
+      TopDownEngine engine(instance_options);
+      TopDownResult result =
+          engine.Run(*adorned, instance, db, controlled ? &control : nullptr);
+      answer.status = result.status;
+      answer.topdown_stats = result.stats;
+      answer.total_facts = result.stats.answers;
+      if (controlled) {
+        if (!sink) answer.tuples = collector.TakeSorted();
+      } else {
+        std::vector<int> free_positions = QueryFreePositions(u, instance);
+        for (const std::vector<TermId>& row :
+             result.QueryAnswers(u, instance, adorned->query_pred)) {
+          std::vector<TermId> tuple;
+          for (int p : free_positions) tuple.push_back(row[p]);
+          answer.tuples.push_back(std::move(tuple));
+        }
+        std::sort(answer.tuples.begin(), answer.tuples.end());
+        answer.tuples.erase(
+            std::unique(answer.tuples.begin(), answer.tuples.end()),
+            answer.tuples.end());
+      }
+      answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+      return answer;
+    }
+    default:
+      break;  // rewriting strategies, below
+  }
+
+  std::vector<Fact> seeds = MakeSeeds(rewritten, instance, u);
+  Evaluator evaluator(instance_options);
+  if (!controlled) {
+    EvalResult result = evaluator.Run(rewritten.program, db, seeds);
+    answer.status = result.status;
+    answer.eval_stats = result.stats;
+    answer.total_facts = result.TotalFacts();
+    answer.tuples = ExtractAnswers(u, rewritten, instance, result);
+    answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+    return answer;
+  }
+
+  // Bounded/streaming path: filter and project answer rows as they are
+  // derived, so the fixpoint aborts the moment the caller has enough.
+  AnswerProjector projector =
+      AnswerProjector::ForRewritten(u, rewritten, instance);
+  control.sink_pred = rewritten.answer_pred;
+  control.on_fact = MakeAnswerHook(projector, collector);
+  EvalResult result = evaluator.Run(rewritten.program, db, seeds, &control);
+  answer.status = result.status;
+  answer.eval_stats = result.stats;
+  answer.total_facts = result.TotalFacts();
+  if (!sink) answer.tuples = collector.TakeSorted();
+  answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+  return answer;
+}
+
+}  // namespace magic

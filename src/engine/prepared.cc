@@ -1,122 +1,28 @@
 #include "engine/prepared.h"
 
-#include "util/check.h"
-
 namespace magic {
 
 Result<PreparedQueryForm> PreparedQueryForm::Prepare(
     const Program& program, const Query& exemplar,
     const EngineOptions& options) {
-  if (!IsRewritingStrategy(options.strategy)) {
-    return Status::InvalidArgument(
-        "PreparedQueryForm requires a rewriting strategy (got " +
-        StrategyName(options.strategy) + ")");
-  }
-  std::unique_ptr<SipStrategy> sip = MakeSipStrategy(options.sip);
-  if (sip == nullptr) {
-    return Status::InvalidArgument("unknown sip strategy: " + options.sip);
-  }
-  Result<AdornedProgram> adorned = Adorn(program, exemplar, *sip);
-  if (!adorned.ok()) return adorned.status();
-  Result<RewrittenProgram> rewritten =
-      QueryEngine::Rewrite(*adorned, options.strategy, options.guard_mode);
-  if (!rewritten.ok()) return rewritten.status();
-
+  Result<std::shared_ptr<const CompiledPlan>> plan =
+      CompiledPlan::Compile(program, exemplar, options);
+  if (!plan.ok()) return plan.status();
   PreparedQueryForm form;
-  form.universe_ = program.universe();
-  form.exemplar_ = exemplar;
-  form.adornment_ = adorned->query_adornment;
-  for (size_t i = 0; i < exemplar.goal.args.size(); ++i) {
-    if (form.adornment_.bound(i)) {
-      form.bound_positions_.push_back(static_cast<int>(i));
-    }
-  }
-  form.rewritten_ = std::move(*rewritten);
-  form.eval_options_ = options.eval;
+  form.plan_ = std::move(*plan);
   return form;
-}
-
-bool PreparedQueryForm::fully_free() const {
-  if (!bound_positions_.empty()) return false;
-  const auto& args = exemplar_.goal.args;
-  for (size_t i = 0; i < args.size(); ++i) {
-    if (universe_->terms().Get(args[i]).kind != TermKind::kVariable) {
-      return false;
-    }
-    for (size_t j = 0; j < i; ++j) {
-      if (args[j] == args[i]) return false;  // repeated variable
-    }
-  }
-  return true;
 }
 
 QueryAnswer PreparedQueryForm::Answer(const std::vector<TermId>& bound_values,
                                       const Database& db) const {
-  return Answer(bound_values, db, QueryLimits{});
+  return plan_->Answer(bound_values, db, QueryLimits{});
 }
 
 QueryAnswer PreparedQueryForm::Answer(
     const std::vector<TermId>& bound_values, const Database& db,
     const QueryLimits& limits, const AnswerSink& sink,
     std::optional<std::chrono::steady_clock::time_point> admitted) const {
-  QueryAnswer answer;
-  answer.strategy_name = rewritten_.strategy_name;
-  if (bound_values.size() != bound_positions_.size()) {
-    answer.status = Status::InvalidArgument(
-        "query form " + adornment_.ToString() + " takes " +
-        std::to_string(bound_positions_.size()) + " bound value(s), got " +
-        std::to_string(bound_values.size()));
-    answer.outcome = AnswerStatus::kError;
-    return answer;
-  }
-  Universe& u = *universe_;
-  Query instance = exemplar_;
-  for (size_t i = 0; i < bound_values.size(); ++i) {
-    if (!u.terms().IsGround(bound_values[i])) {
-      answer.status =
-          Status::InvalidArgument("bound values must be ground terms");
-      answer.outcome = AnswerStatus::kError;
-      return answer;
-    }
-    instance.goal.args[bound_positions_[i]] = bound_values[i];
-  }
-  std::vector<Fact> seeds = MakeSeeds(rewritten_, instance, u);
-  EvalOptions eval_options = eval_options_;
-  if (limits.max_facts.has_value()) eval_options.max_facts = *limits.max_facts;
-  Evaluator evaluator(eval_options);
-
-  const bool controlled = limits.NeedsControl() || static_cast<bool>(sink);
-  if (!controlled) {
-    EvalResult result = evaluator.Run(rewritten_.program, db, seeds);
-    answer.status = result.status;
-    answer.eval_stats = result.stats;
-    answer.total_facts = result.TotalFacts();
-    answer.tuples = ExtractAnswers(u, rewritten_, instance, result);
-    answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
-    return answer;
-  }
-
-  // Bounded/streaming path: filter and project answer rows as they are
-  // derived, so the fixpoint aborts the moment the caller has enough.
-  AnswerProjector projector =
-      AnswerProjector::ForRewritten(u, rewritten_, instance);
-  AnswerCollector collector(limits.row_limit, sink ? &sink : nullptr);
-  EvalControl control;
-  control.sink_pred = rewritten_.answer_pred;
-  control.on_fact = MakeAnswerHook(projector, collector);
-  if (limits.deadline.has_value()) {
-    control.deadline =
-        admitted.value_or(std::chrono::steady_clock::now()) + *limits.deadline;
-  }
-  if (limits.cancel != nullptr) control.cancel = limits.cancel.get();
-
-  EvalResult result = evaluator.Run(rewritten_.program, db, seeds, &control);
-  answer.status = result.status;
-  answer.eval_stats = result.stats;
-  answer.total_facts = result.TotalFacts();
-  if (!sink) answer.tuples = collector.TakeSorted();
-  answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
-  return answer;
+  return plan_->Answer(bound_values, db, limits, sink, admitted);
 }
 
 }  // namespace magic

@@ -1,7 +1,7 @@
 #ifndef MAGIC_ENGINE_PREPARED_H_
 #define MAGIC_ENGINE_PREPARED_H_
 
-#include "engine/query_engine.h"
+#include "engine/compiled_plan.h"
 
 namespace magic {
 
@@ -10,16 +10,18 @@ namespace magic {
 /// predicate-definitions, and modified rules will result, but the seed will
 /// be specific to the query."
 ///
-/// Prepare() runs adornment + rewriting once for the binding pattern of an
-/// exemplar query; Answer() then serves any instance of that form by
-/// instantiating only the seed — the paper's compile-once/query-many
-/// reading of the transformation.
+/// Prepare() compiles the binding pattern of an exemplar query once — for
+/// *any* strategy — into an immutable CompiledPlan whose universe overlay
+/// holds everything compilation declared; Answer() then serves any instance
+/// of the form by instantiating only the seed. Because the plan (and the
+/// base Universe underneath it) is never written after Prepare, Answer is
+/// concurrently callable for every strategy, including top-down (whose
+/// adornment used to mutate the shared Universe at request time).
 class PreparedQueryForm {
  public:
   /// Compiles the query form of `exemplar` (its binding pattern; the actual
-  /// constants are ignored) under a rewriting strategy. Non-rewriting
-  /// strategies (naive/semi-naive/top-down) have no compiled artifact and
-  /// are rejected.
+  /// constants are ignored) under `options.strategy`. All strategies are
+  /// accepted; base-predicate queries are rejected (they need no plan).
   static Result<PreparedQueryForm> Prepare(const Program& program,
                                            const Query& exemplar,
                                            const EngineOptions& options = {});
@@ -29,11 +31,11 @@ class PreparedQueryForm {
   QueryAnswer Answer(const std::vector<TermId>& bound_values,
                      const Database& db) const;
 
-  /// Resource-bounded instance: enforces `limits` during the fixpoint (the
-  /// evaluation aborts as soon as the row limit, deadline, or cancellation
-  /// fires) and streams each distinct answer tuple to `sink` as it is
-  /// derived. `admitted` anchors the deadline (defaults to entry time) so a
-  /// serving layer can charge queue wait against it.
+  /// Resource-bounded instance: enforces `limits` during the evaluation
+  /// (it aborts as soon as the row limit, deadline, or cancellation fires)
+  /// and streams each distinct answer tuple to `sink` as it is derived.
+  /// `admitted` anchors the deadline (defaults to entry time) so a serving
+  /// layer can charge queue wait against it.
   QueryAnswer Answer(const std::vector<TermId>& bound_values,
                      const Database& db, const QueryLimits& limits,
                      const AnswerSink& sink = {},
@@ -41,19 +43,24 @@ class PreparedQueryForm {
                          admitted = std::nullopt) const;
 
   /// The adornment of the compiled form (e.g. "bf").
-  const Adornment& adornment() const { return adornment_; }
+  const Adornment& adornment() const { return plan_->adornment; }
 
   /// The queried predicate.
-  PredId pred() const { return exemplar_.goal.pred; }
+  PredId pred() const { return plan_->exemplar.goal.pred; }
+
+  /// The compiled strategy.
+  Strategy strategy() const { return plan_->strategy; }
 
   /// Number of bound positions, i.e. the arity of Answer's `bound_values`.
-  size_t bound_arity() const { return bound_positions_.size(); }
+  size_t bound_arity() const { return plan_->bound_positions.size(); }
 
   /// The bound argument positions, ascending; `bound_values` pair up with
   /// these. The complement (the free positions, ascending) is the column
   /// order of answer tuples — which is what lets a serving layer filter a
   /// fully-free form's cached answers down to any bound instance.
-  const std::vector<int>& bound_positions() const { return bound_positions_; }
+  const std::vector<int>& bound_positions() const {
+    return plan_->bound_positions;
+  }
 
   /// True when every goal argument is a distinct plain variable. Only then
   /// is the form's answer set the complete relation over all argument
@@ -61,20 +68,19 @@ class PreparedQueryForm {
   /// (p(f(X),Y)) also has zero bound positions, yet restricts the answers
   /// — so the serving layer's subsumption fast path must check this, not
   /// just bound_arity() == 0.
-  bool fully_free() const;
+  bool fully_free() const { return plan_->fully_free; }
 
-  /// The rewritten program evaluated for every instance.
-  const RewrittenProgram& rewritten() const { return rewritten_; }
+  /// The rewritten program evaluated for every instance (rewriting
+  /// strategies only; empty for naive/semi-naive/top-down plans).
+  const RewrittenProgram& rewritten() const { return plan_->rewritten; }
+
+  /// The underlying immutable plan (shared, never written after Prepare).
+  const CompiledPlan& plan() const { return *plan_; }
 
  private:
   PreparedQueryForm() = default;
 
-  std::shared_ptr<Universe> universe_;
-  Query exemplar_;
-  Adornment adornment_;
-  std::vector<int> bound_positions_;
-  RewrittenProgram rewritten_;
-  EvalOptions eval_options_;
+  std::shared_ptr<const CompiledPlan> plan_;
 };
 
 }  // namespace magic

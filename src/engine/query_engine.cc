@@ -92,7 +92,7 @@ std::vector<std::vector<TermId>> SortedUnique(
 }  // namespace
 
 AnswerProjector AnswerProjector::ForRewritten(
-    Universe& u, const RewrittenProgram& rewritten, const Query& query) {
+    const Universe& u, const RewrittenProgram& rewritten, const Query& query) {
   AnswerProjector p;
   TermId zero = u.Integer(0);
   for (uint32_t f = 0; f < rewritten.answer_index_fields; ++f) {
@@ -175,7 +175,7 @@ std::vector<std::vector<TermId>> AnswerCollector::TakeSorted() {
 }
 
 std::vector<std::vector<TermId>> ExtractAnswers(
-    Universe& u, const RewrittenProgram& rewritten, const Query& query,
+    const Universe& u, const RewrittenProgram& rewritten, const Query& query,
     const EvalResult& eval) {
   std::vector<std::vector<TermId>> out;
   auto it = eval.idb.find(rewritten.answer_pred);
@@ -192,13 +192,9 @@ std::vector<std::vector<TermId>> ExtractAnswers(
   return SortedUnique(std::move(out));
 }
 
-namespace {
-
-/// Answers from a direct (non-rewritten) evaluation: select rows of the
-/// query predicate matching the bound constants, project free positions.
-std::vector<std::vector<TermId>> ExtractDirect(Universe& u,
-                                               const Query& query,
-                                               const Relation* rel) {
+std::vector<std::vector<TermId>> ExtractDirectAnswers(const Universe& u,
+                                                      const Query& query,
+                                                      const Relation* rel) {
   std::vector<std::vector<TermId>> out;
   if (rel == nullptr) return out;
   AnswerProjector projector = AnswerProjector::ForDirect(u, query);
@@ -210,8 +206,6 @@ std::vector<std::vector<TermId>> ExtractDirect(Universe& u,
   }
   return SortedUnique(std::move(out));
 }
-
-}  // namespace
 
 Result<RewrittenProgram> QueryEngine::Rewrite(const AdornedProgram& adorned,
                                               Strategy strategy,
@@ -289,7 +283,7 @@ QueryAnswer QueryEngine::Run(
   if (!program.IsHeadPredicate(query.goal.pred)) {
     answer.status = Status::OK();
     if (!controlled) {
-      answer.tuples = ExtractDirect(u, query, db.Find(query.goal.pred));
+      answer.tuples = ExtractDirectAnswers(u, query, db.Find(query.goal.pred));
       return answer;
     }
     const Relation* rel = db.Find(query.goal.pred);
@@ -333,7 +327,7 @@ QueryAnswer QueryEngine::Run(
       if (!sink) answer.tuples = collector.TakeSorted();
     } else {
       auto it = result.idb.find(query.goal.pred);
-      answer.tuples = ExtractDirect(
+      answer.tuples = ExtractDirectAnswers(
           u, query, it == result.idb.end() ? nullptr : &it->second);
     }
     answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);

@@ -168,8 +168,16 @@ class QueryEngine {
 /// whose surviving bound columns match the query constants, projected onto
 /// the free positions).
 std::vector<std::vector<TermId>> ExtractAnswers(
-    Universe& u, const RewrittenProgram& rewritten, const Query& query,
+    const Universe& u, const RewrittenProgram& rewritten, const Query& query,
     const EvalResult& eval);
+
+/// Answers from a direct (non-rewritten) evaluation: selects rows of the
+/// query predicate matching the bound constants and projects the free
+/// positions (sorted, deduplicated). Used by the naive/semi-naive/top-down
+/// compiled plans and by base-predicate selections.
+std::vector<std::vector<TermId>> ExtractDirectAnswers(const Universe& u,
+                                                      const Query& query,
+                                                      const Relation* rel);
 
 /// The row filter + projection behind ExtractAnswers, reusable one row at a
 /// time so answer sinks can stream during evaluation instead of scanning
@@ -179,7 +187,7 @@ class AnswerProjector {
  public:
   /// Rows of `rewritten.answer_pred` (index fields must be zero, surviving
   /// bound columns must match the instance constants).
-  static AnswerProjector ForRewritten(Universe& u,
+  static AnswerProjector ForRewritten(const Universe& u,
                                       const RewrittenProgram& rewritten,
                                       const Query& query);
   /// Rows of the query predicate itself (direct evaluation / top-down

@@ -71,6 +71,13 @@ size_t QueryService::FormKeyHash::operator()(const FormKey& key) const {
   return HashCombine(h, std::hash<std::string>{}(key.sip));
 }
 
+size_t QueryService::InflightKeyHash::operator()(
+    const InflightKey& key) const {
+  uint64_t h = reinterpret_cast<uintptr_t>(key.form);
+  for (TermId term : key.seed) h = HashCombine(h, term);
+  return h;
+}
+
 namespace {
 
 /// The bound-position bitmask of a query instance: bit i set iff argument i
@@ -143,7 +150,11 @@ QueryService::FormKey QueryService::MakeKey(const QueryRequest& request) const {
   key.pred = request.query.goal.pred;
   key.bound_mask = BoundMask(*program_.universe(), request.query);
   key.strategy = request.strategy.value_or(options_.engine.strategy);
-  key.sip = request.sip.value_or(options_.engine.sip);
+  // naive/semi-naive plans take no sip; normalizing the key keeps one plan
+  // per binding pattern instead of one per (irrelevant) sip name.
+  const bool sipless = key.strategy == Strategy::kNaiveBottomUp ||
+                       key.strategy == Strategy::kSemiNaiveBottomUp;
+  key.sip = sipless ? std::string() : request.sip.value_or(options_.engine.sip);
   return key;
 }
 
@@ -157,13 +168,12 @@ QueryService::CachedForm* QueryService::GetOrCompile(
   }
   EngineOptions engine_options = options_.engine;
   engine_options.strategy = key.strategy;
-  engine_options.sip = key.sip;
-  Result<PreparedQueryForm> form = [&] {
-    // Compilation interns symbols and declares adorned/magic predicates in
-    // the shared Universe; exclude all in-flight evaluations while it runs.
-    std::unique_lock<std::shared_mutex> exclusive(serve_mutex_);
-    return PreparedQueryForm::Prepare(program_, request.query, engine_options);
-  }();
+  if (!key.sip.empty()) engine_options.sip = key.sip;
+  // Compilation writes only into the plan's Universe overlay (the shared
+  // base is frozen underneath it), so in-flight evaluations keep running;
+  // only concurrent compiles serialize here.
+  Result<PreparedQueryForm> form =
+      PreparedQueryForm::Prepare(program_, request.query, engine_options);
   CachedForm& cached = forms_[key];
   cached.key = key;
   const Universe& u = *program_.universe();
@@ -196,6 +206,14 @@ QueryAnswer QueryService::OverloadedAnswer() const {
       "submission queue is full (max_pending=" +
       std::to_string(options_.max_pending) + ")");
   answer.outcome = AnswerStatus::kOverloaded;
+  return answer;
+}
+
+QueryAnswer QueryService::DeadlineShedAnswer() const {
+  QueryAnswer answer;
+  answer.status = Status::DeadlineExceeded(
+      "deadline expired while queued; evaluation never started");
+  answer.outcome = AnswerStatus::kDeadlineExceeded;
   return answer;
 }
 
@@ -285,7 +303,12 @@ QueryService::CachedForm* QueryService::FindFreeSibling(CachedForm* cached) {
   key.bound_mask = 0;
   CachedForm* found = nullptr;
   {
-    std::lock_guard<std::mutex> lock(form_mutex_);
+    // try_lock, not lock: a compile in progress holds form_mutex_ for the
+    // whole adorn+rewrite, and evaluating workers reach here on every
+    // second-chance miss — skipping the subsumption fast path once is
+    // cheaper than serializing the pool behind the compile.
+    std::unique_lock<std::mutex> lock(form_mutex_, std::try_to_lock);
+    if (!lock.owns_lock()) return nullptr;
     auto it = forms_.find(key);
     // bound_mask == 0 is necessary but not sufficient: a repeated-variable
     // or non-ground-compound exemplar (anc(X,X), p(f(X),Y)) also has no
@@ -305,10 +328,29 @@ QueryService::CachedForm* QueryService::FindFreeSibling(CachedForm* cached) {
   return found;
 }
 
-void QueryService::DispatchForm(CachedForm* cached,
-                                std::vector<TermId> bound_values,
-                                QueryLimits limits, AnswerSink sink,
-                                bool enforce_admission, Completion done) {
+void QueryService::ReleaseInflight(CachedForm* cached,
+                                   const std::vector<TermId>& bound_values) {
+  std::vector<std::function<void()>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(InflightKey{cached, bound_values});
+    if (it != inflight_.end()) {
+      waiters = std::move(it->second);
+      inflight_.erase(it);
+    }
+  }
+  // Re-dispatch outside the lock: a waiter either hits the cache the
+  // leader just filled (served inline here) or becomes the next leader
+  // (its evaluation goes back through the pool). A re-dispatched waiter
+  // that finds a new leader in the table simply parks again — progress is
+  // guaranteed because some request always holds the leader slot.
+  for (std::function<void()>& waiter : waiters) waiter();
+}
+
+void QueryService::DispatchForm(
+    CachedForm* cached, std::vector<TermId> bound_values, QueryLimits limits,
+    AnswerSink sink, bool enforce_admission, Completion done,
+    std::optional<std::chrono::steady_clock::time_point> admitted_at) {
   // One epoch read per request: it is both the probe key and the fill
   // key. Writes happen only at quiescent points (no queries in flight),
   // so the epoch cannot move while this request is anywhere between
@@ -320,29 +362,84 @@ void QueryService::DispatchForm(CachedForm* cached,
       TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
     return;  // warm hit: completed inline, nothing dispatched
   }
+
+  // The deadline anchor survives coalescing round-trips: a parked
+  // duplicate re-enters here with its original `admitted_at`, so park
+  // time counts against the deadline exactly like queue time does.
+  const auto admitted = admitted_at.value_or(std::chrono::steady_clock::now());
+  if (limits.deadline.has_value() &&
+      std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
+    deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    done(DeadlineShedAnswer());
+    return;
+  }
+
   if (!Admit(enforce_admission)) {
     done(OverloadedAnswer());
     return;
   }
-  const auto admitted = std::chrono::steady_clock::now();
-  pool_.Submit([this, cached, bound_values = std::move(bound_values),
+
+  // Request coalescing: a miss identical to an in-flight (form, seed)
+  // evaluation parks behind it instead of evaluating again; the leader's
+  // fill serves it. Needs the cache (that is the handoff medium) and a
+  // well-formed seed (malformed ones just flow to Answer()'s error path).
+  // Parking happens *after* Admit: a parked duplicate is
+  // submitted-but-not-finished work, so it holds its admission slot while
+  // it waits (max_pending backpressure keeps seeing it) and gives the
+  // slot back when its re-dispatch goes around again.
+  const bool coalescing = options_.coalesce_requests && cache_.enabled() &&
+                          bound_values.size() == cached->form->bound_arity();
+  if (coalescing) {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto [it, inserted] =
+        inflight_.try_emplace(InflightKey{cached, bound_values});
+    if (!inserted) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      it->second.push_back(
+          [this, cached, bound_values = std::move(bound_values),
+           limits = std::move(limits), sink = std::move(sink),
+           done = std::move(done), admitted]() mutable {
+            // Return the parked slot, then go around again with the
+            // original anchor. enforce_admission=false: this request was
+            // already admitted once and must not be rejected late.
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            DispatchForm(cached, std::move(bound_values), std::move(limits),
+                         std::move(sink), /*enforce_admission=*/false,
+                         std::move(done), admitted);
+          });
+      return;
+    }
+    // Inserted: this request is the leader and must ReleaseInflight on
+    // every completion path below.
+  }
+  pool_.Submit([this, cached, coalescing,
+                bound_values = std::move(bound_values),
                 limits = std::move(limits), sink = std::move(sink),
                 done = std::move(done), admitted, epoch]() mutable {
     std::shared_lock<std::shared_mutex> serving(serve_mutex_);
+    // Deadline-aware dispatch: a request whose deadline expired while it
+    // sat in the pool queue completes immediately — the client is gone;
+    // entering the fixpoint would burn a worker on an unwanted answer.
+    if (limits.deadline.has_value() &&
+        std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
+      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      if (coalescing) ReleaseInflight(cached, bound_values);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      done(DeadlineShedAnswer());
+      return;
+    }
     // Second chance: a fill that completed while this request sat in the
     // pool queue serves it now — a concurrent batch of repeated seeds
-    // evaluates once, not once per repeat. Exact key only: the
-    // subsumption probe takes form_mutex_, which must not nest inside
-    // serve_mutex_ (GetOrCompile acquires them in the opposite order).
+    // evaluates once, not once per repeat. The full probe (including the
+    // subsumption sibling lookup) is safe here: form_mutex_ nests inside
+    // the serve lock now that compilation doesn't take serve_mutex_.
     if (cache_.enabled() &&
-        bound_values.size() == cached->form->bound_arity()) {
-      if (std::shared_ptr<const AnswerCache::Tuples> tuples = cache_.Get(
-              CacheTag(cached->form.get()), bound_values, epoch)) {
-        ServeHit(cached, std::move(tuples), limits, sink, done,
-                 /*subsumed=*/false);
-        pending_.fetch_sub(1, std::memory_order_relaxed);
-        return;
-      }
+        TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
+      if (coalescing) ReleaseInflight(cached, bound_values);
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return;
     }
     Stopwatch watch;
     // Streamed answers leave tuples empty (the AnswerSink contract), so
@@ -384,9 +481,11 @@ void QueryService::DispatchForm(CachedForm* cached,
       } else {
         *tuples = answer.tuples;
       }
-      cache_.Put(CacheTag(cached->form.get()), std::move(bound_values),
-                 epoch, std::move(tuples));
+      cache_.Put(CacheTag(cached->form.get()), bound_values, epoch,
+                 std::move(tuples));
     }
+    // Unpark duplicates only after the fill above, so they hit it.
+    if (coalescing) ReleaseInflight(cached, bound_values);
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     pending_.fetch_sub(1, std::memory_order_relaxed);
     done(std::move(answer));
@@ -406,6 +505,14 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
     pool_.Submit([this, query = request.query, limits = request.limits,
                   sink = std::move(sink), done = std::move(done), admitted] {
       std::shared_lock<std::shared_mutex> serving(serve_mutex_);
+      if (limits.deadline.has_value() &&
+          std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
+        deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+        queries_served_.fetch_add(1, std::memory_order_relaxed);
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        done(DeadlineShedAnswer());
+        return;
+      }
       QueryEngine engine(options_.engine);
       QueryAnswer answer = engine.Run(program_, query, db_, limits, sink,
                                       admitted);
@@ -416,35 +523,8 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
     return;
   }
 
-  const Strategy strategy =
-      request.strategy.value_or(options_.engine.strategy);
-  if (!IsRewritingStrategy(strategy)) {
-    // Non-rewriting fallback: these strategies evaluate the original
-    // program (top-down additionally adorns it, mutating the Universe), so
-    // they run under the exclusive lock, serialized against everything.
-    if (!Admit(enforce_admission)) {
-      done(OverloadedAnswer());
-      return;
-    }
-    EngineOptions engine_options = options_.engine;
-    engine_options.strategy = strategy;
-    engine_options.sip = request.sip.value_or(options_.engine.sip);
-    const auto admitted = std::chrono::steady_clock::now();
-    pool_.Submit([this, query = request.query, limits = request.limits,
-                  engine_options, sink = std::move(sink),
-                  done = std::move(done), admitted] {
-      std::unique_lock<std::shared_mutex> exclusive(serve_mutex_);
-      QueryEngine engine(engine_options);
-      QueryAnswer answer = engine.Run(program_, query, db_, limits, sink,
-                                      admitted);
-      fallback_served_.fetch_add(1, std::memory_order_relaxed);
-      queries_served_.fetch_add(1, std::memory_order_relaxed);
-      pending_.fetch_sub(1, std::memory_order_relaxed);
-      done(std::move(answer));
-    });
-    return;
-  }
-
+  // Every derived-predicate strategy — rewriting or not — resolves to a
+  // compiled plan; there is no exclusive-locked fallback path anymore.
   const FormKey key = MakeKey(request);
   CachedForm* cached = GetOrCompile(request, key);
   if (cached->form == nullptr) {
@@ -473,15 +553,6 @@ Result<QueryService::FormHandle> QueryService::Prepare(
     return Status::InvalidArgument(
         "base-predicate queries need no preparation; use Submit/Answer "
         "directly");
-  }
-  const Strategy strategy =
-      request.strategy.value_or(options_.engine.strategy);
-  if (!IsRewritingStrategy(strategy)) {
-    return Status::InvalidArgument(
-        "only rewriting strategies compile to form handles (got " +
-        StrategyName(strategy) +
-        "); Submit serves non-rewriting strategies via the exclusive "
-        "fallback");
   }
   CachedForm* cached = GetOrCompile(request, MakeKey(request));
   if (cached->form == nullptr) return cached->error;
@@ -653,12 +724,13 @@ std::string QueryService::Stats::Summary() const {
       "%zu form(s) compiled, %zu form-cache hit(s); answer cache: "
       "%" PRIu64 " hit(s), %" PRIu64 " miss(es), %zu served from cache "
       "(%zu subsumed), %" PRIu64 " eviction(s), %zu/%zu byte(s); "
-      "served %zu (%zu fallback, %zu overloaded); form rows %" PRIu64
-      " (%" PRIu64 " truncated)",
+      "served %zu (%zu coalesced, %zu deadline-shed, %zu overloaded); "
+      "form rows %" PRIu64 " (%" PRIu64 " truncated)",
       forms_compiled, form_cache_hits, answer_cache.hits,
       answer_cache.misses, answers_from_cache, answers_subsumed,
       answer_cache.evictions, answer_cache.bytes, answer_cache.max_bytes,
-      queries_served, fallback_served, overloaded, all.rows, all.truncated);
+      queries_served, coalesced, deadline_shed, overloaded, all.rows,
+      all.truncated);
   return buffer;
 }
 
@@ -670,11 +742,13 @@ std::string QueryService::Stats::JsonFragment() const {
       "\"forms_compiled\":%zu,\"form_cache_hits\":%zu,"
       "\"answer_hits\":%" PRIu64 ",\"answer_misses\":%" PRIu64
       ",\"answers_from_cache\":%zu,\"answers_subsumed\":%zu,"
+      "\"coalesced\":%zu,\"deadline_shed\":%zu,"
       "\"answer_evictions\":%" PRIu64 ",\"answer_bytes\":%zu,"
       "\"form_rows\":%" PRIu64 ",\"form_truncated\":%" PRIu64,
       forms_compiled, form_cache_hits, answer_cache.hits,
-      answer_cache.misses, answers_from_cache, answers_subsumed,
-      answer_cache.evictions, answer_cache.bytes, all.rows, all.truncated);
+      answer_cache.misses, answers_from_cache, answers_subsumed, coalesced,
+      deadline_shed, answer_cache.evictions, answer_cache.bytes, all.rows,
+      all.truncated);
   return buffer;
 }
 
@@ -685,10 +759,11 @@ QueryService::Stats QueryService::stats() const {
   stats.form_cache_hits = form_cache_hits_;
   stats.queries_served = queries_served_.load(std::memory_order_relaxed);
   stats.overloaded = overloaded_.load(std::memory_order_relaxed);
-  stats.fallback_served = fallback_served_.load(std::memory_order_relaxed);
   stats.answers_from_cache =
       answers_from_cache_.load(std::memory_order_relaxed);
   stats.answers_subsumed = answers_subsumed_.load(std::memory_order_relaxed);
+  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+  stats.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
   stats.answer_cache = cache_.stats();
   for (const auto& [key, cached] : forms_) {
     if (cached.form == nullptr) continue;

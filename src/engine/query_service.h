@@ -41,13 +41,19 @@ struct QueryServiceOptions {
   /// Byte budget of the cross-query AnswerCache (memoized completed
   /// answers keyed by form, seed, and database epoch). 0 disables
   /// memoization entirely. Warm hits are served inline on the calling
-  /// thread — no universe lock, no worker, no admission slot.
+  /// thread — no worker, no admission slot.
   size_t cache_bytes = size_t{64} << 20;
   /// Subsumption fast path: when the exact (form, seed) entry misses but
   /// the same predicate's fully-free form has a cached complete answer
   /// set for the current epoch, serve the bound instance by filtering it
   /// (and promote the filtered result to an exact entry).
   bool cache_subsumption = true;
+  /// Request coalescing: when an identical (form, seed) instance is
+  /// already evaluating, park the duplicate until the first evaluation
+  /// fills the AnswerCache instead of evaluating it again. Requires the
+  /// cache (a parked request is served from the leader's fill); with
+  /// cache_bytes = 0 coalescing is off regardless.
+  bool coalesce_requests = true;
   /// Defaults for requests that don't override strategy/sip; `eval` and
   /// `guard_mode` always come from here.
   EngineOptions engine;
@@ -106,11 +112,15 @@ class AnswerCursor {
 /// query forms) is the seam this exploits: each distinct query form —
 /// (predicate, adornment, strategy, sip) — is compiled exactly once via
 /// PreparedQueryForm::Prepare and cached, and every instance of the form is
-/// just a per-query seed over the same rewritten program. Per-query seeds
-/// are independent (Drabent, arXiv:1012.2299), so instances evaluate
-/// concurrently on a fixed thread pool without re-running the
-/// transformation — and can stop early (row limits, deadlines,
-/// cancellation) without affecting any other instance.
+/// just a per-query seed over the same compiled plan. This now holds for
+/// *every* strategy: naive/semi-naive/top-down compile to plans too (the
+/// plan is the original/adorned program plus the instance machinery), so
+/// there is no exclusive-locked fallback path — all strategies serve in
+/// parallel under the same shared lock. Per-query seeds are independent
+/// (Drabent, arXiv:1012.2299), so instances evaluate concurrently on a
+/// fixed thread pool without re-running the transformation — and can stop
+/// early (row limits, deadlines, cancellation) without affecting any other
+/// instance.
 ///
 /// Two tiers of API:
 ///   * Request tier: Submit/TrySubmit/Answer/AnswerBatch/Stream take a
@@ -124,11 +134,13 @@ class AnswerCursor {
 /// Both tiers sit behind the cross-query AnswerCache: a completed clean
 /// answer (outcome kOk) is memoized under (form, seed, database epoch),
 /// and a repeated seed is then served inline on the calling thread — no
-/// universe lock, no worker, no admission slot. Any EDB write advances
-/// Database::epoch() and makes every earlier entry unreachable, so
-/// alternating write/serve phases never see stale answers. Truncated,
-/// deadline-expired, cancelled, and failed answers are never cached;
-/// base-predicate and non-rewriting-fallback requests bypass the cache.
+/// worker, no admission slot. Any EDB write advances Database::epoch() and
+/// makes every earlier entry unreachable, so alternating write/serve
+/// phases never see stale answers. Truncated, deadline-expired, cancelled,
+/// and failed answers are never cached; base-predicate requests bypass the
+/// cache. Two requests for an identical (form, seed) miss that are in
+/// flight at once coalesce: the first evaluates and fills, the duplicate
+/// parks and is served from the fill (see coalesce_requests).
 ///
 /// Concurrency contract:
 ///   * The Program and Database must outlive the service and must not be
@@ -136,19 +148,25 @@ class AnswerCursor {
 ///     externally synchronized quiescent point) EDB writes are fine: the
 ///     next request observes the new epoch and re-evaluates.
 ///   * All public methods may be called from any number of threads.
-///   * Form compilation mutates the shared Universe (it interns symbols and
-///     declares adorned/magic predicates), so it runs under an exclusive
-///     lock that excludes all concurrent evaluation; cached forms are
-///     served under a shared lock. Steady-state traffic therefore runs
-///     fully in parallel, limited only by the pool size.
-///   * Non-rewriting strategies (naive/semi-naive/top-down) have no
-///     compiled form; their requests evaluate under the exclusive lock
-///     (top-down adornment mutates the Universe), serialized with respect
-///     to everything else. A compatibility path, not a fast path.
+///   * Form compilation — including top-down adornment and the rewrites'
+///     declarations — writes only into the plan's own Universe overlay
+///     (the base Universe is frozen underneath it), so compiling needs no
+///     universe lock and runs concurrently with all in-flight evaluation,
+///     serialized only on the form-cache mutex.
+///   * The request path takes `serve_mutex_` shared, never exclusive. The
+///     exclusive mode exists solely as the quiescent-point seam for EDB
+///     writers (a writer that wants in-band quiescence can take it
+///     exclusive; the in-tree contract keeps writes externally
+///     synchronized).
 ///   * Worker-side term interning (the matcher's affine/compound
 ///     construction) is safe because TermArena is internally synchronized.
 ///   * Answer sinks and cursor buffers are touched only by the evaluating
 ///     worker and the consumer, under the cursor's own mutex.
+///   * Lock order: serve_mutex_ (shared) -> inflight_mutex_ -> form_mutex_
+///     -> pool/cursor internals. form_mutex_ nests inside the serve lock
+///     now that compilation no longer takes serve_mutex_, which is what
+///     lets workers run the full cache probe (including the subsumption
+///     sibling lookup) on the second-chance path.
 class QueryService {
  private:
   struct CachedForm;
@@ -180,15 +198,18 @@ class QueryService {
 
   /// Compiles (or fetches from the cache) the query form of
   /// `request.query`'s binding pattern and returns a stable handle to it.
-  /// Requires a derived-predicate query and a rewriting strategy:
-  /// base-predicate queries need no preparation, and the non-rewriting
-  /// strategies have no compiled artifact (Submit serves both).
+  /// Requires a derived-predicate query (base-predicate queries need no
+  /// preparation; Submit serves them directly). Every strategy compiles —
+  /// naive/semi-naive/top-down handles serve under the shared lock like
+  /// the rewriting ones.
   Result<FormHandle> Prepare(const QueryRequest& request);
 
   /// Enqueues one query; the future resolves when a worker has evaluated
   /// it. Compilation of a not-yet-cached form happens on the calling
   /// thread. `request.limits` are enforced during evaluation; the deadline
-  /// is anchored here, so queue wait counts against it.
+  /// is anchored here, so queue wait counts against it (a request whose
+  /// deadline expires before a worker picks it up completes
+  /// kDeadlineExceeded without entering the fixpoint).
   std::future<QueryAnswer> Submit(const QueryRequest& request);
 
   /// Handle hot path: evaluates one instance of a prepared form. Skips the
@@ -238,16 +259,25 @@ class QueryService {
     size_t queries_served = 0;
     /// TrySubmit rejections (never evaluated, not counted as served).
     size_t overloaded = 0;
-    /// Requests served via the exclusive-locked non-rewriting fallback.
-    size_t fallback_served = 0;
     /// Requests served from the AnswerCache (no evaluation ran).
     size_t answers_from_cache = 0;
     /// Of those, requests served by filtering a fully-free cached entry.
     size_t answers_subsumed = 0;
+    /// Duplicate (form, seed) misses parked behind an in-flight identical
+    /// evaluation instead of evaluating again (request coalescing).
+    size_t coalesced = 0;
+    /// Queued requests whose deadline had already expired when a worker
+    /// picked them up; completed kDeadlineExceeded without evaluating.
+    size_t deadline_shed = 0;
     /// Raw cross-query answer-cache counters.
     AnswerCache::Stats answer_cache;
 
-    /// Per-form serving counters, one entry per successfully compiled form.
+    /// Per-form serving counters, one entry per successfully compiled
+    /// form. `queries` counts instances that produced an answer from the
+    /// form (evaluated or cache-served); requests that never reached it —
+    /// deadline-shed and overloaded ones — are excluded here and appear
+    /// only in the service-wide deadline_shed/overloaded counters, so
+    /// per-form latency/row ratios stay ratios over real answers.
     struct FormStats {
       std::string pred;       // predicate name
       std::string adornment;  // e.g. "bf"
@@ -303,9 +333,8 @@ class QueryService {
 
   /// A compilation outcome. Failures are cached too (they are
   /// deterministic per form key), so a stream of unpreparable requests
-  /// pays the exclusive compile lock once, not per request. Lives at a
-  /// stable address (unordered_map nodes don't move), so FormHandles can
-  /// point into it.
+  /// pays the compile once, not per request. Lives at a stable address
+  /// (unordered_map nodes don't move), so FormHandles can point into it.
   struct CachedForm {
     std::unique_ptr<PreparedQueryForm> form;  // null when compilation failed
     Status error;
@@ -321,18 +350,31 @@ class QueryService {
 
   using Completion = std::function<void(QueryAnswer)>;
 
+  /// Key of the in-flight coalescing table: one evaluating instance.
+  struct InflightKey {
+    CachedForm* form = nullptr;
+    std::vector<TermId> seed;
+    bool operator==(const InflightKey&) const = default;
+  };
+  struct InflightKeyHash {
+    size_t operator()(const InflightKey& key) const;
+  };
+
   FormKey MakeKey(const QueryRequest& request) const;
 
   /// Looks up or compiles the form for `request`. Never returns null; a
-  /// compilation failure is a CachedForm with a null `form`.
+  /// compilation failure is a CachedForm with a null `form`. Compilation
+  /// writes only into the plan's Universe overlay, so this holds only
+  /// form_mutex_ — no universe/serve lock.
   CachedForm* GetOrCompile(const QueryRequest& request, const FormKey& key);
 
   /// Reserves one admission slot. Returns false (and leaves no slot taken)
   /// when `enforce_admission` and the bounded queue is full.
   bool Admit(bool enforce_admission);
   QueryAnswer OverloadedAnswer() const;
+  QueryAnswer DeadlineShedAnswer() const;
 
-  /// Resolves `request` on the calling thread (form cache, fallback
+  /// Resolves `request` on the calling thread (form cache, base-predicate
   /// routing) and dispatches its evaluation; `done` is invoked exactly once
   /// with the final answer — inline for compile errors, admission
   /// rejections, and answer-cache hits, from a worker otherwise.
@@ -341,17 +383,25 @@ class QueryService {
 
   /// The handle hot path: an answer-cache probe, then (on a miss) one
   /// shared-lock acquire plus pool dispatch; clean complete answers fill
-  /// the cache on the way out.
+  /// the cache on the way out. Identical in-flight misses coalesce here:
+  /// a duplicate is admitted first (it holds an admission slot while
+  /// parked, so max_pending backpressure sees it), then parks behind the
+  /// leader. `admitted_at` is the request's original admission anchor —
+  /// a parked duplicate passes it through its re-dispatch, so its
+  /// deadline keeps counting queue *and* park time and is shed, never
+  /// re-anchored, when it expires.
   void DispatchForm(CachedForm* cached, std::vector<TermId> bound_values,
                     QueryLimits limits, AnswerSink sink,
-                    bool enforce_admission, Completion done);
+                    bool enforce_admission, Completion done,
+                    std::optional<std::chrono::steady_clock::time_point>
+                        admitted_at = std::nullopt);
 
   /// Serves `cached`'s instance from the AnswerCache when possible
   /// (exact-key hit, or the fully-free subsumption fast path). `epoch` is
   /// the database epoch read once per request — writes only happen at
   /// quiescent points, so it cannot move while the request is in flight.
   /// Returns true when `done` was invoked — inline, on the calling
-  /// thread, with no universe lock, worker, or admission slot involved.
+  /// thread, with no worker or admission slot involved.
   bool TryServeCached(CachedForm* cached,
                       const std::vector<TermId>& bound_values, uint64_t epoch,
                       const QueryLimits& limits, const AnswerSink& sink,
@@ -369,8 +419,18 @@ class QueryService {
   /// predicate, strategy, and sip; every goal argument a distinct
   /// variable), or null if none was ever compiled. A found sibling is
   /// memoized on `cached` (forms_ entries are never erased, so the
-  /// pointer stays valid), so steady-state probes skip form_mutex_.
+  /// pointer stays valid), so steady-state probes skip form_mutex_. The
+  /// un-memoized probe only try-locks form_mutex_: subsumption is an
+  /// optimization, and stalling an evaluating worker behind an in-flight
+  /// compilation (which holds form_mutex_ for the whole adorn+rewrite)
+  /// would cost more than skipping the fast path once.
   CachedForm* FindFreeSibling(CachedForm* cached);
+
+  /// Leader-side exit of the coalescing table: unregisters the in-flight
+  /// (form, seed) entry and re-dispatches every parked duplicate (each
+  /// re-probes the cache, which the leader just filled on the clean path).
+  void ReleaseInflight(CachedForm* cached,
+                       const std::vector<TermId>& bound_values);
 
   std::future<QueryAnswer> SubmitImpl(const QueryRequest& request,
                                       bool enforce_admission);
@@ -388,24 +448,33 @@ class QueryService {
   const Database& db_;
   QueryServiceOptions options_;
 
-  /// Exclusive = universe-mutating compilation and the non-rewriting
-  /// fallback; shared = prepared-form and base-predicate evaluation.
+  /// Shared = every request (all strategies; compilation does not touch
+  /// it). Exclusive is reserved for EDB-write quiescent points — nothing
+  /// on the request path takes it exclusive anymore.
   std::shared_mutex serve_mutex_;
 
-  /// Lock order: form_mutex_ may be held while acquiring serve_mutex_
-  /// (compilation); workers hold serve_mutex_ shared and never touch
-  /// form_mutex_, so the order cannot cycle.
-  mutable std::mutex form_mutex_;  // guards forms_ and the compile counters
+  /// Guards forms_ and the compile counters. Nests inside serve_mutex_
+  /// (workers may probe the form cache for the subsumption sibling) and
+  /// inside inflight_mutex_ never — see the lock order above.
+  mutable std::mutex form_mutex_;
   std::unordered_map<FormKey, CachedForm, FormKeyHash> forms_;
   size_t forms_compiled_ = 0;
   size_t form_cache_hits_ = 0;
   std::atomic<size_t> queries_served_{0};
-  std::atomic<size_t> fallback_served_{0};
   std::atomic<size_t> overloaded_{0};
   std::atomic<size_t> answers_from_cache_{0};
   std::atomic<size_t> answers_subsumed_{0};
+  std::atomic<size_t> coalesced_{0};
+  std::atomic<size_t> deadline_shed_{0};
   /// Requests submitted but not yet completed (admission-control depth).
   std::atomic<size_t> pending_{0};
+
+  /// In-flight evaluations keyed by (form, seed); the mapped value holds
+  /// the parked duplicates' re-dispatch closures.
+  std::mutex inflight_mutex_;
+  std::unordered_map<InflightKey, std::vector<std::function<void()>>,
+                     InflightKeyHash>
+      inflight_;
 
   /// Cross-query answer memo; internally synchronized (lock-free hit
   /// path), so it sits outside the serve/form lock order entirely.

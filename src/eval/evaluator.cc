@@ -64,7 +64,7 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
   EvalResult result;
   result.status = Status::OK();
   Stopwatch watch;
-  Universe& u = program.u();
+  const Universe& u = program.u();
 
   StopReason stop = StopReason::kNone;
   auto control_stop = [&]() -> bool {

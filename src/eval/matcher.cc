@@ -9,7 +9,7 @@ namespace magic {
 // functions below therefore copy the fields they need *before* creating new
 // terms; do not "simplify" them back to holding references.
 
-bool MatchTerm(Universe& u, TermId pattern, TermId ground,
+bool MatchTerm(const Universe& u, TermId pattern, TermId ground,
                Substitution* subst) {
   const TermData& p = u.terms().Get(pattern);
   if (p.ground) {
@@ -63,7 +63,7 @@ bool MatchTerm(Universe& u, TermId pattern, TermId ground,
   }
 }
 
-TermId SubstituteGround(Universe& u, TermId pattern,
+TermId SubstituteGround(const Universe& u, TermId pattern,
                         const Substitution& subst) {
   const TermData& p = u.terms().Get(pattern);
   if (p.ground) return pattern;

@@ -52,13 +52,17 @@ class Substitution {
 /// the counting method's index arithmetic "backwards" (the paper's h/t
 /// notation in modified rules).
 ///
-/// `u` is non-const because successful matches may intern new integer terms.
-bool MatchTerm(Universe& u, TermId pattern, TermId ground, Substitution* subst);
+/// Successful matches may intern new integer terms; that goes through the
+/// internally synchronized TermArena, so `u` is const — evaluation never
+/// needs a mutable Universe.
+bool MatchTerm(const Universe& u, TermId pattern, TermId ground,
+               Substitution* subst);
 
 /// Applies `subst` to `pattern` and returns a fully ground term, or
 /// kInvalidTerm if some variable is unbound (or an affine expression is
 /// applied to a non-integer binding).
-TermId SubstituteGround(Universe& u, TermId pattern, const Substitution& subst);
+TermId SubstituteGround(const Universe& u, TermId pattern,
+                        const Substitution& subst);
 
 }  // namespace magic
 

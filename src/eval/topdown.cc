@@ -8,11 +8,16 @@ namespace magic {
 
 std::vector<std::vector<TermId>> TopDownResult::QueryAnswers(
     const Universe& u, const AdornedProgram& adorned, PredId pred) const {
+  return QueryAnswers(u, adorned.query, pred);
+}
+
+std::vector<std::vector<TermId>> TopDownResult::QueryAnswers(
+    const Universe& u, const Query& instance, PredId pred) const {
   std::vector<std::vector<TermId>> out;
   auto it = answers.find(pred);
   if (it == answers.end()) return out;
   const Relation& rel = it->second;
-  const Literal& goal = adorned.query.goal;
+  const Literal& goal = instance.goal;
   for (size_t row = 0; row < rel.size(); ++row) {
     std::span<const TermId> tuple = rel.Row(row);
     bool match = true;
@@ -30,10 +35,16 @@ std::vector<std::vector<TermId>> TopDownResult::QueryAnswers(
 TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
                                  const Database& edb,
                                  const EvalControl* control) const {
+  return Run(adorned, adorned.query, edb, control);
+}
+
+TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
+                                 const Query& instance, const Database& edb,
+                                 const EvalControl* control) const {
   TopDownResult result;
   result.status = Status::OK();
   Stopwatch watch;
-  Universe& u = *adorned.program.universe();
+  const Universe& u = *adorned.program.universe();
 
   // Deadline/cancellation polling, shared with the bottom-up evaluator.
   StopReason stop = StopReason::kNone;
@@ -57,9 +68,10 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
     return result.answers.find(pred) != result.answers.end();
   };
 
-  // Seed with the given query.
+  // Seed with the given query instance (the only per-instance input; the
+  // adorned program itself is shared and immutable).
   {
-    std::vector<TermId> seed = QueryBoundArgs(u, adorned.query);
+    std::vector<TermId> seed = QueryBoundArgs(u, instance);
     result.queries.at(adorned.query_pred).Insert(seed);
   }
 

@@ -38,6 +38,12 @@ struct TopDownResult {
   std::vector<std::vector<TermId>> QueryAnswers(const Universe& u,
                                                 const AdornedProgram& adorned,
                                                 PredId pred) const;
+  /// Same, restricted to `instance`'s bound constants instead of the
+  /// adorned exemplar's (the compile-once/query-many reading: one adorned
+  /// program, many seeds).
+  std::vector<std::vector<TermId>> QueryAnswers(const Universe& u,
+                                                const Query& instance,
+                                                PredId pred) const;
 };
 
 /// A memoizing top-down evaluator in the QSQR / extension-table style: the
@@ -57,6 +63,16 @@ class TopDownEngine {
   /// `sink_pred`/`on_fact` hook observes new facts of that adorned
   /// predicate's *answer* table.
   TopDownResult Run(const AdornedProgram& adorned, const Database& edb,
+                    const EvalControl* control = nullptr) const;
+
+  /// Per-instance entry: evaluates the (immutable, compiled-once) adorned
+  /// program seeded from `instance` — a query of the exemplar's form with
+  /// its own constants at the bound positions. `adorned` is read-only and
+  /// the run touches no mutable Universe state (terms intern through the
+  /// internally synchronized arena), so concurrent Runs over one shared
+  /// AdornedProgram are safe.
+  TopDownResult Run(const AdornedProgram& adorned, const Query& instance,
+                    const Database& edb,
                     const EvalControl* control = nullptr) const;
 
  private:

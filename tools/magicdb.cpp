@@ -26,7 +26,10 @@
 // Batch answers stream through AnswerCursor as they are derived (chunked,
 // in derivation order, not sorted); single-query answers stay sorted. The
 // exit status is nonzero when any query fails (including deadline expiry;
-// hitting --limit is a success).
+// hitting --limit is a success). Every strategy — including naive,
+// seminaive, and topdown — is compiled once per query form and served
+// concurrently across the worker pool (there is no serialized fallback
+// path), and all of them share the AnswerCache.
 //
 // Examples:
 //   magicdb --strategy gms --explain --stats family.dl
