@@ -30,6 +30,14 @@
 //           their thread scaling is the fallback-removal win. Capped at
 //           16 queries: each instance evaluates the whole (adorned)
 //           program, so the uncapped count would dominate the run.
+//   mutate  read QPS under a background write mix: the usual seed
+//           traffic is served (AnswerCache ON, default budget) while a
+//           writer thread toggles a disconnected edge through
+//           QueryService::ApplyWrites — every batch drains the pool and
+//           retires the cache by epoch, so the line prices live EDB
+//           mutation (writes_applied/write_drain_ns ride in the stats
+//           fields). The database is restored afterwards, so later modes
+//           and thread counts see the same EDB.
 //
 // Workloads: `ancestor` (chain of 256), `samegen` (10x6 grid), or `all`
 // (default). Indexes and the form cache are warmed before measuring so
@@ -43,13 +51,17 @@
 // its queries/seconds/qps/answers fields describe the timed pass only.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "engine/query_service.h"
+#include "storage/write_batch.h"
 #include "util/stopwatch.h"
 #include "workload/generators.h"
 
@@ -184,7 +196,7 @@ std::pair<size_t, size_t> ServeSeeds(
   return {answers, failures};
 }
 
-void RunCase(const BenchCase& c, size_t max_threads,
+void RunCase(BenchCase& c, size_t max_threads,
              const std::string& mode) {
   // Warm up: build the EDB indexes and intern everything once so every
   // measured thread count does identical work.
@@ -195,6 +207,22 @@ void RunCase(const BenchCase& c, size_t max_threads,
     (void)warmup.AnswerBatch(c.batch);
   }
   std::vector<std::vector<TermId>> seeds = SeedValues(c);
+
+  // The mutate mode's toggled edge: two fresh constants (interned now, at
+  // a quiescent point — never while a service is live) on some arity-2
+  // base relation of the workload. The nodes are disconnected from every
+  // query seed, so answers are unchanged; only the epoch moves.
+  const TermId mut_a = c.workload.universe->Constant("mut_a");
+  const TermId mut_b = c.workload.universe->Constant("mut_b");
+  PredId mutate_pred = 0;
+  bool mutate_pred_found = false;
+  for (const auto& [pred, rel] : c.workload.db.relations()) {
+    if (rel.arity() == 2) {
+      mutate_pred = pred;
+      mutate_pred_found = true;
+      break;
+    }
+  }
   for (size_t threads = 1; threads <= max_threads; threads *= 2) {
     QueryServiceOptions options;
     options.num_threads = threads;
@@ -316,6 +344,52 @@ void RunCase(const BenchCase& c, size_t max_threads,
       }
     }
 
+    if ((mode == "mutate" || mode == "all") && mutate_pred_found) {
+      // Reads under a write mix: cache ON (the default budget) so the
+      // line prices what live traffic would feel — warm hits until a
+      // write retires them, a drain per batch, refills after.
+      QueryServiceOptions mutate_options = options;
+      mutate_options.cache_bytes = QueryServiceOptions{}.cache_bytes;
+      QueryService service(c.workload.program, c.workload.db,
+                           mutate_options);
+      QueryRequest exemplar;
+      exemplar.query = c.workload.query;
+      auto handle = service.Prepare(exemplar);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "bench_throughput: %s\n",
+                     handle.status().ToString().c_str());
+        return;
+      }
+      std::atomic<bool> stop{false};
+      std::thread writer([&] {
+        bool present = false;
+        while (!stop.load(std::memory_order_relaxed)) {
+          WriteBatch batch;
+          if (present) {
+            batch.Retract(mutate_pred, {mut_a, mut_b});
+          } else {
+            batch.Insert(mutate_pred, {mut_a, mut_b});
+          }
+          if (service.ApplyWrites(batch).ok()) present = !present;
+          // Throttle so the exclusive seam doesn't starve the readers —
+          // this is a write *mix*, not a write flood.
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        if (present) {
+          WriteBatch undo;
+          undo.Retract(mutate_pred, {mut_a, mut_b});
+          (void)service.ApplyWrites(undo);  // restore the baseline EDB
+        }
+      });
+      Stopwatch watch;
+      auto [total_answers, failures] = ServeSeeds(service, *handle, seeds);
+      double seconds = watch.ElapsedSeconds();
+      stop.store(true, std::memory_order_relaxed);
+      writer.join();
+      EmitLine(c, "mutate", threads, seeds.size(), seconds, total_answers,
+               failures, service.stats());
+    }
+
     if (mode == "stream" || mode == "all") {
       QueryService service(c.workload.program, c.workload.db, options);
       QueryRequest exemplar;
@@ -363,10 +437,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       mode = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_throughput [--threads N] [--queries M] "
-                   "[--workload ancestor|samegen|all] "
-                   "[--mode batch|handle|limit1|stream|repeat|strategy|all]\n");
+      std::fprintf(
+          stderr,
+          "usage: bench_throughput [--threads N] [--queries M] "
+          "[--workload ancestor|samegen|all] "
+          "[--mode batch|handle|limit1|stream|repeat|strategy|mutate|all]"
+          "\n");
       return 2;
     }
   }
@@ -378,16 +454,18 @@ int main(int argc, char** argv) {
   }
   if (mode != "batch" && mode != "handle" && mode != "limit1" &&
       mode != "stream" && mode != "repeat" && mode != "strategy" &&
-      mode != "all") {
+      mode != "mutate" && mode != "all") {
     std::fprintf(stderr, "bench_throughput: unknown mode \"%s\"\n",
                  mode.c_str());
     return 2;
   }
   if (workload == "ancestor" || workload == "all") {
-    RunCase(MakeAncestorCase(queries), max_threads, mode);
+    BenchCase c = MakeAncestorCase(queries);
+    RunCase(c, max_threads, mode);
   }
   if (workload == "samegen" || workload == "all") {
-    RunCase(MakeSameGenCase(queries), max_threads, mode);
+    BenchCase c = MakeSameGenCase(queries);
+    RunCase(c, max_threads, mode);
   }
   return 0;
 }

@@ -7,11 +7,18 @@
 #   scripts/bench_trajectory.sh [bench-binary] [label] [output-file]
 #
 # Environment: THREADS (default 4), QUERIES (default 256), MODE (default
-# all — includes the `repeat` zipfian cold/warm AnswerCache mode, whose
-# repeat_cold/repeat_warm line pair records the memoization speedup, and
-# the `strategy` mode, whose strategy_seminaive/strategy_topdown lines
-# record non-rewriting handle QPS vs. threads — the win from removing the
-# exclusive-locked fallback). Run from the repository root.
+# all — includes the `repeat` zipfian cold/warm AnswerCache mode, the
+# `strategy` non-rewriting-handle mode, and the `mutate` mode, whose line
+# records read QPS while a writer thread mutates the EDB through the
+# service's write seam). Run from the repository root.
+#
+# The output file only ever grows by complete, validated records: the
+# bench writes to a temp file, complete records are labelled into a
+# staging file (a line that doesn't terminate in `}` — a bench crash
+# mid-print — is dropped with a warning), the staging file is checked
+# line-by-line as JSON, and only then appended to the output in one step.
+# A bench failure still fails this script, but it can never leave a
+# partial line corrupting the trajectory.
 set -eu
 
 BIN=${1:-./build/bench_throughput}
@@ -19,16 +26,41 @@ LABEL=${2:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabelled)}
 OUT=${3:-BENCH_throughput.json}
 CORES=$(nproc 2>/dev/null || echo 1)
 
-# Run to a temp file first so a bench failure fails this script (a pipe
-# into `while read` would swallow the bench's exit status under POSIX sh).
 TMP=$(mktemp)
-trap 'rm -f "$TMP"' EXIT
+STAGE=$(mktemp)
+trap 'rm -f "$TMP" "$STAGE"' EXIT
+
+# Run to a temp file first, capturing the exit status (a pipe into
+# `while read` would swallow it under POSIX sh; dying here would drop the
+# records a partial run did complete).
+bench_status=0
 "$BIN" --threads "${THREADS:-4}" --queries "${QUERIES:-256}" \
-       --mode "${MODE:-all}" > "$TMP"
+       --mode "${MODE:-all}" > "$TMP" || bench_status=$?
 
 while IFS= read -r line; do
-  printf '{"label":"%s","cores":%s,%s\n' "$LABEL" "$CORES" "${line#\{}" \
-    >> "$OUT"
+  case $line in
+    '{'*'}')
+      printf '{"label":"%s","cores":%s,%s\n' "$LABEL" "$CORES" "${line#\{}" \
+        >> "$STAGE"
+      ;;
+    *)
+      printf 'bench_trajectory: dropping partial record: %s\n' "$line" >&2
+      ;;
+  esac
 done < "$TMP"
 
+# Every staged line must parse as JSON before it may reach $OUT.
+if command -v python3 >/dev/null 2>&1; then
+  python3 -c 'import json, sys
+for n, line in enumerate(open(sys.argv[1]), 1):
+    try:
+        json.loads(line)
+    except ValueError as e:
+        raise SystemExit(f"bench_trajectory: bad JSON on staged line {n}: {e}")' "$STAGE"
+fi
+
+# One atomic append of the whole validated staging file.
+cat "$STAGE" >> "$OUT"
+
 tail -n 5 "$OUT"
+exit "$bench_status"

@@ -143,6 +143,13 @@ QueryService::QueryService(const Program& program, const Database& db,
       pool_(options_.num_threads != 0 ? options_.num_threads
                                       : std::thread::hardware_concurrency()) {}
 
+QueryService::QueryService(const Program& program, Database& db,
+                           QueryServiceOptions options)
+    : QueryService(program, static_cast<const Database&>(db),
+                   std::move(options)) {
+  mutable_db_ = &db;
+}
+
 QueryService::~QueryService() = default;
 
 QueryService::FormKey QueryService::MakeKey(const QueryRequest& request) const {
@@ -228,6 +235,17 @@ bool QueryService::TryServeCached(CachedForm* cached,
   if (bound_values.size() != cached->form->bound_arity()) return false;
   std::shared_ptr<const AnswerCache::Tuples> tuples =
       cache_.Get(CacheTag(cached->form.get()), bound_values, epoch);
+  // Write-seam fence. Workers probe with an epoch read under the shared
+  // serve lock (a writer holds it exclusive, so this re-check is
+  // vacuously true for them), but the inline path is lock-free: a batch
+  // could have applied entirely between the caller's epoch load and this
+  // probe. Re-check before serving the hit — and before the subsumption
+  // filter below spends O(answer set) producing a fill a racing write
+  // already orphaned — and fall through to dispatch instead, whose
+  // worker waits out the writer and re-probes at the new epoch. A write
+  // landing after this check is fine: the request was in flight before
+  // the write's quiescent point, so the answer linearizes before it.
+  if (db_.epoch() != epoch) return false;
   bool subsumed = false;
   if (tuples == nullptr && options_.cache_subsumption &&
       !bound_values.empty()) {
@@ -351,21 +369,12 @@ void QueryService::DispatchForm(
     CachedForm* cached, std::vector<TermId> bound_values, QueryLimits limits,
     AnswerSink sink, bool enforce_admission, Completion done,
     std::optional<std::chrono::steady_clock::time_point> admitted_at) {
-  // One epoch read per request: it is both the probe key and the fill
-  // key. Writes happen only at quiescent points (no queries in flight),
-  // so the epoch cannot move while this request is anywhere between
-  // dispatch and completion — and capturing it before evaluation reads
-  // the database means an entry can never claim to be fresher than the
-  // data it was computed from.
-  const uint64_t epoch = cache_.enabled() ? db_.epoch() : 0;
-  if (cache_.enabled() &&
-      TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
-    return;  // warm hit: completed inline, nothing dispatched
-  }
-
   // The deadline anchor survives coalescing round-trips: a parked
   // duplicate re-enters here with its original `admitted_at`, so park
-  // time counts against the deadline exactly like queue time does.
+  // time counts against the deadline exactly like queue time does. The
+  // check runs BEFORE the cache probe: an expired request is shed whether
+  // the answer would have been warm or cold — cache temperature must not
+  // turn a kDeadlineExceeded into a kOk.
   const auto admitted = admitted_at.value_or(std::chrono::steady_clock::now());
   if (limits.deadline.has_value() &&
       std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
@@ -373,6 +382,16 @@ void QueryService::DispatchForm(
     queries_served_.fetch_add(1, std::memory_order_relaxed);
     done(DeadlineShedAnswer());
     return;
+  }
+
+  // The inline probe's epoch read is lock-free, so it can race an
+  // ApplyWrites; TryServeCached re-checks the epoch before serving a hit
+  // (see the fence there). The worker path below re-reads the epoch under
+  // the shared serve lock instead, where it is pinned.
+  const uint64_t epoch = cache_.enabled() ? db_.epoch() : 0;
+  if (cache_.enabled() &&
+      TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
+    return;  // warm hit: completed inline, nothing dispatched
   }
 
   if (!Admit(enforce_admission)) {
@@ -416,11 +435,18 @@ void QueryService::DispatchForm(
   pool_.Submit([this, cached, coalescing,
                 bound_values = std::move(bound_values),
                 limits = std::move(limits), sink = std::move(sink),
-                done = std::move(done), admitted, epoch]() mutable {
+                done = std::move(done), admitted]() mutable {
     std::shared_lock<std::shared_mutex> serving(serve_mutex_);
+    // Epoch re-read under the serve lock: an in-band writer holds it
+    // exclusive, so from here to completion the value is pinned — the
+    // second-chance probe and the fill below are keyed by the epoch of
+    // the data this evaluation actually reads, even when the request was
+    // dispatched before a write and evaluated after it.
+    const uint64_t epoch = cache_.enabled() ? db_.epoch() : 0;
     // Deadline-aware dispatch: a request whose deadline expired while it
-    // sat in the pool queue completes immediately — the client is gone;
-    // entering the fixpoint would burn a worker on an unwanted answer.
+    // sat in the pool queue (or waited out a write drain) completes
+    // immediately — the client is gone; entering the fixpoint would burn
+    // a worker on an unwanted answer.
     if (limits.deadline.has_value() &&
         std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
       deadline_shed_.fetch_add(1, std::memory_order_relaxed);
@@ -705,6 +731,33 @@ std::vector<QueryAnswer> QueryService::AnswerBatch(
   return AnswerBatch(batch);
 }
 
+Result<WriteResult> QueryService::ApplyWrites(const WriteBatch& batch) {
+  if (mutable_db_ == nullptr) {
+    return Status::FailedPrecondition(
+        "service was constructed over a const Database; in-band writes "
+        "need the mutable-Database constructor");
+  }
+  // Validate before draining: a malformed batch must never stall serving.
+  MAGIC_RETURN_IF_ERROR(batch.Validate(*program_.universe()));
+  Stopwatch drain;
+  // The drain: exclusive acquisition waits for every in-flight evaluation
+  // (workers hold the lock shared for the whole fixpoint) and holds off
+  // new worker dispatch until release. Inline warm hits stay lock-free;
+  // the epoch fence in TryServeCached keeps them out of the write window.
+  std::unique_lock<std::shared_mutex> quiesce(serve_mutex_);
+  write_drain_ns_.fetch_add(
+      static_cast<uint64_t>(drain.ElapsedSeconds() * 1e9),
+      std::memory_order_relaxed);
+  // Single-threaded application under the seam (validated above, so the
+  // drained window pays no second pass); per-relation epoch bumps and
+  // probe-index rebuilds happen in the storage layer. Holding the seam
+  // exclusive takes no further service lock (serve exclusive -> nothing),
+  // so a writer can never deadlock against dispatch or compilation.
+  WriteResult result = mutable_db_->ApplyValidated(batch);
+  writes_applied_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
 QueryService::Stats::Totals QueryService::Stats::totals() const {
   Totals totals;
   for (const FormStats& form : forms) {
@@ -718,37 +771,39 @@ QueryService::Stats::Totals QueryService::Stats::totals() const {
 
 std::string QueryService::Stats::Summary() const {
   const Totals all = totals();
-  char buffer[512];
+  char buffer[640];
   std::snprintf(
       buffer, sizeof(buffer),
       "%zu form(s) compiled, %zu form-cache hit(s); answer cache: "
       "%" PRIu64 " hit(s), %" PRIu64 " miss(es), %zu served from cache "
       "(%zu subsumed), %" PRIu64 " eviction(s), %zu/%zu byte(s); "
       "served %zu (%zu coalesced, %zu deadline-shed, %zu overloaded); "
+      "%zu write batch(es) applied (drain %.3f ms); "
       "form rows %" PRIu64 " (%" PRIu64 " truncated)",
       forms_compiled, form_cache_hits, answer_cache.hits,
       answer_cache.misses, answers_from_cache, answers_subsumed,
       answer_cache.evictions, answer_cache.bytes, answer_cache.max_bytes,
-      queries_served, coalesced, deadline_shed, overloaded, all.rows,
-      all.truncated);
+      queries_served, coalesced, deadline_shed, overloaded, writes_applied,
+      static_cast<double>(write_drain_ns) / 1e6, all.rows, all.truncated);
   return buffer;
 }
 
 std::string QueryService::Stats::JsonFragment() const {
   const Totals all = totals();
-  char buffer[512];
+  char buffer[640];
   std::snprintf(
       buffer, sizeof(buffer),
       "\"forms_compiled\":%zu,\"form_cache_hits\":%zu,"
       "\"answer_hits\":%" PRIu64 ",\"answer_misses\":%" PRIu64
       ",\"answers_from_cache\":%zu,\"answers_subsumed\":%zu,"
       "\"coalesced\":%zu,\"deadline_shed\":%zu,"
-      "\"answer_evictions\":%" PRIu64 ",\"answer_bytes\":%zu,"
+      "\"writes_applied\":%zu,\"write_drain_ns\":%" PRIu64
+      ",\"answer_evictions\":%" PRIu64 ",\"answer_bytes\":%zu,"
       "\"form_rows\":%" PRIu64 ",\"form_truncated\":%" PRIu64,
       forms_compiled, form_cache_hits, answer_cache.hits,
       answer_cache.misses, answers_from_cache, answers_subsumed, coalesced,
-      deadline_shed, answer_cache.evictions, answer_cache.bytes, all.rows,
-      all.truncated);
+      deadline_shed, writes_applied, write_drain_ns, answer_cache.evictions,
+      answer_cache.bytes, all.rows, all.truncated);
   return buffer;
 }
 
@@ -764,6 +819,8 @@ QueryService::Stats QueryService::stats() const {
   stats.answers_subsumed = answers_subsumed_.load(std::memory_order_relaxed);
   stats.coalesced = coalesced_.load(std::memory_order_relaxed);
   stats.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+  stats.writes_applied = writes_applied_.load(std::memory_order_relaxed);
+  stats.write_drain_ns = write_drain_ns_.load(std::memory_order_relaxed);
   stats.answer_cache = cache_.stats();
   for (const auto& [key, cached] : forms_) {
     if (cached.form == nullptr) continue;

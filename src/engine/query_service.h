@@ -18,6 +18,7 @@
 #include "cache/answer_cache.h"
 #include "engine/prepared.h"
 #include "storage/database.h"
+#include "storage/write_batch.h"
 #include "util/thread_pool.h"
 
 namespace magic {
@@ -106,7 +107,8 @@ class AnswerCursor {
   std::shared_ptr<State> state_;
 };
 
-/// Serves many concurrent queries against one shared read-only Database.
+/// Serves many concurrent queries against one shared Database, quiescent
+/// between ApplyWrites calls (the in-band write seam below).
 ///
 /// The paper's compile-once/query-many reading of magic sets (Section 4's
 /// query forms) is the seam this exploits: each distinct query form —
@@ -142,22 +144,43 @@ class AnswerCursor {
 /// flight at once coalesce: the first evaluates and fills, the duplicate
 /// parks and is served from the fill (see coalesce_requests).
 ///
+/// The EDB is no longer frozen for the service's lifetime: ApplyWrites is
+/// the sanctioned in-band mutation point. It takes `serve_mutex_`
+/// exclusive — draining every in-flight evaluation and holding off new
+/// worker dispatch — applies the batch single-threaded, lets the storage
+/// layer bump each mutated relation's epoch once and rebuild its probe
+/// indices, and releases. Requests that waited out the drain in the pool
+/// queue are shed `kDeadlineExceeded` if their deadline expired meanwhile.
+/// Correctness rides on the paper's equivalence being per database
+/// instance (Bancilhon et al. §4; Drabent, arXiv:1012.2299): the compiled
+/// plans never depend on the EDB contents, so after a write the same plans
+/// serve the new instance — only the AnswerCache entries keyed to older
+/// epochs become unreachable.
+///
 /// Concurrency contract:
-///   * The Program and Database must outlive the service and must not be
-///     mutated while queries are in flight. Between requests (any
-///     externally synchronized quiescent point) EDB writes are fine: the
-///     next request observes the new epoch and re-evaluates.
-///   * All public methods may be called from any number of threads.
+///   * The Program must outlive the service and must not be mutated while
+///     it exists; the Database must outlive it too, and may be mutated
+///     ONLY through ApplyWrites (in-band) or at externally synchronized
+///     quiescent points (no requests in flight) — the latter remains
+///     allowed but discouraged now that the in-band path exists. Either
+///     way the next request observes the new epoch and re-evaluates.
+///   * All public methods may be called from any number of threads;
+///     ApplyWrites serializes against evaluation internally.
 ///   * Form compilation — including top-down adornment and the rewrites'
 ///     declarations — writes only into the plan's own Universe overlay
 ///     (the base Universe is frozen underneath it), so compiling needs no
 ///     universe lock and runs concurrently with all in-flight evaluation,
 ///     serialized only on the form-cache mutex.
 ///   * The request path takes `serve_mutex_` shared, never exclusive. The
-///     exclusive mode exists solely as the quiescent-point seam for EDB
-///     writers (a writer that wants in-band quiescence can take it
-///     exclusive; the in-tree contract keeps writes externally
-///     synchronized).
+///     exclusive mode belongs to ApplyWrites alone (the quiescent-point
+///     seam), and code holding it exclusive takes no other service lock —
+///     the order is `serve (exclusive) -> nothing`.
+///   * Workers re-read the database epoch under the shared lock (a writer
+///     holds it exclusive, so the value is pinned for the whole
+///     evaluation), which is what keys every AnswerCache fill to the data
+///     it actually read. The lock-free inline hit path cannot take the
+///     lock, so it is fenced instead: after the probe it re-checks the
+///     epoch and falls through to dispatch if a write landed in between.
 ///   * Worker-side term interning (the matcher's affine/compound
 ///     construction) is safe because TermArena is internally synchronized.
 ///   * Answer sinks and cursor buffers are touched only by the evaluating
@@ -190,6 +213,11 @@ class QueryService {
   };
 
   QueryService(const Program& program, const Database& db,
+               QueryServiceOptions options = {});
+  /// Same service over a database the caller lets it mutate: ApplyWrites
+  /// becomes available. (With the const overload above, ApplyWrites
+  /// reports FailedPrecondition — a read-only service cannot write.)
+  QueryService(const Program& program, Database& db,
                QueryServiceOptions options = {});
   ~QueryService();
 
@@ -246,6 +274,20 @@ class QueryService {
   std::vector<QueryAnswer> AnswerBatch(const std::vector<QueryRequest>& batch);
   std::vector<QueryAnswer> AnswerBatch(const std::vector<Query>& queries);
 
+  /// The in-band EDB write path: validates `batch` (declared arities,
+  /// groundness — rejected batches never block serving), then takes the
+  /// serve seam exclusive. That acquisition is the drain: every in-flight
+  /// evaluation finishes, new worker dispatch holds off, and requests
+  /// whose deadline expires while they wait are shed when a worker finally
+  /// picks them up. The batch then applies single-threaded — each mutated
+  /// relation's epoch bumps exactly once and its probe indices are rebuilt
+  /// before release — so every AnswerCache entry keyed to an older epoch
+  /// is unreachable the instant readers resume, and a duplicate-only batch
+  /// invalidates nothing. Callable from any thread, including concurrently
+  /// with Submit/Answer/Stream; writers serialize on the seam itself.
+  /// Requires the mutable-Database constructor.
+  Result<WriteResult> ApplyWrites(const WriteBatch& batch);
+
   /// Serving counters. Naming contract (the one reporting path magicdb
   /// and the benches share): `form_cache_hits` counts request-tier
   /// lookups that found an already-compiled form; `answer_cache` holds
@@ -267,8 +309,15 @@ class QueryService {
     /// evaluation instead of evaluating again (request coalescing).
     size_t coalesced = 0;
     /// Queued requests whose deadline had already expired when a worker
-    /// picked them up; completed kDeadlineExceeded without evaluating.
+    /// picked them up (or at dispatch, including inline warm hits);
+    /// completed kDeadlineExceeded without evaluating.
     size_t deadline_shed = 0;
+    /// Write batches applied through ApplyWrites (validation failures and
+    /// read-only-service rejections excluded).
+    size_t writes_applied = 0;
+    /// Total nanoseconds ApplyWrites spent draining — waiting for the
+    /// exclusive serve lock while in-flight evaluations finished.
+    uint64_t write_drain_ns = 0;
     /// Raw cross-query answer-cache counters.
     AnswerCache::Stats answer_cache;
 
@@ -398,8 +447,10 @@ class QueryService {
 
   /// Serves `cached`'s instance from the AnswerCache when possible
   /// (exact-key hit, or the fully-free subsumption fast path). `epoch` is
-  /// the database epoch read once per request — writes only happen at
-  /// quiescent points, so it cannot move while the request is in flight.
+  /// the database epoch the caller probes under: workers read it beneath
+  /// the shared serve lock (pinned — a writer holds the lock exclusive),
+  /// while the inline path reads it lock-free and is fenced by an epoch
+  /// re-check before the hit is served (see the fence in this function).
   /// Returns true when `done` was invoked — inline, on the calling
   /// thread, with no worker or admission slot involved.
   bool TryServeCached(CachedForm* cached,
@@ -446,11 +497,17 @@ class QueryService {
 
   const Program& program_;
   const Database& db_;
+  /// Non-null iff the service was constructed over a mutable Database;
+  /// ApplyWrites is the only code that writes through it, always under
+  /// serve_mutex_ exclusive.
+  Database* mutable_db_ = nullptr;
   QueryServiceOptions options_;
 
   /// Shared = every request (all strategies; compilation does not touch
-  /// it). Exclusive is reserved for EDB-write quiescent points — nothing
-  /// on the request path takes it exclusive anymore.
+  /// it). Exclusive = ApplyWrites only — the quiescent-point write seam;
+  /// nothing on the request path takes it exclusive, and the exclusive
+  /// holder takes no further service lock (order: serve exclusive ->
+  /// nothing).
   std::shared_mutex serve_mutex_;
 
   /// Guards forms_ and the compile counters. Nests inside serve_mutex_
@@ -466,6 +523,8 @@ class QueryService {
   std::atomic<size_t> answers_subsumed_{0};
   std::atomic<size_t> coalesced_{0};
   std::atomic<size_t> deadline_shed_{0};
+  std::atomic<size_t> writes_applied_{0};
+  std::atomic<uint64_t> write_drain_ns_{0};
   /// Requests submitted but not yet completed (admission-control depth).
   std::atomic<size_t> pending_{0};
 

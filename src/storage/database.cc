@@ -1,5 +1,7 @@
 #include "storage/database.h"
 
+#include "util/hash.h"
+
 namespace magic {
 
 Status Database::AddFact(const Fact& fact) {
@@ -26,6 +28,84 @@ Status Database::AddFact(PredId pred, std::vector<TermId> args) {
 void Database::Clear(PredId pred) {
   auto it = relations_.find(pred);
   if (it != relations_.end()) it->second.Clear();
+}
+
+Result<WriteResult> Database::Apply(const WriteBatch& batch) {
+  MAGIC_RETURN_IF_ERROR(batch.Validate(*universe_));
+  return ApplyValidated(batch);
+}
+
+WriteResult Database::ApplyValidated(const WriteBatch& batch) {
+  WriteResult result;
+  // One epoch-deferral guard per touched relation: however many ops land
+  // on it, its epoch moves by exactly one iff the tuple set NET-changed.
+  // Net accounting: set semantics make every successful insert/retract of
+  // one tuple alternate (+1/-1), so a relation whose per-tuple nets are
+  // all zero — and that was never non-empty-cleared — ends the batch with
+  // the exact tuple set it started with; readers never saw the transient
+  // states (the batch runs under exclusive access), so its epoch must not
+  // move and its warm cached answers stay live.
+  struct TupleHash {
+    size_t operator()(const std::vector<TermId>& tuple) const {
+      return HashRange(tuple.begin(), tuple.end());
+    }
+  };
+  struct PredState {
+    std::unique_ptr<Relation::EpochBatch> guard;
+    uint64_t epoch_before = 0;
+    std::unordered_map<std::vector<TermId>, int, TupleHash> net;
+    bool cleared = false;
+  };
+  std::unordered_map<PredId, PredState> touched;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    Relation& rel = GetOrCreate(op.pred);
+    PredState& state = touched[op.pred];
+    if (state.guard == nullptr) {
+      state.epoch_before = rel.epoch();
+      state.guard = std::make_unique<Relation::EpochBatch>(rel);
+    }
+    switch (op.kind) {
+      case WriteBatch::OpKind::kInsert:
+        if (rel.Insert(op.tuple)) {
+          ++result.inserted;
+          ++state.net[op.tuple];
+        }
+        break;
+      case WriteBatch::OpKind::kRetract:
+        if (rel.Retract(op.tuple)) {
+          ++result.retracted;
+          --state.net[op.tuple];
+        }
+        break;
+      case WriteBatch::OpKind::kClear:
+        if (rel.size() != 0) {
+          ++result.cleared;
+          state.cleared = true;
+        }
+        rel.Clear();
+        break;
+    }
+  }
+  for (auto& [pred, state] : touched) {
+    Relation& rel = GetOrCreate(pred);
+    if (!state.cleared) {
+      bool net_zero = true;
+      for (const auto& [tuple, net] : state.net) {
+        if (net != 0) {
+          net_zero = false;
+          break;
+        }
+      }
+      if (net_zero) state.guard->DiscardPendingBump();
+    }
+    state.guard.reset();  // bump (or not), exactly once
+    if (rel.epoch() != state.epoch_before) ++result.relations_mutated;
+    // Rebuild even when the net was zero: a transient retract still
+    // invalidated the probe indices, and the promise is that the first
+    // post-write probe pays no build.
+    rel.RebuildIndexes();
+  }
+  return result;
 }
 
 Relation& Database::GetOrCreate(PredId pred) {

@@ -7,6 +7,7 @@
 
 #include "ast/program.h"
 #include "storage/relation.h"
+#include "storage/write_batch.h"
 #include "util/status.h"
 
 namespace magic {
@@ -29,9 +30,28 @@ class Database {
   Status AddFact(PredId pred, std::vector<TermId> args);
 
   /// Removes every fact of `pred` (a no-op when the relation was never
-  /// created — an absent relation already answers like an empty one).
-  /// Requires exclusive access, like AddFact.
+  /// created or is already empty — either way the fact set is unchanged,
+  /// so the epoch stays put). Requires exclusive access, like AddFact.
   void Clear(PredId pred);
+
+  /// Applies one write batch: ops in insertion order, the mutation epoch
+  /// bumped exactly once per relation whose tuple set NET-changed — a
+  /// duplicate-only batch moves no epoch, and neither does one whose
+  /// transient changes cancel out (an insert of an absent tuple followed
+  /// by its retract); readers never see intermediate states, so no
+  /// invalidation is owed. Touched relations' probe indices are rebuilt
+  /// before returning so the first post-write probe pays no build. Returns what changed, or the batch's validation error
+  /// with nothing applied. Requires exclusive access over the whole call,
+  /// like AddFact — QueryService::ApplyWrites provides that in-band by
+  /// draining the service on its serve seam.
+  Result<WriteResult> Apply(const WriteBatch& batch);
+
+  /// Apply without re-validating: the caller vouches that
+  /// `batch.Validate(*universe())` passed (QueryService::ApplyWrites runs
+  /// the check before taking its drain, so the drained window pays no
+  /// second pass over the batch). Applying an unvalidated batch is a
+  /// checked error on arity mismatches and undefined on the rest.
+  WriteResult ApplyValidated(const WriteBatch& batch);
 
   /// The database's monotonically increasing mutation epoch. Every
   /// relation handed out by GetOrCreate is bound to one shared counter

@@ -33,7 +33,74 @@ bool Relation::Insert(std::span<const TermId> tuple) {
   return true;
 }
 
+namespace {
+
+/// Drops one value from a dedup bucket (present by construction).
+void EraseFromBucket(std::vector<uint32_t>* bucket, uint32_t value) {
+  for (size_t i = 0; i < bucket->size(); ++i) {
+    if ((*bucket)[i] == value) {
+      (*bucket)[i] = bucket->back();
+      bucket->pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool Relation::Retract(std::span<const TermId> tuple) {
+  MAGIC_CHECK(tuple.size() == arity_);
+  if (arity_ == 0) {
+    if (zero_ary_count_ == 0) return false;
+    zero_ary_count_ = 0;
+    BumpEpoch();
+    return true;
+  }
+  std::optional<uint32_t> row = FindRow(tuple);
+  if (!row.has_value()) return false;
+  // Swap-with-last removal: only the moved row changes id, so the dedup
+  // map is patched in O(1) instead of rebuilt — a batch retracting K
+  // tuples costs O(K), not O(K * rows). Row order is not semantic for a
+  // quiescent EDB (it is a set; semi-naive delta windows only matter
+  // inside a fixpoint, never across the write seam).
+  const uint32_t last = static_cast<uint32_t>(size()) - 1;
+  auto bucket_it = dedup_.find(HashRange(tuple.begin(), tuple.end()));
+  EraseFromBucket(&bucket_it->second, *row);
+  // Drop emptied buckets: under insert/retract churn the map must track
+  // live tuples, not lifetime-total distinct ones. (If the moved row
+  // hashes here too, the bucket still holds its id and stays.)
+  if (bucket_it->second.empty()) dedup_.erase(bucket_it);
+  if (*row != last) {
+    std::span<const TermId> moved = Row(last);
+    uint64_t moved_hash = HashRange(moved.begin(), moved.end());
+    std::copy(moved.begin(), moved.end(),
+              data_.begin() + static_cast<ptrdiff_t>(*row) * arity_);
+    std::vector<uint32_t>& bucket = dedup_[moved_hash];
+    for (uint32_t& id : bucket) {
+      if (id == last) {
+        id = *row;
+        break;
+      }
+    }
+  }
+  data_.resize(static_cast<size_t>(last) * arity_);
+  // The per-mask indices hold stale ids for the moved row; mark each for
+  // a from-scratch rebuild (one flag store per index — the bucket clear
+  // itself happens once, inside the next ExtendIndex). The sentinel can
+  // never equal size(), so the lock-free fast path rejects the index
+  // until it is rebuilt, lazily on the next probe or via RebuildIndexes.
+  {
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    for (auto& [mask, index] : indices_) {
+      index->rows_built.store(kIndexInvalidated, std::memory_order_release);
+    }
+  }
+  BumpEpoch();
+  return true;
+}
+
 void Relation::Clear() {
+  if (size() == 0) return;  // tuple set unchanged: no spurious invalidation
   data_.clear();
   zero_ary_count_ = 0;
   dedup_.clear();
@@ -46,6 +113,11 @@ void Relation::Clear() {
   indices_.clear();
   table_owner_.clear();
   BumpEpoch();
+}
+
+void Relation::RebuildIndexes() {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  for (auto& [mask, index] : indices_) ExtendIndex(mask, index.get());
 }
 
 bool Relation::Contains(std::span<const TermId> tuple) const {
@@ -86,8 +158,14 @@ uint64_t Relation::KeyHashForRow(uint64_t mask, size_t row) const {
 
 void Relation::ExtendIndex(uint64_t mask, Index* index) const {
   size_t rows = size();
-  for (size_t row = index->rows_built.load(std::memory_order_relaxed);
-       row < rows; ++row) {
+  size_t built = index->rows_built.load(std::memory_order_relaxed);
+  if (built > rows) {
+    // Invalidated by a retraction (or shrunk past the watermark): the
+    // existing buckets hold stale ids, so rebuild from scratch.
+    index->buckets.clear();
+    built = 0;
+  }
+  for (size_t row = built; row < rows; ++row) {
     index->buckets[KeyHashForRow(mask, row)].push_back(
         static_cast<uint32_t>(row));
   }

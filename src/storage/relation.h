@@ -34,7 +34,8 @@ namespace magic {
 /// once it is fully built for the current row count. Steady-state probes
 /// are therefore a single acquire load with no read-side lock at all —
 /// this is what lets QueryService serve many queries against one shared
-/// read-only Database without the probe hot path contending on anything.
+/// quiescent Database without the probe hot path contending on anything
+/// (its write seam restores quiescence around every mutation batch).
 class Relation {
  public:
   explicit Relation(uint32_t arity) : arity_(arity) {}
@@ -43,14 +44,50 @@ class Relation {
   size_t size() const { return arity_ == 0 ? zero_ary_count_ : data_.size() / arity_; }
 
   /// Monotonically increasing mutation epoch: bumped by every mutation that
-  /// changes the tuple set (an Insert of a new tuple, a Clear), never by a
-  /// duplicate insert or by reads. Cross-query caches key their entries by
+  /// changes the tuple set (an Insert of a new tuple, a Retract of a
+  /// present one, a Clear of a non-empty relation), never by a no-op
+  /// mutation (duplicate insert, retract of an absent tuple, clear when
+  /// already empty) or by reads. Cross-query caches key their entries by
   /// the epoch observed at fill time, so any write makes stale entries
-  /// unreachable without a flush. Reading the epoch is always safe; the
-  /// writes it observes follow the class's mutation contract (exclusive
-  /// access), so an epoch read racing a write is the caller's existing bug,
-  /// not a new one.
+  /// unreachable without a flush — and a no-op write spuriously
+  /// invalidating every entry would be a bug, which is why the no-op cases
+  /// are epoch-silent. Reading the epoch is always safe; the writes it
+  /// observes follow the class's mutation contract (exclusive access), so
+  /// an epoch read racing a write is the caller's existing bug, not a new
+  /// one.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// RAII epoch deferral for batch application: while one is alive, the
+  /// relation's mutations record that the tuple set changed instead of
+  /// bumping the epoch per call, and the destructor advances the epoch
+  /// exactly once iff any mutation occurred. This is how an applied
+  /// WriteBatch bumps each mutated relation's epoch once, not once per
+  /// tuple. Requires the same exclusive access as the mutations it wraps;
+  /// batches must not nest.
+  class EpochBatch {
+   public:
+    explicit EpochBatch(Relation& rel) : rel_(rel) {
+      rel_.epoch_deferred_ = true;
+      rel_.deferred_dirty_ = false;
+    }
+    ~EpochBatch() {
+      rel_.epoch_deferred_ = false;
+      if (rel_.deferred_dirty_) rel_.BumpEpoch();
+    }
+    EpochBatch(const EpochBatch&) = delete;
+    EpochBatch& operator=(const EpochBatch&) = delete;
+
+    /// Cancels the owed bump. For the caller that can prove the batch's
+    /// NET effect on the tuple set is zero (every transient change was
+    /// undone within the batch — e.g. an insert of an absent tuple
+    /// followed by its retract): readers can never observe intermediate
+    /// states (the batch runs under exclusive access), so to them no
+    /// mutation happened and no invalidation is owed.
+    void DiscardPendingBump() { rel_.deferred_dirty_ = false; }
+
+   private:
+    Relation& rel_;
+  };
 
   /// Mirrors every epoch bump into `counter` (Database's O(1) aggregate
   /// epoch). The counter must outlive the relation; pass null to unbind.
@@ -61,10 +98,28 @@ class Relation {
   /// Inserts a tuple; returns true if it was new.
   bool Insert(std::span<const TermId> tuple);
 
-  /// Removes every tuple (and all indices); bumps the mutation epoch even
-  /// when already empty, so callers can use it as an explicit invalidation
-  /// point. Requires exclusive access, like Insert.
+  /// Removes one tuple; returns true if it was present (and bumps the
+  /// epoch), false for an absent tuple (no epoch movement). Removal is
+  /// swap-with-last (row order is not semantic at rest), so the call is
+  /// O(arity + bucket) — a batch of K retracts costs O(K), plus one
+  /// index rebuild per relation afterwards: retraction breaks the
+  /// append-only watermark design, so the per-mask indices are marked
+  /// invalidated and rebuilt from scratch (lazily on the next probe, or
+  /// eagerly via RebuildIndexes). Requires exclusive access, like Insert.
+  bool Retract(std::span<const TermId> tuple);
+
+  /// Removes every tuple (and all indices). A no-op on an already-empty
+  /// relation — the tuple set is unchanged, so the mutation epoch must not
+  /// move (a spurious bump would invalidate every cached answer for no
+  /// reason). Requires exclusive access, like Insert.
   void Clear();
+
+  /// Rebuilds every previously-built per-mask index up to the current row
+  /// count and leaves the snapshot table published, so the first probe
+  /// after a mutation batch pays no build. Intended for the write seam
+  /// (called while the writer still holds exclusive access); a no-op when
+  /// no index was ever built.
+  void RebuildIndexes();
 
   bool Contains(std::span<const TermId> tuple) const;
 
@@ -85,12 +140,19 @@ class Relation {
   static constexpr uint64_t kNoMask = 0;
 
  private:
+  /// rows_built value marking an index whose buckets hold stale row ids
+  /// (set by Retract); ExtendIndex sees it as "built > rows" and rebuilds
+  /// from scratch. Can never equal a real row count, so the lock-free
+  /// fast path always rejects an invalidated index.
+  static constexpr size_t kIndexInvalidated = ~size_t{0};
+
   struct Index {
     std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
     /// Release-stored after the bucket writes of a build; the lock-free
     /// fast path acquires it, so seeing rows_built == size() proves the
     /// buckets for those rows are fully visible. A reader seeing a stale
-    /// value falls through to the mutex-guarded build path.
+    /// value (including kIndexInvalidated) falls through to the
+    /// mutex-guarded build path.
     std::atomic<size_t> rows_built{0};
   };
 
@@ -108,8 +170,13 @@ class Relation {
                   uint64_t mask, size_t from_row, size_t to_row,
                   std::vector<uint32_t>* out) const;
 
-  /// Bumps the mutation epoch (and the bound aggregate, if any).
+  /// Bumps the mutation epoch (and the bound aggregate, if any); under an
+  /// EpochBatch it only records that a bump is owed.
   void BumpEpoch() {
+    if (epoch_deferred_) {
+      deferred_dirty_ = true;
+      return;
+    }
     epoch_.fetch_add(1, std::memory_order_acq_rel);
     if (aggregate_epoch_ != nullptr) {
       aggregate_epoch_->fetch_add(1, std::memory_order_acq_rel);
@@ -119,6 +186,10 @@ class Relation {
   uint32_t arity_;
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t>* aggregate_epoch_ = nullptr;
+  /// EpochBatch state; plain bools are fine because mutation (and so
+  /// deferral) already requires exclusive access.
+  bool epoch_deferred_ = false;
+  bool deferred_dirty_ = false;
   std::vector<TermId> data_;
   size_t zero_ary_count_ = 0;  // 0-ary relations hold at most one tuple
   std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;

@@ -1,0 +1,31 @@
+#include "storage/write_batch.h"
+
+#include <string>
+
+namespace magic {
+
+Status WriteBatch::Validate(const Universe& u) const {
+  for (const Op& op : ops_) {
+    if (op.pred >= u.predicates().size()) {
+      return Status::InvalidArgument("write batch names undeclared predicate id " +
+                                     std::to_string(op.pred));
+    }
+    const PredicateInfo& info = u.predicates().info(op.pred);
+    if (op.kind == OpKind::kClear) continue;
+    if (op.tuple.size() != info.arity) {
+      return Status::InvalidArgument(
+          "write batch arity mismatch for '" + u.symbols().Name(info.name) +
+          "': got " + std::to_string(op.tuple.size()) + ", declared " +
+          std::to_string(info.arity));
+    }
+    for (TermId term : op.tuple) {
+      if (!u.terms().IsGround(term)) {
+        return Status::InvalidArgument("write batch tuples must be ground: " +
+                                       u.TermToString(term));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace magic

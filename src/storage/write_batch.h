@@ -1,0 +1,71 @@
+#ifndef MAGIC_STORAGE_WRITE_BATCH_H_
+#define MAGIC_STORAGE_WRITE_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ast/universe.h"
+#include "util/status.h"
+
+namespace magic {
+
+/// An ordered group of EDB mutations — inserts, retracts, and per-predicate
+/// clears — applied as one unit at a quiescent point. The batch itself is a
+/// plain value: building one performs no validation and touches no storage,
+/// so batches can be assembled on any thread and shipped to the writer.
+///
+/// Application (Database::Apply, or QueryService::ApplyWrites for the
+/// in-band path) is atomic with respect to readers: either the whole batch
+/// is visible or none of it. Ops apply in insertion order, so a batch may
+/// retract a tuple it inserted earlier (net no-op) or re-insert after a
+/// clear. Set semantics make most orders commute; order only matters
+/// between ops touching the same tuple or a clear of the same predicate.
+class WriteBatch {
+ public:
+  enum class OpKind : uint8_t {
+    kInsert,   // add a tuple (duplicate = no-op)
+    kRetract,  // remove a tuple (absent = no-op)
+    kClear,    // remove every tuple of the predicate (empty = no-op)
+  };
+  struct Op {
+    OpKind kind = OpKind::kInsert;
+    PredId pred = 0;
+    std::vector<TermId> tuple;  // empty for kClear
+  };
+
+  void Insert(PredId pred, std::vector<TermId> tuple) {
+    ops_.push_back(Op{OpKind::kInsert, pred, std::move(tuple)});
+  }
+  void Retract(PredId pred, std::vector<TermId> tuple) {
+    ops_.push_back(Op{OpKind::kRetract, pred, std::move(tuple)});
+  }
+  void Clear(PredId pred) { ops_.push_back(Op{OpKind::kClear, pred, {}}); }
+
+  const std::vector<Op>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+
+  /// Checks every op against `u`'s declarations: the predicate id must be
+  /// declared, insert/retract tuples must match its declared arity, and
+  /// every term must be ground. Validation is separate from application so
+  /// a malformed batch can be rejected before any drain or lock is taken.
+  Status Validate(const Universe& u) const;
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// What one applied batch changed. `relations_mutated` counts relations
+/// whose tuple set actually changed (each had its mutation epoch bumped
+/// exactly once); a duplicate-only batch reports zero everywhere and moves
+/// no epoch, so warm cache entries stay live.
+struct WriteResult {
+  size_t inserted = 0;   // tuples that were new
+  size_t retracted = 0;  // tuples that were present
+  size_t cleared = 0;    // non-empty relations cleared
+  size_t relations_mutated = 0;
+};
+
+}  // namespace magic
+
+#endif  // MAGIC_STORAGE_WRITE_BATCH_H_

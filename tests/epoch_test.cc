@@ -49,12 +49,26 @@ TEST(RelationEpochTest, StableAcrossReads) {
   EXPECT_EQ(rel.epoch(), before);
 }
 
-TEST(RelationEpochTest, ClearBumpsEvenWhenEmptyAndResetsRows) {
+TEST(RelationEpochTest, ClearOnEmptyRelationIsANoOp) {
+  // Regression: Clear() used to bump the epoch even when the relation was
+  // already empty, spuriously invalidating every cached answer keyed to
+  // the current epoch. An unchanged tuple set must leave the epoch alone.
   Relation rel(1);
   rel.Clear();
-  EXPECT_EQ(rel.epoch(), 1u);  // explicit invalidation point
+  EXPECT_EQ(rel.epoch(), 0u);
   EXPECT_EQ(rel.size(), 0u);
 
+  std::vector<TermId> t = {7};
+  ASSERT_TRUE(rel.Insert(t));
+  uint64_t before = rel.epoch();
+  rel.Clear();
+  EXPECT_EQ(rel.epoch(), before + 1);  // non-empty clear is a real write
+  rel.Clear();
+  EXPECT_EQ(rel.epoch(), before + 1);  // repeat clear: still empty, no bump
+}
+
+TEST(RelationEpochTest, ClearResetsRowsAndIndices) {
+  Relation rel(1);
   std::vector<TermId> t = {7};
   ASSERT_TRUE(rel.Insert(t));
   std::vector<uint32_t> rows;
@@ -73,6 +87,53 @@ TEST(RelationEpochTest, ClearBumpsEvenWhenEmptyAndResetsRows) {
   rows.clear();
   rel.Probe(0b1, t, 0, rel.size(), &rows);
   EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST(RelationEpochTest, RetractBumpsOnPresentTupleOnly) {
+  Relation rel(2);
+  std::vector<TermId> t1 = {1, 2};
+  std::vector<TermId> t2 = {3, 4};
+  ASSERT_TRUE(rel.Insert(t1));
+  ASSERT_TRUE(rel.Insert(t2));
+  uint64_t before = rel.epoch();
+
+  EXPECT_FALSE(rel.Retract(std::vector<TermId>{9, 9}));  // absent: no-op
+  EXPECT_EQ(rel.epoch(), before);
+
+  EXPECT_TRUE(rel.Retract(t1));
+  EXPECT_EQ(rel.epoch(), before + 1);
+  EXPECT_FALSE(rel.Contains(t1));
+  EXPECT_TRUE(rel.Contains(t2));
+
+  EXPECT_FALSE(rel.Retract(t1));  // already gone
+  EXPECT_EQ(rel.epoch(), before + 1);
+}
+
+TEST(RelationEpochTest, EpochBatchBumpsOnceForManyMutations) {
+  Relation rel(1);
+  {
+    Relation::EpochBatch batch(rel);
+    for (TermId v = 1; v <= 5; ++v) {
+      std::vector<TermId> t = {v};
+      ASSERT_TRUE(rel.Insert(t));
+    }
+    std::vector<TermId> t = {3};
+    ASSERT_TRUE(rel.Retract(t));
+    EXPECT_EQ(rel.epoch(), 0u);  // deferred while the batch is open
+  }
+  EXPECT_EQ(rel.epoch(), 1u);  // one bump for the whole batch
+
+  {
+    Relation::EpochBatch noop(rel);
+    std::vector<TermId> dup = {1};
+    EXPECT_FALSE(rel.Insert(dup));
+  }
+  EXPECT_EQ(rel.epoch(), 1u);  // nothing changed: no bump owed
+
+  // Deferral ends with the batch: a later plain insert bumps directly.
+  std::vector<TermId> t = {9};
+  ASSERT_TRUE(rel.Insert(t));
+  EXPECT_EQ(rel.epoch(), 2u);
 }
 
 TEST(RelationEpochTest, ZeroAryRelationBumpsOnce) {

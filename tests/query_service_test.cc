@@ -359,6 +359,42 @@ TEST(QueryServiceTest, DeadlineExpiryReportsDeadlineExceeded) {
   EXPECT_EQ(answer.status.code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST(QueryServiceTest, InlineWarmHitHonorsTheDeadline) {
+  // Regression: the inline warm-cache path used to skip the deadline
+  // check, so an already-expired request came back kOk-from-cache while
+  // the same request on the queued path was shed kDeadlineExceeded.
+  // Cache temperature must not change the outcome a client observes.
+  Workload w = MakeAncestorChain(16);
+  Universe& u = *w.universe;
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  std::vector<TermId> seed = {u.Constant("c0")};
+  ASSERT_TRUE(service.Answer(*handle, seed).status.ok());  // fill
+  ASSERT_TRUE(service.Answer(*handle, seed).from_cache);   // warm
+
+  QueryLimits expired;
+  expired.deadline = std::chrono::milliseconds(0);
+  QueryAnswer answer = service.Answer(*handle, seed, expired);
+  EXPECT_EQ(answer.outcome, AnswerStatus::kDeadlineExceeded);
+  EXPECT_EQ(answer.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(answer.from_cache);
+  EXPECT_TRUE(answer.tuples.empty());
+  EXPECT_EQ(service.stats().deadline_shed, 1u);
+
+  // A live deadline still serves warm.
+  QueryLimits generous;
+  generous.deadline = std::chrono::seconds(30);
+  QueryAnswer warm = service.Answer(*handle, seed, generous);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.outcome, AnswerStatus::kOk);
+}
+
 TEST(QueryServiceTest, PresetCancellationTokenReportsCancelled) {
   Workload w = MakeAncestorChain(64);
   QueryServiceOptions options;

@@ -68,6 +68,69 @@ TEST(RelationTest, IndexExtendsAfterInserts) {
   EXPECT_EQ(rows.size(), 2u);
 }
 
+TEST(RelationTest, RetractRemovesTupleAndCompactsRows) {
+  Relation rel(2);
+  rel.Insert(std::vector<TermId>{1, 10});
+  rel.Insert(std::vector<TermId>{2, 20});
+  rel.Insert(std::vector<TermId>{3, 30});
+
+  EXPECT_TRUE(rel.Retract(std::vector<TermId>{2, 20}));
+  EXPECT_EQ(rel.size(), 2u);
+  EXPECT_FALSE(rel.Contains(std::vector<TermId>{2, 20}));
+  EXPECT_TRUE(rel.Contains(std::vector<TermId>{1, 10}));
+  EXPECT_TRUE(rel.Contains(std::vector<TermId>{3, 30}));
+  // Rows compact: the survivor behind the hole shifted down and the
+  // dedup map knows its new id.
+  EXPECT_EQ(rel.FindRow(std::vector<TermId>{3, 30}), 1u);
+  EXPECT_FALSE(rel.Retract(std::vector<TermId>{2, 20}));  // already gone
+
+  // Re-inserting a retracted tuple works (no dedup ghost).
+  EXPECT_TRUE(rel.Insert(std::vector<TermId>{2, 20}));
+  EXPECT_EQ(rel.size(), 3u);
+}
+
+TEST(RelationTest, RetractResetsAndRebuildsIndexes) {
+  Relation rel(2);
+  rel.Insert(std::vector<TermId>{1, 10});
+  rel.Insert(std::vector<TermId>{1, 11});
+  rel.Insert(std::vector<TermId>{2, 12});
+  std::vector<uint32_t> rows;
+  std::vector<TermId> key = {1};
+  rel.Probe(0b01, key, 0, rel.size(), &rows);  // builds the index
+  ASSERT_EQ(rows.size(), 2u);
+
+  ASSERT_TRUE(rel.Retract(std::vector<TermId>{1, 10}));
+  // Lazy path: the reset index rebuilds on the next probe and must not
+  // serve stale row ids.
+  rows.clear();
+  rel.Probe(0b01, key, 0, rel.size(), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rel.Row(rows[0])[1], 11u);
+
+  // Eager path: RebuildIndexes leaves the published snapshot current.
+  ASSERT_TRUE(rel.Retract(std::vector<TermId>{2, 12}));
+  rel.RebuildIndexes();
+  rows.clear();
+  rel.Probe(0b01, key, 0, rel.size(), &rows);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rel.Row(rows[0])[1], 11u);
+
+  // Retracting the last row leaves a usable empty relation.
+  ASSERT_TRUE(rel.Retract(std::vector<TermId>{1, 11}));
+  rows.clear();
+  rel.Probe(0b01, key, 0, rel.size(), &rows);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(RelationTest, RetractZeroAry) {
+  Relation rel(0);
+  EXPECT_FALSE(rel.Retract(std::vector<TermId>{}));
+  ASSERT_TRUE(rel.Insert(std::vector<TermId>{}));
+  EXPECT_TRUE(rel.Retract(std::vector<TermId>{}));
+  EXPECT_EQ(rel.size(), 0u);
+  EXPECT_FALSE(rel.Retract(std::vector<TermId>{}));
+}
+
 TEST(RelationTest, FullScanWithZeroMask) {
   Relation rel(1);
   rel.Insert(std::vector<TermId>{5});

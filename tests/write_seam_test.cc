@@ -1,0 +1,423 @@
+// The in-band EDB write seam: WriteBatch validation, Database::Apply's
+// epoch discipline (one bump per mutated relation, none for no-op
+// batches), QueryService::ApplyWrites on a live service, retraction
+// correctness against from-scratch evaluation, and the 8-thread
+// readers-vs-writer hammer (post-write reads are never stale; in-flight
+// answers are internally consistent — whole batches, never halves).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/query_service.h"
+#include "storage/write_batch.h"
+#include "workload/generators.h"
+
+namespace magic {
+namespace {
+
+Query InstanceAt(const Workload& w, const std::string& node) {
+  Query query = w.query;
+  query.goal.args[0] = w.universe->Constant(node);
+  return query;
+}
+
+PredId ParPred(const Workload& w) {
+  Universe& u = *w.universe;
+  return *u.predicates().Find(*u.symbols().Find("par"), 2);
+}
+
+TEST(WriteSeamTest, WriteBatchValidatesArityAndGroundness) {
+  Workload w = MakeAncestorChain(4);
+  Universe& u = *w.universe;
+  PredId par = ParPred(w);
+
+  WriteBatch ok;
+  ok.Insert(par, {u.Constant("c0"), u.Constant("c9")});
+  ok.Retract(par, {u.Constant("c0"), u.Constant("c1")});
+  ok.Clear(par);
+  EXPECT_TRUE(ok.Validate(u).ok());
+
+  WriteBatch bad_arity;
+  bad_arity.Insert(par, {u.Constant("c0")});
+  EXPECT_EQ(bad_arity.Validate(u).code(), StatusCode::kInvalidArgument);
+
+  WriteBatch not_ground;
+  not_ground.Insert(par, {u.Constant("c0"), u.FreshVariable("Y")});
+  EXPECT_EQ(not_ground.Validate(u).code(), StatusCode::kInvalidArgument);
+
+  WriteBatch bad_pred;
+  bad_pred.Clear(static_cast<PredId>(u.predicates().size() + 7));
+  EXPECT_EQ(bad_pred.Validate(u).code(), StatusCode::kInvalidArgument);
+
+  // A rejected batch applies nothing: the valid retract ahead of the bad
+  // insert must not have gone through.
+  WriteBatch half_bad;
+  half_bad.Retract(par, {u.Constant("c0"), u.Constant("c1")});
+  half_bad.Insert(par, {u.Constant("c0")});
+  uint64_t before = w.db.epoch();
+  EXPECT_FALSE(w.db.Apply(half_bad).ok());
+  EXPECT_EQ(w.db.epoch(), before);
+  EXPECT_EQ(w.db.FactCount(par), 3u);
+}
+
+TEST(WriteSeamTest, ApplyBumpsEpochOncePerMutatedRelation) {
+  Workload w = MakeSameGenNonlinear(3, 2);  // base preds up/flat/down
+  Universe& u = *w.universe;
+  PredId up = *u.predicates().Find(*u.symbols().Find("up"), 2);
+  PredId flat = *u.predicates().Find(*u.symbols().Find("flat"), 2);
+  TermId a = u.Constant("wa");
+  TermId b = u.Constant("wb");
+  TermId c = u.Constant("wc");
+
+  const uint64_t up_before = w.db.GetOrCreate(up).epoch();
+  const uint64_t flat_before = w.db.GetOrCreate(flat).epoch();
+  const uint64_t db_before = w.db.epoch();
+
+  // Three new tuples into `up`, one into `flat`, plus no-ops sprinkled in:
+  // each mutated relation's epoch moves by exactly one.
+  WriteBatch batch;
+  batch.Insert(up, {a, b});
+  batch.Insert(up, {b, c});
+  batch.Insert(up, {a, b});  // duplicate of an op in this very batch
+  batch.Insert(up, {a, c});
+  batch.Retract(flat, {a, c});  // absent: no-op
+  batch.Insert(flat, {a, c});
+  auto result = w.db.Apply(batch);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->inserted, 4u);
+  EXPECT_EQ(result->retracted, 0u);
+  EXPECT_EQ(result->relations_mutated, 2u);
+  EXPECT_EQ(w.db.GetOrCreate(up).epoch(), up_before + 1);
+  EXPECT_EQ(w.db.GetOrCreate(flat).epoch(), flat_before + 1);
+  EXPECT_EQ(w.db.epoch(), db_before + 2);
+
+  // A duplicate-only batch mutates nothing and moves no epoch at all.
+  WriteBatch noop;
+  noop.Insert(up, {a, b});
+  noop.Retract(up, {c, a});  // absent
+  auto quiet = w.db.Apply(noop);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_EQ(quiet->relations_mutated, 0u);
+  EXPECT_EQ(w.db.epoch(), db_before + 2);
+
+  // A clear of a non-empty relation is one mutation; repeating it on the
+  // now-empty relation is a no-op (the satellite regression, batch form).
+  WriteBatch wipe;
+  wipe.Clear(flat);
+  auto wiped = w.db.Apply(wipe);
+  ASSERT_TRUE(wiped.ok());
+  EXPECT_EQ(wiped->cleared, 1u);
+  EXPECT_EQ(wiped->relations_mutated, 1u);
+  EXPECT_EQ(w.db.epoch(), db_before + 3);
+  auto rewiped = w.db.Apply(wipe);
+  ASSERT_TRUE(rewiped.ok());
+  EXPECT_EQ(rewiped->cleared, 0u);
+  EXPECT_EQ(rewiped->relations_mutated, 0u);
+  EXPECT_EQ(w.db.epoch(), db_before + 3);
+}
+
+TEST(WriteSeamTest, ApplyWritesMutatesALiveService) {
+  Workload w = MakeAncestorChain(6);  // par: c0 -> ... -> c5
+  Universe& u = *w.universe;
+  PredId par = ParPred(w);
+  TermId c5 = u.Constant("c5");
+  TermId c6 = u.Constant("c6");
+
+  QueryServiceOptions options;
+  options.num_threads = 4;
+  QueryService service(w.program, w.db, options);
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  std::vector<TermId> seed = {u.Constant("c0")};
+
+  ASSERT_EQ(service.Answer(*handle, seed).tuples.size(), 5u);
+  EXPECT_TRUE(service.Answer(*handle, seed).from_cache);  // warm
+
+  // Insert: the chain grows, the warm entry retires, the next read sees
+  // six ancestors.
+  WriteBatch grow;
+  grow.Insert(par, {c5, c6});
+  auto grown = service.ApplyWrites(grow);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  EXPECT_EQ(grown->inserted, 1u);
+  QueryAnswer after_insert = service.Answer(*handle, seed);
+  EXPECT_FALSE(after_insert.from_cache);
+  EXPECT_EQ(after_insert.tuples.size(), 6u);
+
+  // Retract: both edges of the tail, in one batch.
+  WriteBatch shrink;
+  shrink.Retract(par, {c5, c6});
+  shrink.Retract(par, {u.Constant("c4"), c5});
+  auto shrunk = service.ApplyWrites(shrink);
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_EQ(shrunk->retracted, 2u);
+  EXPECT_EQ(service.Answer(*handle, seed).tuples.size(), 4u);
+
+  // Clear: the whole derived set goes with the base facts.
+  WriteBatch wipe;
+  wipe.Clear(par);
+  ASSERT_TRUE(service.ApplyWrites(wipe).ok());
+  EXPECT_TRUE(service.Answer(*handle, seed).tuples.empty());
+
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.writes_applied, 3u);
+}
+
+TEST(WriteSeamTest, DuplicateOnlyBatchKeepsTheCacheWarm) {
+  // Satellite regression at the service level: a batch that does not
+  // change any tuple set must not invalidate warm answers — no epoch
+  // movement, no spurious re-evaluation.
+  Workload w = MakeAncestorChain(8);
+  Universe& u = *w.universe;
+  PredId par = ParPred(w);
+
+  QueryServiceOptions options;
+  options.num_threads = 2;
+  QueryService service(w.program, w.db, options);
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto handle = service.Prepare(exemplar);
+  ASSERT_TRUE(handle.ok());
+  std::vector<TermId> seed = {u.Constant("c0")};
+  ASSERT_TRUE(service.Answer(*handle, seed).status.ok());  // fill
+
+  WriteBatch noop;
+  noop.Insert(par, {u.Constant("c0"), u.Constant("c1")});  // duplicate
+  noop.Retract(par, {u.Constant("c7"), u.Constant("c0")});  // absent
+  auto applied = service.ApplyWrites(noop);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->relations_mutated, 0u);
+
+  QueryAnswer warm = service.Answer(*handle, seed);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(warm.tuples.size(), 7u);
+
+  // Net-zero batches keep it warm too: the transient states of an
+  // insert-then-retract (and a retract-then-reinsert) are never
+  // observable — the batch applies under the drained seam — so the final
+  // tuple set is unchanged and no invalidation is owed.
+  TermId c0 = u.Constant("c0");
+  TermId c1 = u.Constant("c1");
+  TermId ghost = u.Constant("net_ghost");
+  WriteBatch net_zero;
+  net_zero.Insert(par, {c0, ghost});   // absent: transient insert...
+  net_zero.Retract(par, {c0, ghost});  // ...undone within the batch
+  net_zero.Retract(par, {c0, c1});     // present: transient retract...
+  net_zero.Insert(par, {c0, c1});      // ...undone within the batch
+  auto net_applied = service.ApplyWrites(net_zero);
+  ASSERT_TRUE(net_applied.ok());
+  EXPECT_EQ(net_applied->inserted, 2u);   // the ops themselves did run
+  EXPECT_EQ(net_applied->retracted, 2u);
+  EXPECT_EQ(net_applied->relations_mutated, 0u);  // but the net is zero
+
+  QueryAnswer still_warm = service.Answer(*handle, seed);
+  EXPECT_TRUE(still_warm.from_cache);
+  EXPECT_EQ(still_warm.tuples.size(), 7u);
+}
+
+TEST(WriteSeamTest, ApplyWritesRequiresAMutableDatabase) {
+  Workload w = MakeAncestorChain(4);
+  const Database& frozen = w.db;
+  QueryServiceOptions options;
+  options.num_threads = 1;
+  QueryService service(w.program, frozen, options);
+
+  WriteBatch batch;
+  batch.Clear(ParPred(w));
+  EXPECT_EQ(service.ApplyWrites(batch).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service.stats().writes_applied, 0u);
+}
+
+TEST(WriteSeamTest, RetractionMatchesFromScratchEvaluation) {
+  // The property the paper's equivalence grants per database instance:
+  // after any sequence of retractions, the served answers (for magic,
+  // semi-naive, and top-down plans alike) equal a from-scratch evaluation
+  // over a database built directly in the mutated state. Small random
+  // EDBs, several retraction rounds each.
+  constexpr int kNodes = 9;
+  const Strategy strategies[] = {Strategy::kSupplementaryMagic,
+                                 Strategy::kSemiNaiveBottomUp,
+                                 Strategy::kTopDown};
+  for (uint32_t trial = 0; trial < 6; ++trial) {
+    Workload w = MakeAncestorRandom(kNodes, /*edges=*/18, /*seed=*/trial);
+    Universe& u = *w.universe;
+    PredId par = ParPred(w);
+
+    // The live facts, mirrored as plain tuples so a from-scratch database
+    // can be rebuilt at every step.
+    std::set<std::pair<TermId, TermId>> facts;
+    {
+      const Relation* rel = w.db.Find(par);
+      ASSERT_NE(rel, nullptr);
+      for (size_t row = 0; row < rel->size(); ++row) {
+        facts.emplace(rel->Row(row)[0], rel->Row(row)[1]);
+      }
+    }
+
+    QueryServiceOptions options;
+    options.num_threads = 4;
+    QueryService service(w.program, w.db, options);
+    std::vector<QueryService::FormHandle> handles;
+    for (Strategy strategy : strategies) {
+      QueryRequest request;
+      request.query = w.query;
+      request.strategy = strategy;
+      auto handle = service.Prepare(request);
+      ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+      handles.push_back(*handle);
+    }
+
+    std::mt19937 rng(0xbeef + trial);
+    for (int round = 0; round < 4 && !facts.empty(); ++round) {
+      // Retract a random live fact (plus one absent no-op for spice).
+      auto it = facts.begin();
+      std::advance(it, rng() % facts.size());
+      WriteBatch batch;
+      batch.Retract(par, {it->first, it->second});
+      batch.Retract(par, {u.Constant("ghost_a"), u.Constant("ghost_b")});
+      facts.erase(it);
+      auto applied = service.ApplyWrites(batch);
+      ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+      ASSERT_EQ(applied->retracted, 1u);
+
+      // From-scratch database in the mutated state, same universe (term
+      // ids stay comparable).
+      Database scratch(w.universe);
+      for (const auto& [x, y] : facts) {
+        Relation& rel = scratch.GetOrCreate(par);
+        std::vector<TermId> tuple = {x, y};
+        rel.Insert(tuple);
+      }
+
+      for (int start = 0; start < kNodes; start += 3) {
+        Query query = InstanceAt(w, "c" + std::to_string(start));
+        std::vector<TermId> seed = {query.goal.args[0]};
+        for (size_t s = 0; s < std::size(strategies); ++s) {
+          EngineOptions engine_options;
+          engine_options.strategy = strategies[s];
+          QueryAnswer expected =
+              QueryEngine(engine_options).Run(w.program, query, scratch);
+          ASSERT_TRUE(expected.status.ok()) << expected.status.ToString();
+          QueryAnswer served = service.Answer(handles[s], seed);
+          ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+          EXPECT_EQ(served.tuples, expected.tuples)
+              << "trial " << trial << " round " << round << " start n"
+              << start << " strategy " << StrategyName(strategies[s]);
+        }
+      }
+    }
+  }
+}
+
+TEST(WriteSeamTest, ReadersVsWriterHammerIsNeverStaleOrTorn) {
+  // 8 reader threads hammer one seed while a writer toggles a two-edge
+  // tail extension through ApplyWrites. Two invariants:
+  //  * atomicity: every answer has 7 rows (tail absent) or 9 (tail
+  //    present) — 8 would mean a reader saw half a batch;
+  //  * freshness: a read that no write overlapped (seqlock check on the
+  //    started/completed counters) sees exactly the state of the last
+  //    completed write, and once the writer is done every read sees the
+  //    final state.
+  Workload w = MakeAncestorChain(8);  // c0 -> ... -> c7: 7 ancestors of c0
+  Universe& u = *w.universe;
+  PredId par = ParPred(w);
+  TermId c7 = u.Constant("c7");
+  TermId c8 = u.Constant("c8");
+  TermId c9 = u.Constant("c9");
+
+  QueryServiceOptions options;
+  options.num_threads = 8;
+  QueryService service(w.program, w.db, options);
+  QueryRequest exemplar;
+  exemplar.query = w.query;
+  auto prepared = service.Prepare(exemplar);
+  ASSERT_TRUE(prepared.ok());
+  QueryService::FormHandle handle = *prepared;
+  const std::vector<TermId> seed = {u.Constant("c0")};
+  ASSERT_EQ(service.Answer(handle, seed).tuples.size(), 7u);
+
+  constexpr int kWrites = 48;  // even: the final state is the 7-row one
+  std::atomic<uint64_t> writes_started{0};
+  std::atomic<uint64_t> writes_completed{0};
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> violations{0};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      const bool present = i % 2 == 1;  // write #i toggles to !present
+      WriteBatch batch;
+      if (present) {
+        batch.Retract(par, {c7, c8});
+        batch.Retract(par, {c8, c9});
+      } else {
+        batch.Insert(par, {c7, c8});
+        batch.Insert(par, {c8, c9});
+      }
+      writes_started.fetch_add(1, std::memory_order_seq_cst);
+      auto applied = service.ApplyWrites(batch);
+      if (!applied.ok() || applied->relations_mutated != 1) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      writes_completed.fetch_add(1, std::memory_order_seq_cst);
+      // Pace the writer so the readers genuinely interleave with the
+      // toggles instead of racing past a writer that finished first.
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    writer_done.store(true, std::memory_order_seq_cst);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&] {
+      while (!writer_done.load(std::memory_order_seq_cst)) {
+        const uint64_t completed = writes_completed.load();
+        QueryAnswer answer = service.Answer(handle, seed);
+        const uint64_t started = writes_started.load();
+        if (!answer.status.ok()) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const size_t rows = answer.tuples.size();
+        if (rows != 7 && rows != 9) {
+          // A torn batch: one edge of the extension without the other.
+          violations.fetch_add(1, std::memory_order_relaxed);
+        } else if (completed == started &&
+                   rows != (completed % 2 == 1 ? 9u : 7u)) {
+          // No write started after the `completed` writes this read began
+          // under, so the answer must be exactly that state's.
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Post-write reads are never stale: the writer has fully finished, so
+  // every read — evaluated or cache-served — must see the final state.
+  for (int i = 0; i < 32; ++i) {
+    QueryAnswer final_read = service.Answer(handle, seed);
+    ASSERT_TRUE(final_read.status.ok());
+    EXPECT_EQ(final_read.tuples.size(), 7u) << "stale post-write read";
+  }
+
+  QueryService::Stats stats = service.stats();
+  EXPECT_EQ(stats.writes_applied, static_cast<size_t>(kWrites));
+}
+
+}  // namespace
+}  // namespace magic

@@ -19,9 +19,20 @@
 //   --max-facts N            evaluation budget (default 10M)
 //   --limit N                stop each query after N answer rows
 //   --deadline-ms N          per-query evaluation deadline
-//   --cache-bytes N          AnswerCache byte budget for --batch
+//   --cache-bytes N          AnswerCache byte budget for --batch/--serve
 //                            (default 64 MiB; repeated seeds serve warm)
 //   --no-cache               disable cross-query answer memoization
+//   --apply FILE             with --batch: serve the batch, apply the
+//                            +fact/-fact mutations in FILE to the LIVE
+//                            service (QueryService::ApplyWrites), then
+//                            serve the batch again on the mutated EDB
+//   --serve                  interactive mode: read lines from stdin —
+//                            "+fact." inserts, "-fact." retracts (both via
+//                            ApplyWrites, no restart), anything else is a
+//                            query served through the service. New
+//                            constants are fine; new predicate names are
+//                            rejected (the live service's predicate table
+//                            is frozen under its compiled plans)
 //
 // Batch answers stream through AnswerCursor as they are derived (chunked,
 // in derivation order, not sorted); single-query answers stay sorted. The
@@ -29,17 +40,23 @@
 // hitting --limit is a success). Every strategy — including naive,
 // seminaive, and topdown — is compiled once per query form and served
 // concurrently across the worker pool (there is no serialized fallback
-// path), and all of them share the AnswerCache.
+// path), and all of them share the AnswerCache. EDB mutations go through
+// the service's write seam: in-flight queries drain, the batch applies
+// atomically, and the answer cache invalidates by epoch — reads after an
+// apply always see the mutated database.
 //
 // Examples:
 //   magicdb --strategy gms --explain --stats family.dl
 //   magicdb --batch queries.txt --threads 8 --stats family.dl
 //   magicdb --query "anc(c0, Y)" --limit 1 --deadline-ms 50 family.dl
+//   magicdb --batch queries.txt --apply edits.txt --stats family.dl
+//   printf '+par(c3,c4).\nanc(c0, Y)\n' | magicdb --serve family.dl
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -50,6 +67,7 @@
 #include "engine/query_engine.h"
 #include "engine/query_service.h"
 #include "storage/fact_io.h"
+#include "storage/write_batch.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -60,11 +78,13 @@ struct Args {
   std::string program_path;
   std::string query_text;
   std::string batch_path;
+  std::string apply_path;
   std::string facts_dir;
   size_t threads = 0;  // 0 = hardware concurrency
   size_t cache_bytes = QueryServiceOptions{}.cache_bytes;
   EngineOptions options;
   QueryLimits limits;
+  bool serve = false;
   bool explain = false;
   bool safety = false;
   bool stats = false;
@@ -163,6 +183,10 @@ Args ParseArgs(int argc, char** argv) {
       }
     } else if (arg == "--no-cache") {
       args.cache_bytes = 0;
+    } else if (arg == "--apply") {
+      if (const char* v = need_value(i)) args.apply_path = v;
+    } else if (arg == "--serve") {
+      args.serve = true;
     } else if (arg.rfind("--", 0) == 0) {
       args.ok = false;
       args.error = "unknown option: " + arg;
@@ -174,21 +198,162 @@ Args ParseArgs(int argc, char** argv) {
     args.ok = false;
     args.error = "no program file given";
   }
-  if (args.ok && !args.batch_path.empty() &&
+  if (args.ok && (!args.batch_path.empty() || args.serve) &&
       (args.explain || args.safety || args.options.static_safety_check)) {
     args.ok = false;
     args.error =
-        "--explain/--safety/--check-safety are not supported with --batch";
+        "--explain/--safety/--check-safety are not supported with "
+        "--batch/--serve";
+  }
+  if (args.ok && !args.apply_path.empty() && args.batch_path.empty()) {
+    args.ok = false;
+    args.error = "--apply needs --batch (mutations apply to the live "
+                 "service between two passes of the batch)";
+  }
+  if (args.ok && args.serve && !args.batch_path.empty()) {
+    args.ok = false;
+    args.error = "--serve and --batch are mutually exclusive";
   }
   return args;
 }
 
-/// Serves every query in the batch file concurrently and prints each
-/// query's answers in input order, separated by `% query:` headers. Each
-/// query streams through an AnswerCursor: rows print chunk-by-chunk as the
-/// fixpoint derives them (derivation order, deduplicated, not sorted)
-/// instead of waiting for the full materialized answer set.
-int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
+/// Parses one mutation line — "+fact." inserts, "-fact." retracts, a bare
+/// "fact." inserts — into `batch`. A missing trailing period is tolerated.
+/// Parsing interns into the shared base Universe, whose contract is
+/// two-tiered once compiled plans exist: new *constants* are safe anytime
+/// the client side is quiescent (they are hash-consed terms; compilation
+/// never interns constant symbols through an overlay, so no live plan can
+/// alias them), but a new *predicate declaration* is not — its numeric id
+/// would collide with a live plan overlay's ids through the shared
+/// Database. --apply parses before the service exists, so anything goes
+/// there; --serve enforces the predicate freeze per line (see RunServe).
+bool ParseMutationLine(const std::string& text,
+                       const std::shared_ptr<Universe>& universe,
+                       WriteBatch* batch, std::string* error) {
+  bool retract = false;
+  size_t start = 0;
+  if (text[start] == '+' || text[start] == '-') {
+    retract = text[start] == '-';
+    ++start;
+  }
+  std::string fact_text = text.substr(start);
+  size_t last = fact_text.find_last_not_of(" \t\r");
+  if (last == std::string::npos) {
+    *error = "empty mutation";
+    return false;
+  }
+  fact_text.resize(last + 1);
+  if (fact_text.back() != '.') fact_text += '.';
+  auto parsed = ParseUnit(fact_text, universe);
+  if (!parsed.ok()) {
+    *error = parsed.status().ToString();
+    return false;
+  }
+  if (parsed->facts.empty() || !parsed->program.rules().empty() ||
+      parsed->query.has_value()) {
+    *error = "not a ground fact";
+    return false;
+  }
+  for (const Fact& fact : parsed->facts) {
+    if (retract) {
+      batch->Retract(fact.pred, fact.args);
+    } else {
+      batch->Insert(fact.pred, fact.args);
+    }
+  }
+  return true;
+}
+
+struct PassTotals {
+  int failed = 0;
+  int truncated = 0;
+  size_t rows = 0;
+};
+
+/// Prints one tuple, tab-separated.
+void PrintTuple(const Universe& u, const std::vector<TermId>& tuple) {
+  std::string row;
+  for (TermId term : tuple) {
+    if (!row.empty()) row += "\t";
+    row += u.TermToString(term);
+  }
+  std::printf("%s\n", row.c_str());
+}
+
+/// Serves every query of the batch concurrently through `service` and
+/// prints each query's answers in input order, separated by `% query:`
+/// headers. Each query streams through an AnswerCursor: rows print
+/// chunk-by-chunk as the fixpoint derives them (derivation order,
+/// deduplicated, not sorted) instead of waiting for the full materialized
+/// answer set.
+PassTotals ServeBatchPass(QueryService& service, const Args& args,
+                          const std::vector<std::string>& lines,
+                          const std::vector<Query>& queries, Universe& u) {
+  std::vector<AnswerCursor> cursors;
+  cursors.reserve(queries.size());
+  for (const Query& query : queries) {
+    QueryRequest request;
+    request.query = query;
+    request.limits = args.limits;
+    cursors.push_back(service.Stream(request));
+  }
+
+  constexpr size_t kChunk = 64;
+  PassTotals totals;
+  std::vector<std::vector<TermId>> chunk;
+  for (size_t i = 0; i < cursors.size(); ++i) {
+    std::printf("%% query: %s\n", lines[i].c_str());
+    std::vector<int> free_positions = QueryFreePositions(u, queries[i]);
+    size_t rows = 0;
+    while (cursors[i].Next(kChunk, &chunk)) {
+      rows += chunk.size();
+      if (free_positions.empty()) continue;  // boolean query: count only
+      for (const auto& tuple : chunk) PrintTuple(u, tuple);
+    }
+    const QueryAnswer& answer = cursors[i].Finish();
+    if (!answer.status.ok()) {
+      std::printf("error: %s\n", answer.status.ToString().c_str());
+      ++totals.failed;
+      continue;
+    }
+    if (free_positions.empty()) {
+      std::printf("%s\n", rows == 0 ? "false" : "true");
+    }
+    if (answer.truncated()) {
+      std::printf("%% truncated after %zu row(s)\n", rows);
+      ++totals.truncated;
+    }
+    totals.rows += rows;
+  }
+  return totals;
+}
+
+/// Reads an --apply file into one WriteBatch ("+fact." inserts, "-fact."
+/// retracts, bare facts insert; blank lines and % comments skip).
+bool LoadApplyFile(const std::string& path,
+                   const std::shared_ptr<Universe>& universe,
+                   WriteBatch* batch) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "magicdb: cannot open apply file %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    std::string error;
+    if (!ParseMutationLine(line.substr(start), universe, batch, &error)) {
+      std::fprintf(stderr, "magicdb: bad mutation \"%s\": %s\n",
+                   line.c_str(), error.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunBatch(const Args& args, const ParsedUnit& parsed, Database& db) {
   std::ifstream in(args.batch_path);
   if (!in) {
     std::fprintf(stderr, "magicdb: cannot open batch file %s\n",
@@ -217,6 +382,15 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
     return 1;
   }
 
+  // The --apply mutations are parsed up front (before the service exists)
+  // because parsing may intern new constants into the shared Universe,
+  // which must be quiescent once serving starts.
+  WriteBatch edits;
+  if (!args.apply_path.empty() &&
+      !LoadApplyFile(args.apply_path, parsed.program.universe(), &edits)) {
+    return 1;
+  }
+
   QueryServiceOptions service_options;
   service_options.num_threads = args.threads;
   service_options.cache_bytes = args.cache_bytes;
@@ -224,51 +398,29 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
   QueryService service(parsed.program, db, service_options);
 
   Stopwatch watch;
-  std::vector<AnswerCursor> cursors;
-  cursors.reserve(queries.size());
-  for (const Query& query : queries) {
-    QueryRequest request;
-    request.query = query;
-    request.limits = args.limits;
-    cursors.push_back(service.Stream(request));
-  }
-
-  constexpr size_t kChunk = 64;
-  Universe& u = *parsed.program.universe();
-  int failed = 0;
-  int truncated = 0;
-  size_t total_rows = 0;
-  std::vector<std::vector<TermId>> chunk;
-  for (size_t i = 0; i < cursors.size(); ++i) {
-    std::printf("%% query: %s\n", lines[i].c_str());
-    std::vector<int> free_positions = QueryFreePositions(u, queries[i]);
-    size_t rows = 0;
-    while (cursors[i].Next(kChunk, &chunk)) {
-      rows += chunk.size();
-      if (free_positions.empty()) continue;  // boolean query: count only
-      for (const auto& tuple : chunk) {
-        std::string row;
-        for (TermId term : tuple) {
-          if (!row.empty()) row += "\t";
-          row += u.TermToString(term);
-        }
-        std::printf("%s\n", row.c_str());
-      }
+  PassTotals totals = ServeBatchPass(service, args, lines, queries,
+                                     *parsed.program.universe());
+  size_t passes = 1;
+  if (!args.apply_path.empty()) {
+    // Apply to the LIVE service — no teardown, no rebuild. The write seam
+    // drains in-flight work (the first pass already finished here, so the
+    // drain is instant) and the epoch bump retires every cached answer
+    // the mutations invalidated; the second pass shows the new database.
+    auto applied = service.ApplyWrites(edits);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "magicdb: apply failed: %s\n",
+                   applied.status().ToString().c_str());
+      return 1;
     }
-    const QueryAnswer& answer = cursors[i].Finish();
-    if (!answer.status.ok()) {
-      std::printf("error: %s\n", answer.status.ToString().c_str());
-      ++failed;
-      continue;
-    }
-    if (free_positions.empty()) {
-      std::printf("%s\n", rows == 0 ? "false" : "true");
-    }
-    if (answer.truncated()) {
-      std::printf("%% truncated after %zu row(s)\n", rows);
-      ++truncated;
-    }
-    total_rows += rows;
+    std::printf("%% applied %s: +%zu -%zu fact(s), %zu relation(s) mutated\n",
+                args.apply_path.c_str(), applied->inserted,
+                applied->retracted, applied->relations_mutated);
+    PassTotals second = ServeBatchPass(service, args, lines, queries,
+                                       *parsed.program.universe());
+    totals.failed += second.failed;
+    totals.truncated += second.truncated;
+    totals.rows += second.rows;
+    passes = 2;
   }
   double seconds = watch.ElapsedSeconds();
   if (args.stats) {
@@ -278,9 +430,120 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, const Database& db) {
     std::fprintf(stderr,
                  "%% %zu quer(ies) on %zu thread(s) in %.3f ms (%.0f qps), "
                  "%zu row(s), %d truncated, %d failed\n%% %s\n",
-                 queries.size(), service.num_threads(), seconds * 1e3,
-                 static_cast<double>(queries.size()) / seconds, total_rows,
-                 truncated, failed, stats.Summary().c_str());
+                 queries.size() * passes, service.num_threads(),
+                 seconds * 1e3,
+                 static_cast<double>(queries.size() * passes) / seconds,
+                 totals.rows, totals.truncated, totals.failed,
+                 stats.Summary().c_str());
+  }
+  return totals.failed == 0 ? 0 : 1;
+}
+
+/// Interactive serving loop: queries and EDB mutations interleave on one
+/// live service. Mutation lines ("+fact." / "-fact.") go through
+/// ApplyWrites — the sanctioned in-band write path — so every later query
+/// sees the mutated database, warm cache or not. The REPL is
+/// single-threaded on the client side, so parsing (which may intern new
+/// constants into the base Universe) always happens at a quiescent point.
+int RunServe(const Args& args, const ParsedUnit& parsed, Database& db) {
+  QueryServiceOptions service_options;
+  service_options.num_threads = args.threads;
+  service_options.cache_bytes = args.cache_bytes;
+  service_options.engine = args.options;
+  QueryService service(parsed.program, db, service_options);
+  Universe& u = *parsed.program.universe();
+
+  // Predicate freeze: compiled plans overlay the base predicate table, so
+  // a predicate declared mid-session reuses a numeric id a live plan
+  // already owns (and its EDB relation would shadow that plan's magic/
+  // adorned predicates through the shared Database). New constants are
+  // fine — hash-consed terms no plan can alias — so inserting fresh nodes
+  // works; introducing a fresh *relation name* needs a restart. The
+  // enforcement is by id range against the size frozen here, NOT by
+  // detecting table growth: a stray declaration is permanent (and
+  // harmless while unused), so the same line resubmitted must still be
+  // rejected.
+  const size_t frozen_preds = u.predicates().size();
+  auto uses_frozen_out_predicate = [&](PredId pred) {
+    if (pred < frozen_preds) return false;
+    std::printf(
+        "error: line uses a predicate declared after serving started; "
+        "the live service's predicate table is frozen (new constants "
+        "are fine, new relation names need a restart)\n");
+    return true;
+  };
+
+  int failed = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '%') continue;
+    std::string text = line.substr(start);
+    if (text[0] == '+' || text[0] == '-') {
+      WriteBatch batch;
+      std::string error;
+      if (!ParseMutationLine(text, parsed.program.universe(), &batch,
+                             &error)) {
+        std::printf("error: %s\n", error.c_str());
+        ++failed;
+        continue;
+      }
+      bool frozen_out = false;
+      for (const WriteBatch::Op& op : batch.ops()) {
+        if (uses_frozen_out_predicate(op.pred)) {
+          frozen_out = true;
+          break;
+        }
+      }
+      if (frozen_out) {
+        ++failed;
+        continue;
+      }
+      auto applied = service.ApplyWrites(batch);
+      if (!applied.ok()) {
+        std::printf("error: %s\n", applied.status().ToString().c_str());
+        ++failed;
+        continue;
+      }
+      std::printf("%% applied: +%zu -%zu fact(s)\n", applied->inserted,
+                  applied->retracted);
+      continue;
+    }
+    size_t last = text.find_last_not_of(" \t\r.");
+    if (last == std::string::npos) continue;
+    text.resize(last + 1);
+    auto q = ParseUnit("?- " + text + ".", parsed.program.universe());
+    if (!q.ok() || !q->query.has_value()) {
+      std::printf("error: bad query \"%s\": %s\n", text.c_str(),
+                  q.ok() ? "not a query" : q.status().ToString().c_str());
+      ++failed;
+      continue;
+    }
+    if (uses_frozen_out_predicate(q->query->goal.pred)) {
+      ++failed;
+      continue;
+    }
+    std::printf("%% query: %s\n", text.c_str());
+    QueryRequest request;
+    request.query = *q->query;
+    request.limits = args.limits;
+    QueryAnswer answer = service.Submit(request).get();
+    if (!answer.status.ok()) {
+      std::printf("error: %s\n", answer.status.ToString().c_str());
+      ++failed;
+      continue;
+    }
+    if (QueryFreePositions(u, request.query).empty()) {
+      std::printf("%s\n", answer.tuples.empty() ? "false" : "true");
+    } else {
+      for (const auto& tuple : answer.tuples) PrintTuple(u, tuple);
+    }
+    if (answer.truncated()) {
+      std::printf("%% truncated after %zu row(s)\n", answer.tuples.size());
+    }
+  }
+  if (args.stats) {
+    std::fprintf(stderr, "%% %s\n", service.stats().Summary().c_str());
   }
   return failed == 0 ? 0 : 1;
 }
@@ -320,6 +583,9 @@ int Run(const Args& args) {
     }
   }
 
+  if (args.serve) {
+    return RunServe(args, *parsed, db);
+  }
   if (!args.batch_path.empty()) {
     return RunBatch(args, *parsed, db);
   }
@@ -415,7 +681,8 @@ int main(int argc, char** argv) {
   if (!args.ok) {
     std::fprintf(stderr, "magicdb: %s\n", args.error.c_str());
     std::fprintf(stderr,
-                 "usage: magicdb [--query Q] [--batch FILE] [--threads N] "
+                 "usage: magicdb [--query Q] [--batch FILE] [--apply FILE] "
+                 "[--serve] [--threads N] "
                  "[--strategy S] [--sip NAME] "
                  "[--guards MODE] [--facts DIR] [--explain] [--safety] "
                  "[--check-safety] [--stats] [--max-facts N] [--limit N] "
