@@ -38,6 +38,14 @@
 //           mutation (writes_applied/write_drain_ns ride in the stats
 //           fields). The database is restored afterwards, so later modes
 //           and thread counts see the same EDB.
+//   serve   the wire: an in-process MagicServer on an ephemeral port,
+//           max(2, threads) MagicClient connections, and an OPEN-LOOP
+//           arrival schedule (request i is due at i/rate seconds; late
+//           requests are not rescheduled, so queueing delay counts
+//           against latency like it does for real clients). Emits the
+//           usual qps plus rate/connections and p50/p95/p99 latency
+//           percentiles measured from each request's scheduled arrival.
+//           --rate sets the offered load (default 1000/s).
 //
 // Workloads: `ancestor` (chain of 256), `samegen` (10x6 grid), or `all`
 // (default). Indexes and the form cache are warmed before measuring so
@@ -61,6 +69,8 @@
 #include <vector>
 
 #include "engine/query_service.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "storage/write_batch.h"
 #include "util/stopwatch.h"
 #include "workload/generators.h"
@@ -119,6 +129,16 @@ BenchCase MakeSameGenCase(size_t queries) {
   return c;
 }
 
+/// Wraps plain queries as request-tier QueryRequests (default strategy,
+/// no limits) for AnswerBatch.
+std::vector<QueryRequest> AsRequests(const std::vector<Query>& queries) {
+  std::vector<QueryRequest> requests(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    requests[i].query = queries[i];
+  }
+  return requests;
+}
+
 /// The per-instance seed values of each batch query (the constants at the
 /// bound positions), for the handle tier.
 std::vector<std::vector<TermId>> SeedValues(const BenchCase& c) {
@@ -137,17 +157,29 @@ std::vector<std::vector<TermId>> SeedValues(const BenchCase& c) {
 
 void EmitLine(const BenchCase& c, const char* mode, size_t threads,
               size_t queries, double seconds, size_t answers,
-              size_t failures, const QueryService::Stats& stats) {
+              size_t failures, const QueryService::Stats& stats,
+              const std::string& extra = std::string()) {
   // Counter fields come from the one shared reporting path
   // (Stats::JsonFragment) so the bench never re-aggregates by hand.
+  // `extra` is a mode-specific run of `"key":value,` pairs (the serve
+  // mode's rate/latency percentiles).
   std::printf(
       "{\"bench\":\"throughput\",\"workload\":\"%s\",\"mode\":\"%s\","
       "\"threads\":%zu,\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,"
-      "\"answers\":%zu,\"failures\":%zu,%s}\n",
+      "\"answers\":%zu,\"failures\":%zu,%s%s}\n",
       c.name.c_str(), mode, threads, queries, seconds,
       static_cast<double>(queries) / seconds, answers, failures,
-      stats.JsonFragment().c_str());
+      extra.c_str(), stats.JsonFragment().c_str());
   std::fflush(stdout);
+}
+
+/// The p-th percentile (0 < p <= 1) of latencies, by rank; `sorted` must be
+/// ascending and nonempty.
+double Percentile(const std::vector<double>& sorted, double p) {
+  size_t rank = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (rank > 0) --rank;
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
 }
 
 /// A zipf(s=1)-distributed index sequence over `universe` items,
@@ -196,15 +228,15 @@ std::pair<size_t, size_t> ServeSeeds(
   return {answers, failures};
 }
 
-void RunCase(BenchCase& c, size_t max_threads,
-             const std::string& mode) {
+void RunCase(BenchCase& c, size_t max_threads, const std::string& mode,
+             double rate) {
   // Warm up: build the EDB indexes and intern everything once so every
   // measured thread count does identical work.
   {
     QueryServiceOptions options;
     options.num_threads = 1;
     QueryService warmup(c.workload.program, c.workload.db, options);
-    (void)warmup.AnswerBatch(c.batch);
+    (void)warmup.AnswerBatch(AsRequests(c.batch));
   }
   std::vector<std::vector<TermId>> seeds = SeedValues(c);
 
@@ -233,8 +265,9 @@ void RunCase(BenchCase& c, size_t max_threads,
 
     if (mode == "batch" || mode == "all") {
       QueryService service(c.workload.program, c.workload.db, options);
+      std::vector<QueryRequest> requests = AsRequests(c.batch);
       Stopwatch watch;
-      std::vector<QueryAnswer> answers = service.AnswerBatch(c.batch);
+      std::vector<QueryAnswer> answers = service.AnswerBatch(requests);
       double seconds = watch.ElapsedSeconds();
       size_t total_answers = 0;
       size_t failures = 0;
@@ -390,6 +423,114 @@ void RunCase(BenchCase& c, size_t max_threads,
                failures, service.stats());
     }
 
+    if (mode == "serve" || mode == "all") {
+      // Whole-stack line: parse + seed interning + evaluation + framing,
+      // through real sockets, under an open-loop arrival schedule.
+      QueryService service(c.workload.program, c.workload.db, options);
+      net::ServerOptions server_options;
+      server_options.port = 0;
+      net::MagicServer server(c.workload.universe, c.workload.program,
+                              &service, server_options);
+      if (Status st = server.Start(); !st.ok()) {
+        std::fprintf(stderr, "bench_throughput: %s\n", st.ToString().c_str());
+        return;
+      }
+      const Universe& u = *c.workload.universe;
+      std::string query_text =
+          u.symbols().Name(u.predicates().info(c.workload.query.goal.pred).name);
+      query_text += "(";
+      for (size_t i = 0; i < c.workload.query.goal.args.size(); ++i) {
+        if (i > 0) query_text += ", ";
+        query_text += u.TermToString(c.workload.query.goal.args[i]);
+      }
+      query_text += ")";
+      std::vector<std::string> seed_tokens;
+      seed_tokens.reserve(seeds.size());
+      for (const std::vector<TermId>& seed : seeds) {
+        std::string tokens;
+        for (size_t j = 0; j < seed.size(); ++j) {
+          if (j > 0) tokens += ' ';
+          tokens += u.TermToString(seed[j]);
+        }
+        seed_tokens.push_back(std::move(tokens));
+      }
+
+      const size_t connections = std::max<size_t>(2, threads);
+      std::vector<double> latency_ms(seed_tokens.size(), 0.0);
+      std::atomic<size_t> total_answers{0};
+      std::atomic<size_t> failures{0};
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<std::thread> clients;
+      clients.reserve(connections);
+      for (size_t k = 0; k < connections; ++k) {
+        clients.emplace_back([&, k] {
+          auto conn = net::MagicClient::Connect(server.host(), server.port());
+          size_t assigned = 0;
+          for (size_t i = k; i < seed_tokens.size(); i += connections) {
+            ++assigned;
+          }
+          if (!conn.ok()) {
+            failures.fetch_add(assigned, std::memory_order_relaxed);
+            return;
+          }
+          net::MagicClient client = std::move(*conn);
+          auto prepared = client.Call("PREPARE bench " + query_text);
+          if (!prepared.ok() || !prepared->ok()) {
+            failures.fetch_add(assigned, std::memory_order_relaxed);
+            return;
+          }
+          for (size_t i = k; i < seed_tokens.size(); i += connections) {
+            // Open loop: request i is due at i/rate seconds after start,
+            // regardless of how long earlier requests took. Sleeping past
+            // a due point just means the latency sample includes the
+            // queueing delay — exactly what a real client would feel.
+            const auto due =
+                start + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(
+                                static_cast<double>(i) / rate));
+            std::this_thread::sleep_until(due);
+            auto reply = client.Call("QUERY bench " + seed_tokens[i]);
+            const auto done = std::chrono::steady_clock::now();
+            latency_ms[i] =
+                std::chrono::duration<double, std::milli>(done - due).count();
+            if (!reply.ok()) {
+              // Transport failure: the connection is dead; everything
+              // still assigned to it fails too.
+              size_t rest = 0;
+              for (size_t j = i; j < seed_tokens.size(); j += connections) {
+                ++rest;
+              }
+              failures.fetch_add(rest, std::memory_order_relaxed);
+              return;
+            }
+            if (!reply->ok()) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              total_answers.fetch_add(reply->lines.size(),
+                                      std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      server.Stop();
+
+      std::vector<double> sorted = latency_ms;
+      std::sort(sorted.begin(), sorted.end());
+      char extra[192];
+      std::snprintf(extra, sizeof(extra),
+                    "\"rate\":%.1f,\"connections\":%zu,\"p50_ms\":%.3f,"
+                    "\"p95_ms\":%.3f,\"p99_ms\":%.3f,",
+                    rate, connections, Percentile(sorted, 0.50),
+                    Percentile(sorted, 0.95), Percentile(sorted, 0.99));
+      EmitLine(c, "serve", threads, seed_tokens.size(), seconds,
+               total_answers.load(), failures.load(), service.stats(), extra);
+    }
+
     if (mode == "stream" || mode == "all") {
       QueryService service(c.workload.program, c.workload.db, options);
       QueryRequest exemplar;
@@ -427,6 +568,7 @@ int main(int argc, char** argv) {
   size_t queries = 256;
   std::string workload = "all";
   std::string mode = "all";
+  double rate = 1000.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       max_threads = std::strtoull(argv[++i], nullptr, 10);
@@ -436,17 +578,20 @@ int main(int argc, char** argv) {
       workload = argv[++i];
     } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       mode = argv[++i];
+    } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+      rate = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(
           stderr,
           "usage: bench_throughput [--threads N] [--queries M] "
           "[--workload ancestor|samegen|all] "
-          "[--mode batch|handle|limit1|stream|repeat|strategy|mutate|all]"
-          "\n");
+          "[--mode batch|handle|limit1|stream|repeat|strategy|mutate|serve|"
+          "all] [--rate QPS]\n");
       return 2;
     }
   }
   if (max_threads == 0) max_threads = 1;
+  if (rate <= 0) rate = 1000.0;
   if (workload != "ancestor" && workload != "samegen" && workload != "all") {
     std::fprintf(stderr, "bench_throughput: unknown workload \"%s\"\n",
                  workload.c_str());
@@ -454,18 +599,18 @@ int main(int argc, char** argv) {
   }
   if (mode != "batch" && mode != "handle" && mode != "limit1" &&
       mode != "stream" && mode != "repeat" && mode != "strategy" &&
-      mode != "mutate" && mode != "all") {
+      mode != "mutate" && mode != "serve" && mode != "all") {
     std::fprintf(stderr, "bench_throughput: unknown mode \"%s\"\n",
                  mode.c_str());
     return 2;
   }
   if (workload == "ancestor" || workload == "all") {
     BenchCase c = MakeAncestorCase(queries);
-    RunCase(c, max_threads, mode);
+    RunCase(c, max_threads, mode, rate);
   }
   if (workload == "samegen" || workload == "all") {
     BenchCase c = MakeSameGenCase(queries);
-    RunCase(c, max_threads, mode);
+    RunCase(c, max_threads, mode, rate);
   }
   return 0;
 }

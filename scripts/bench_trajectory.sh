@@ -8,9 +8,13 @@
 #
 # Environment: THREADS (default 4), QUERIES (default 256), MODE (default
 # all — includes the `repeat` zipfian cold/warm AnswerCache mode, the
-# `strategy` non-rewriting-handle mode, and the `mutate` mode, whose line
+# `strategy` non-rewriting-handle mode, the `mutate` mode, whose line
 # records read QPS while a writer thread mutates the EDB through the
-# service's write seam). Run from the repository root.
+# service's write seam, and the `serve` open-loop wire mode: requests
+# arrive at a fixed rate RATE (default 1000/s) over real TCP connections
+# to an in-process magicdb-serve, and the line records p50/p95/p99
+# latency measured from each request's *scheduled* arrival, so queueing
+# delay counts). Run from the repository root.
 #
 # The output file only ever grows by complete, validated records: the
 # bench writes to a temp file, complete records are labelled into a
@@ -35,7 +39,7 @@ trap 'rm -f "$TMP" "$STAGE"' EXIT
 # records a partial run did complete).
 bench_status=0
 "$BIN" --threads "${THREADS:-4}" --queries "${QUERIES:-256}" \
-       --mode "${MODE:-all}" > "$TMP" || bench_status=$?
+       --mode "${MODE:-all}" --rate "${RATE:-1000}" > "$TMP" || bench_status=$?
 
 while IFS= read -r line; do
   case $line in

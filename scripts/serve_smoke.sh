@@ -1,0 +1,105 @@
+#!/usr/bin/env sh
+# End-to-end smoke test of the wire surface: starts magicdb-serve on an
+# ephemeral port, drives it with magicdb-cli (PREPARE / QUERY / APPLY /
+# STREAM / STATS), checks row counts before and after a live write, then
+# sends SIGTERM and asserts a clean shutdown. Exercises the same
+# binary+protocol pairing a user deploys, not the in-process test server.
+#
+#   scripts/serve_smoke.sh [serve-binary] [cli-binary]
+#
+# Exits non-zero (with the failing step on stderr) on any mismatch; CI
+# runs this on the Release leg after ctest.
+set -eu
+
+SERVE=${1:-./build/magicdb-serve}
+CLI=${2:-./build/magicdb-cli}
+
+WORK=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  printf 'serve_smoke: FAIL: %s\n' "$1" >&2
+  [ -f "$WORK/serve.log" ] && sed 's/^/serve_smoke:   serve| /' \
+    "$WORK/serve.log" >&2
+  exit 1
+}
+
+cat > "$WORK/ancestor.dl" <<'EOF'
+par(c0, c1).
+par(c1, c2).
+par(c2, c3).
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+EOF
+
+# Port 0 binds an ephemeral port; the server prints the endpoint it chose.
+"$SERVE" --port 0 --stats "$WORK/ancestor.dl" > "$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+PORT=
+tries=0
+while [ -z "$PORT" ]; do
+  PORT=$(sed -n 's/.*listening on [^:]*:\([0-9][0-9]*\).*/\1/p' \
+         "$WORK/serve.log" 2>/dev/null || true)
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+  tries=$((tries + 1))
+  [ "$tries" -gt 100 ] && fail "server never printed its endpoint"
+  sleep 0.1
+done
+printf 'serve_smoke: serving on port %s\n' "$PORT"
+
+run() { "$CLI" --port "$PORT" "$@" 2>> "$WORK/cli.err"; }
+
+# PREPARE round-trips (forms are per-session, so the prepared form dies
+# with this connection; the reply fields are what we check here).
+"$CLI" --port "$PORT" prepare anc "anc(c0, Y)" \
+  2> "$WORK/prepare.head" > /dev/null || fail "prepare rejected"
+grep -q 'adornment=bf' "$WORK/prepare.head" \
+  || fail "prepare reply missing the adornment"
+
+# One-shot QUERY (PREPARE + QUERY on one connection): anc(c0, Y) over a
+# 4-node chain has 3 answers.
+rows=$(run query "anc(c0, Y)" | wc -l)
+[ "$rows" -eq 3 ] || fail "expected 3 rows before the write, got $rows"
+
+# APPLY extends the chain; the next read must see the new edge (epoch
+# fencing: no stale cache serve).
+printf '+par(c3, c4).\n' | run apply > /dev/null || fail "apply rejected"
+rows=$(run query "anc(c0, Y)" | wc -l)
+[ "$rows" -eq 4 ] || fail "expected 4 rows after the write, got $rows"
+
+# A row limit truncates and still exits 0 (truncation is a success).
+rows=$(run query "anc(c0, Y)" limit=2 | wc -l) \
+  || fail "limit=2 query exited non-zero"
+[ "$rows" -eq 2 ] || fail "expected 2 limited rows, got $rows"
+
+# STREAM delivers the same answers incrementally.
+rows=$(run stream "anc(c0, Y)" | wc -l)
+[ "$rows" -eq 4 ] || fail "expected 4 streamed rows, got $rows"
+
+# STATS returns the JSON summary payload.
+run stats | grep -q '{' || fail "stats payload missing"
+
+# A new predicate through the wire must be frozen out, naming the culprit.
+if printf '+brand_new_rel(a, b).\n' | run apply > /dev/null; then
+  fail "apply of an unknown predicate was accepted"
+fi
+grep -q 'brand_new_rel' "$WORK/cli.err" \
+  || fail "freeze diagnostic does not name the predicate"
+
+# SIGTERM: stop accepting, drain sessions, join, print the marker.
+kill -TERM "$SERVER_PID"
+status=0
+wait "$SERVER_PID" || status=$?
+SERVER_PID=
+[ "$status" -eq 0 ] || fail "server exited $status on SIGTERM"
+grep -q 'clean shutdown' "$WORK/serve.log" \
+  || fail "missing clean-shutdown marker"
+
+printf 'serve_smoke: PASS\n'

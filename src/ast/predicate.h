@@ -2,9 +2,11 @@
 #define MAGIC_AST_PREDICATE_H_
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "ast/adornment.h"
 #include "ast/symbol_table.h"
@@ -57,11 +59,30 @@ struct PredicateInfo {
 /// immutable through the overlay — `mutable_info` on a base id is a
 /// checked error, which is what makes plan compilation provably
 /// side-effect-free on the shared Universe.
+///
+/// Concurrency contract (matches SymbolTable): the table is internally
+/// synchronized. Declare/GetOrDeclare serialize on an internal mutex;
+/// Find/info/size take it shared; storage is an append-only deque, so the
+/// reference info() returns stays valid for the table's lifetime. This
+/// makes a root table safe to *read* from many serving threads while a
+/// parse on another connection declares a predicate — but note that a
+/// runtime declaration is permanent and lands above the service's
+/// predicate freeze line, so serving surfaces reject queries/writes that
+/// use it (see QueryService); the synchronization here just turns what
+/// would be a data race into a well-defined "declared but not servable"
+/// state. The GetOrDeclare kind upgrade (kBase -> kDerived) writes an
+/// existing entry and is only performed while parsing rules, which every
+/// serving surface does before serving starts or rejects at runtime.
+/// mutable_info remains a compile-time-only accessor: it hands out an
+/// unguarded reference, so callers must not use it concurrently with
+/// serving (rewrites only mutate overlay-local predicates during plan
+/// compilation, which owns the overlay exclusively).
 class PredicateTable {
  public:
   PredicateTable() = default;
-  /// Overlay constructor. `base` must outlive this table and must not be
-  /// mutated afterwards (the overlay captures its size as the id offset).
+  /// Overlay constructor. `base` must outlive this table; ids the base
+  /// declares after overlay creation belong to the base alone (the overlay
+  /// captures the base's current size as its id offset).
   explicit PredicateTable(const PredicateTable* base)
       : base_(base), offset_(static_cast<PredId>(base->size())) {}
   PredicateTable(const PredicateTable&) = delete;
@@ -70,8 +91,83 @@ class PredicateTable {
   /// Declares a new predicate; the (name, arity) pair must be unused (in
   /// the base or this layer).
   PredId Declare(SymbolId name, uint32_t arity, PredKind kind) {
-    MAGIC_CHECK_MSG(!Find(name, arity).has_value(),
+    MAGIC_CHECK_MSG(!FindInBase(name, arity).has_value(),
                     "predicate already declared");
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    MAGIC_CHECK_MSG(!FindLocked(name, arity).has_value(),
+                    "predicate already declared");
+    return DeclareLocked(name, arity, kind);
+  }
+
+  /// Returns the existing id or declares a new one. If the predicate exists,
+  /// kDerived upgrades kBase (a predicate first seen in a body, later seen
+  /// in a head); any other kind mismatch is a caller bug. The upgrade is a
+  /// base-table write, so it is rejected for base-layer predicates of an
+  /// overlay (parsing happens before plans are compiled, never through one).
+  PredId GetOrDeclare(SymbolId name, uint32_t arity, PredKind kind) {
+    if (std::optional<PredId> found = FindInBase(name, arity)) {
+      MaybeUpgrade(*found, kind);
+      return *found;
+    }
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (std::optional<PredId> found = FindLocked(name, arity)) {
+      if (kind == PredKind::kDerived &&
+          infos_[*found - offset_].kind == PredKind::kBase) {
+        infos_[*found - offset_].kind = PredKind::kDerived;
+      }
+      return *found;
+    }
+    return DeclareLocked(name, arity, kind);
+  }
+
+  std::optional<PredId> Find(SymbolId name, uint32_t arity) const {
+    if (std::optional<PredId> found = FindInBase(name, arity)) return found;
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return FindLocked(name, arity);
+  }
+
+  /// The reference is stable for the table's lifetime (append-only deque
+  /// storage).
+  const PredicateInfo& info(PredId id) const {
+    if (id < offset_) return base_->info(id);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    MAGIC_CHECK(id - offset_ < infos_.size());
+    return infos_[id - offset_];
+  }
+  /// Compile-time only: hands out an unguarded reference (see the class
+  /// comment). A base id through an overlay is a checked error.
+  PredicateInfo& mutable_info(PredId id) {
+    MAGIC_CHECK_MSG(id >= offset_,
+                    "overlay may not mutate a frozen base predicate");
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    MAGIC_CHECK(id - offset_ < infos_.size());
+    return infos_[id - offset_];
+  }
+
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return offset_ + infos_.size();
+  }
+
+ private:
+  static uint64_t Key(SymbolId name, uint32_t arity) {
+    return (static_cast<uint64_t>(name) << 32) | arity;
+  }
+
+  /// Base lookup happens outside this table's lock; the order is strictly
+  /// overlay -> base, so layering cannot deadlock.
+  std::optional<PredId> FindInBase(SymbolId name, uint32_t arity) const {
+    if (base_ == nullptr) return std::nullopt;
+    return base_->Find(name, arity);
+  }
+
+  std::optional<PredId> FindLocked(SymbolId name, uint32_t arity) const {
+    auto it = index_.find(Key(name, arity));
+    if (it == index_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  PredId DeclareLocked(SymbolId name, uint32_t arity, PredKind kind) {
     PredId id = offset_ + static_cast<PredId>(infos_.size());
     PredicateInfo info;
     info.name = name;
@@ -82,55 +178,22 @@ class PredicateTable {
     return id;
   }
 
-  /// Returns the existing id or declares a new one. If the predicate exists,
-  /// kDerived upgrades kBase (a predicate first seen in a body, later seen
-  /// in a head); any other kind mismatch is a caller bug. The upgrade is a
-  /// base-table write, so it is rejected for base-layer predicates of an
-  /// overlay (parsing happens before plans are compiled, never through one).
-  PredId GetOrDeclare(SymbolId name, uint32_t arity, PredKind kind) {
-    if (std::optional<PredId> found = Find(name, arity)) {
-      const PredicateInfo& existing = info(*found);
-      if (kind == PredKind::kDerived && existing.kind == PredKind::kBase) {
-        mutable_info(*found).kind = PredKind::kDerived;
-      }
-      return *found;
-    }
-    return Declare(name, arity, kind);
-  }
-
-  std::optional<PredId> Find(SymbolId name, uint32_t arity) const {
-    if (base_ != nullptr) {
-      if (std::optional<PredId> found = base_->Find(name, arity)) {
-        return found;
-      }
-    }
-    auto it = index_.find(Key(name, arity));
-    if (it == index_.end()) return std::nullopt;
-    return it->second;
-  }
-
-  const PredicateInfo& info(PredId id) const {
-    if (id < offset_) return base_->info(id);
-    MAGIC_CHECK(id - offset_ < infos_.size());
-    return infos_[id - offset_];
-  }
-  PredicateInfo& mutable_info(PredId id) {
-    MAGIC_CHECK_MSG(id >= offset_,
-                    "overlay may not mutate a frozen base predicate");
-    MAGIC_CHECK(id - offset_ < infos_.size());
-    return infos_[id - offset_];
-  }
-
-  size_t size() const { return offset_ + infos_.size(); }
-
- private:
-  static uint64_t Key(SymbolId name, uint32_t arity) {
-    return (static_cast<uint64_t>(name) << 32) | arity;
+  /// GetOrDeclare's kind upgrade for a base-layer hit would be a base
+  /// write, which overlays must not do — so an overlay asking for
+  /// kDerived over a base kBase predicate is a caller bug, same as the
+  /// pre-overlay CHECK (parsing never runs through an overlay).
+  void MaybeUpgrade(PredId id, PredKind kind) const {
+    if (kind != PredKind::kDerived) return;
+    MAGIC_CHECK_MSG(base_->info(id).kind != PredKind::kBase,
+                    "overlay may not upgrade a frozen base predicate");
   }
 
   const PredicateTable* base_ = nullptr;
   PredId offset_ = 0;
-  std::vector<PredicateInfo> infos_;
+  mutable std::shared_mutex mutex_;
+  /// Deque, not vector: growth never moves existing infos, so info()'s
+  /// returned references survive concurrent declaration.
+  std::deque<PredicateInfo> infos_;
   std::unordered_map<uint64_t, PredId> index_;
 };
 

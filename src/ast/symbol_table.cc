@@ -1,34 +1,51 @@
 #include "ast/symbol_table.h"
 
+#include <mutex>
+
 #include "util/check.h"
 
 namespace magic {
 
 SymbolId SymbolTable::Intern(std::string_view name) {
+  // Overlay fast path: a name the base already has keeps the base's id.
+  // Lock order is strictly overlay -> base (never reversed), so layering
+  // cannot deadlock.
   if (base_ != nullptr) {
     if (std::optional<SymbolId> found = base_->Find(name)) return *found;
   }
-  auto it = index_.find(std::string(name));
-  if (it != index_.end()) return it->second;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (std::optional<SymbolId> found = FindLocked(name)) return *found;
   SymbolId id = offset_ + static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
   index_.emplace(names_.back(), id);
   return id;
 }
 
-std::optional<SymbolId> SymbolTable::Find(std::string_view name) const {
-  if (base_ != nullptr) {
-    if (std::optional<SymbolId> found = base_->Find(name)) return found;
-  }
+std::optional<SymbolId> SymbolTable::FindLocked(std::string_view name) const {
   auto it = index_.find(std::string(name));
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
+std::optional<SymbolId> SymbolTable::Find(std::string_view name) const {
+  if (base_ != nullptr) {
+    if (std::optional<SymbolId> found = base_->Find(name)) return found;
+  }
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return FindLocked(name);
+}
+
 const std::string& SymbolTable::Name(SymbolId id) const {
   if (id < offset_) return base_->Name(id);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   MAGIC_CHECK(id - offset_ < names_.size());
+  // The deque never moves elements, so the reference outlives the lock.
   return names_[id - offset_];
+}
+
+size_t SymbolTable::size() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return offset_ + names_.size();
 }
 
 }  // namespace magic

@@ -2,11 +2,12 @@
 #define MAGIC_AST_SYMBOL_TABLE_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace magic {
 
@@ -20,17 +21,33 @@ using SymbolId = uint32_t;
 /// tables must never be mixed (enforced only by convention, as in most
 /// interning designs).
 ///
-/// A table may be layered over a frozen base table (the PlanUniverse
-/// overlay): ids below the base's size resolve through the base, new
-/// interns land in this table only, and the base is never written. Two
-/// overlays of one base may assign the same id to different strings — that
-/// is fine because ids from different overlays are never mixed (each
-/// compiled plan resolves ids through its own table only).
+/// A table may be layered over a base table (the PlanUniverse overlay):
+/// ids below the base's size at overlay creation resolve through the base,
+/// new interns land in this table only, and the overlay never writes the
+/// base. Two overlays of one base may assign the same id to different
+/// strings — that is fine because ids from different overlays are never
+/// mixed (each compiled plan resolves ids through its own table only).
+///
+/// Concurrency contract: the table is internally synchronized, like
+/// TermArena — Intern serializes on an internal mutex, Find/Name/size take
+/// it shared, and storage is append-only with stable addresses (a deque),
+/// so a reference returned by Name() stays valid for the table's lifetime,
+/// lock dropped or not. This is what lets a *root* table keep interning at
+/// runtime (the network server parses queries and new constants on many
+/// connections) while compiled plans and evaluations read it concurrently.
+/// Overlay tables remain effectively single-threaded (one compilation owns
+/// each), but they take the base's shared lock through base_->Find/Name,
+/// so compilation is safe against concurrent root interning too. The one
+/// thing runtime interning must never do is re-purpose an existing id —
+/// append-only growth guarantees that; see Universe for the predicate-
+/// freeze rules layered on top.
 class SymbolTable {
  public:
   SymbolTable() = default;
-  /// Overlay constructor. `base` must outlive this table and must not be
-  /// mutated afterwards (the overlay captures its size as the id offset).
+  /// Overlay constructor. `base` must outlive this table; the overlay
+  /// captures the base's current size as its id offset, and ids the base
+  /// assigns later belong to the base alone (the overlay never resolves
+  /// them).
   explicit SymbolTable(const SymbolTable* base)
       : base_(base), offset_(static_cast<SymbolId>(base->size())) {}
   SymbolTable(const SymbolTable&) = delete;
@@ -44,15 +61,21 @@ class SymbolTable {
   /// this layer).
   std::optional<SymbolId> Find(std::string_view name) const;
 
-  /// Returns the string for an interned id.
+  /// Returns the string for an interned id. The reference is stable for
+  /// the table's lifetime (append-only deque storage).
   const std::string& Name(SymbolId id) const;
 
-  size_t size() const { return offset_ + names_.size(); }
+  size_t size() const;
 
  private:
+  std::optional<SymbolId> FindLocked(std::string_view name) const;
+
   const SymbolTable* base_ = nullptr;
   SymbolId offset_ = 0;
-  std::vector<std::string> names_;
+  mutable std::shared_mutex mutex_;
+  /// Deque, not vector: growth never moves existing strings, so Name()'s
+  /// returned references survive concurrent interning.
+  std::deque<std::string> names_;
   std::unordered_map<std::string, SymbolId> index_;
 };
 

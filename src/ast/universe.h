@@ -1,6 +1,7 @@
 #ifndef MAGIC_AST_UNIVERSE_H_
 #define MAGIC_AST_UNIVERSE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -23,10 +24,14 @@ namespace magic {
 /// Compilation (adornment, the magic/counting rewrites) then declares its
 /// adorned/magic predicates into the overlay only — the base tables are
 /// physically immutable through it — so any number of plans can compile
-/// and evaluate concurrently against one shared base. The base must be
-/// quiescent (no symbol interning / predicate declaration) from the first
-/// overlay's construction on; term interning stays safe anytime because
-/// TermArena is internally synchronized.
+/// and evaluate concurrently against one shared base. All three interning
+/// layers are internally synchronized (TermArena, SymbolTable,
+/// PredicateTable), so a *root* universe may keep interning constants and
+/// symbols at runtime — the network server parses queries carrying new
+/// constants on many connections — while overlays compile and evaluate
+/// against it. What stays forbidden at runtime is *using* predicates
+/// declared after serving started: the serving surfaces freeze the
+/// predicate id range and reject such queries/writes (QueryService).
 class Universe {
  public:
   Universe() : terms_(std::make_shared<TermArena>()) {}
@@ -37,7 +42,7 @@ class Universe {
         symbols_(&base_->symbols_),
         predicates_(&base_->predicates_),
         terms_(base_->terms_),
-        fresh_counter_(base_->fresh_counter_) {}
+        fresh_counter_(base_->fresh_counter_.load()) {}
   Universe(const Universe&) = delete;
   Universe& operator=(const Universe&) = delete;
 
@@ -58,7 +63,9 @@ class Universe {
 
   // -- Term construction conveniences -------------------------------------
   // The symbol-interning ones (Sym/Constant/Variable/Compound) mutate the
-  // symbol table and are compile-time only; the arena-only ones
+  // symbol table; on a root universe that is safe at any time (the table
+  // is internally synchronized), on an overlay it is compile-time only
+  // (one compilation owns each overlay). The arena-only ones
   // (Integer/Affine) are const and safe during evaluation.
 
   SymbolId Sym(std::string_view name) { return symbols_.Intern(name); }
@@ -110,7 +117,9 @@ class Universe {
   PredicateTable predicates_;
   /// Shared with every overlay of this universe (and with its base).
   std::shared_ptr<TermArena> terms_;
-  uint64_t fresh_counter_ = 0;
+  /// Atomic because overlay construction snapshots it while the root may be
+  /// minting fresh variables on another connection's parse.
+  std::atomic<uint64_t> fresh_counter_{0};
 };
 
 }  // namespace magic

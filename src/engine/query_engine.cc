@@ -58,18 +58,6 @@ bool IsRewritingStrategy(Strategy strategy) {
   }
 }
 
-std::string AnswerStatusName(AnswerStatus status) {
-  switch (status) {
-    case AnswerStatus::kOk: return "ok";
-    case AnswerStatus::kError: return "error";
-    case AnswerStatus::kTruncated: return "truncated";
-    case AnswerStatus::kDeadlineExceeded: return "deadline-exceeded";
-    case AnswerStatus::kCancelled: return "cancelled";
-    case AnswerStatus::kOverloaded: return "overloaded";
-  }
-  return "?";
-}
-
 AnswerStatus ClassifyOutcome(StopReason stop, const Status& status) {
   switch (stop) {
     case StopReason::kSink: return AnswerStatus::kTruncated;

@@ -20,6 +20,7 @@
 #include "core/supplementary.h"
 #include "eval/evaluator.h"
 #include "eval/topdown.h"
+#include "util/status.h"
 
 namespace magic {
 
@@ -87,19 +88,9 @@ struct QueryLimits {
   }
 };
 
-/// How one request ended, beyond its Status: the truncation/limit outcomes
-/// keep status OK or carry a matching non-OK code (kDeadlineExceeded /
-/// kCancelled), while kError covers every other non-OK status.
-enum class AnswerStatus {
-  kOk,                // complete answer set
-  kError,             // see QueryAnswer::status
-  kTruncated,         // QueryLimits::row_limit reached; tuples are a prefix
-  kDeadlineExceeded,  // deadline expired mid-run; tuples are a prefix
-  kCancelled,         // cancellation token set; tuples are a prefix
-  kOverloaded,        // rejected by admission control; never evaluated
-};
-
-std::string AnswerStatusName(AnswerStatus status);
+// AnswerStatus (how one request ended, beyond its Status) lives in
+// util/status.h now: it is one axis of the unified
+// outcome <-> wire-code <-> exit-code table every serving surface shares.
 
 /// Streaming hook: called once per distinct answer tuple (projected onto
 /// the query's free positions), in derivation order, from the evaluating

@@ -639,9 +639,7 @@ std::future<QueryAnswer> QueryService::TrySubmit(
                     /*enforce_admission=*/true);
 }
 
-QueryAnswer QueryService::Answer(const Query& query) {
-  QueryRequest request;
-  request.query = query;
+QueryAnswer QueryService::Answer(const QueryRequest& request) {
   return Submit(request).get();
 }
 
@@ -722,13 +720,6 @@ std::vector<QueryAnswer> QueryService::AnswerBatch(
     answers.push_back(future.get());
   }
   return answers;
-}
-
-std::vector<QueryAnswer> QueryService::AnswerBatch(
-    const std::vector<Query>& queries) {
-  std::vector<QueryRequest> batch(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) batch[i].query = queries[i];
-  return AnswerBatch(batch);
 }
 
 Result<WriteResult> QueryService::ApplyWrites(const WriteBatch& batch) {

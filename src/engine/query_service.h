@@ -255,8 +255,11 @@ class QueryService {
                                      std::vector<TermId> bound_values,
                                      QueryLimits limits = {});
 
-  /// Answers one query synchronously.
-  QueryAnswer Answer(const Query& query);
+  /// Answers one request synchronously. (The old pre-handle
+  /// `Answer(const Query&)` shim is gone: callers build a QueryRequest —
+  /// which is where limits/strategy overrides belong — or use the handle
+  /// tier below. Both funnel through the same SubmitImpl.)
+  QueryAnswer Answer(const QueryRequest& request);
   QueryAnswer Answer(const FormHandle& handle,
                      std::vector<TermId> bound_values,
                      QueryLimits limits = {});
@@ -272,7 +275,6 @@ class QueryService {
   /// Answers a batch; answers are returned in input order. Queries of the
   /// batch evaluate concurrently across the pool.
   std::vector<QueryAnswer> AnswerBatch(const std::vector<QueryRequest>& batch);
-  std::vector<QueryAnswer> AnswerBatch(const std::vector<Query>& queries);
 
   /// The in-band EDB write path: validates `batch` (declared arities,
   /// groundness — rejected batches never block serving), then takes the

@@ -1,0 +1,80 @@
+#ifndef MAGIC_NET_CLIENT_H_
+#define MAGIC_NET_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace magic {
+namespace net {
+
+/// Client side of the magicdb line protocol: one connection, synchronous
+/// request/response. Used by magicdb-cli, the serve bench mode, and the
+/// protocol tests; deliberately thin — it frames requests, parses the
+/// response head token through the one WireCode table, and leaves payload
+/// interpretation to the caller.
+class MagicClient {
+ public:
+  /// What one response frame (or a STREAM's final frame) said. `code`
+  /// comes from the frame's first token via WireCodeFromName; `head` is
+  /// the rest of the first line (message text or `key=value` fields);
+  /// `lines` are the payload lines after the first (answer tuples, the
+  /// STATS JSON line).
+  struct Reply {
+    WireCode code = WireCode::kInternal;
+    std::string head;
+    std::vector<std::string> lines;
+
+    bool ok() const {
+      return code == WireCode::kOk || code == WireCode::kTruncated;
+    }
+    /// The Status this reply maps to through the shared table.
+    Status ToStatus() const { return StatusFromWire(code, head); }
+    /// The process exit code this reply maps to through the shared table.
+    int exit_code() const { return ExitCodeFor(code); }
+  };
+
+  MagicClient() = default;
+  ~MagicClient();
+  MagicClient(MagicClient&& other) noexcept;
+  MagicClient& operator=(MagicClient&& other) noexcept;
+  MagicClient(const MagicClient&) = delete;
+  MagicClient& operator=(const MagicClient&) = delete;
+
+  static Result<MagicClient> Connect(const std::string& host, uint16_t port);
+
+  /// One request frame in, one response frame out. A transport failure
+  /// (server gone, torn frame) is a non-OK Result; a *protocol-level*
+  /// error is an OK Result whose Reply carries the error code.
+  Result<Reply> Call(const std::string& request);
+
+  /// Sends a STREAM request: `on_row` sees each `*` row frame (prefix
+  /// stripped) as it arrives; returning false abandons the stream by
+  /// closing the connection (the server cancels the evaluation). Returns
+  /// the final status frame, or code kCancelled when abandoned.
+  Result<Reply> Stream(const std::string& request,
+                       const std::function<bool(const std::string&)>& on_row);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// The raw socket, for tests that poke malformed bytes at the server.
+  int fd() const { return fd_; }
+
+ private:
+  explicit MagicClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+/// Parses one response frame into a Reply (exposed for tests). An
+/// unrecognized head token yields code kProtocol.
+MagicClient::Reply ParseReply(const std::string& frame);
+
+}  // namespace net
+}  // namespace magic
+
+#endif  // MAGIC_NET_CLIENT_H_

@@ -1,0 +1,76 @@
+#include "net/wire.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace magic {
+namespace net {
+
+namespace {
+
+/// Receives exactly `len` bytes. Returns len on success, 0 on clean EOF
+/// before any byte, -1 on error, and a short count on EOF mid-read.
+ssize_t RecvAll(int fd, char* buf, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd, buf + got, len - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return static_cast<ssize_t>(got);  // EOF
+    if (errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<ssize_t>(got);
+}
+
+bool SendAll(int fd, const char* buf, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FrameResult ReadFrame(int fd, size_t max_payload, std::string* out) {
+  char header[4];
+  ssize_t n = RecvAll(fd, header, sizeof(header));
+  if (n == 0) return FrameResult::kEof;
+  if (n < 0) return FrameResult::kError;
+  if (n < 4) return FrameResult::kTorn;
+  uint32_t len = (static_cast<uint32_t>(static_cast<unsigned char>(header[0]))
+                  << 24) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(header[1]))
+                  << 16) |
+                 (static_cast<uint32_t>(static_cast<unsigned char>(header[2]))
+                  << 8) |
+                 static_cast<uint32_t>(static_cast<unsigned char>(header[3]));
+  if (len > max_payload) return FrameResult::kOversized;
+  out->resize(len);
+  if (len == 0) return FrameResult::kOk;
+  n = RecvAll(fd, out->data(), len);
+  if (n < 0) return FrameResult::kError;
+  if (static_cast<size_t>(n) < len) return FrameResult::kTorn;
+  return FrameResult::kOk;
+}
+
+bool WriteFrame(int fd, std::string_view payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  char header[4] = {static_cast<char>(len >> 24), static_cast<char>(len >> 16),
+                    static_cast<char>(len >> 8), static_cast<char>(len)};
+  if (!SendAll(fd, header, sizeof(header))) return false;
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+}  // namespace net
+}  // namespace magic

@@ -2,7 +2,64 @@
 
 #include <string>
 
+#include "ast/parser.h"
+#include "ast/program.h"
+
 namespace magic {
+
+Status ParseMutationLine(const std::string& text,
+                         const std::shared_ptr<Universe>& universe,
+                         WriteBatch* batch) {
+  bool retract = false;
+  size_t start = 0;
+  if (!text.empty() && (text[start] == '+' || text[start] == '-')) {
+    retract = text[start] == '-';
+    ++start;
+  }
+  std::string fact_text = text.substr(start);
+  size_t last = fact_text.find_last_not_of(" \t\r");
+  if (last == std::string::npos) {
+    return Status::InvalidArgument("empty mutation");
+  }
+  fact_text.resize(last + 1);
+  if (fact_text.back() != '.') fact_text += '.';
+  auto parsed = ParseUnit(fact_text, universe);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->facts.empty() || !parsed->program.rules().empty() ||
+      parsed->query.has_value()) {
+    return Status::InvalidArgument("not a ground fact: " + text);
+  }
+  for (const Fact& fact : parsed->facts) {
+    if (retract) {
+      batch->Retract(fact.pred, fact.args);
+    } else {
+      batch->Insert(fact.pred, fact.args);
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckFrozenPredicate(const Universe& u, PredId pred,
+                            size_t frozen_preds) {
+  if (pred < frozen_preds) return Status::OK();
+  const PredicateInfo& info = u.predicates().info(pred);
+  return Status::FailedPrecondition(
+      "predicate '" + u.symbols().Name(info.name) + "/" +
+      std::to_string(info.arity) +
+      "' was declared after serving started; the live service's predicate "
+      "table is frozen (new constants are fine, new relation names need a "
+      "restart)");
+}
+
+Status CheckFrozenPredicates(const Universe& u, const WriteBatch& batch,
+                             size_t frozen_preds) {
+  for (const WriteBatch::Op& op : batch.ops()) {
+    if (Status st = CheckFrozenPredicate(u, op.pred, frozen_preds); !st.ok()) {
+      return st;
+    }
+  }
+  return Status::OK();
+}
 
 Status WriteBatch::Validate(const Universe& u) const {
   for (const Op& op : ops_) {

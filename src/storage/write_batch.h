@@ -2,6 +2,8 @@
 #define MAGIC_STORAGE_WRITE_BATCH_H_
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "ast/universe.h"
@@ -54,6 +56,33 @@ class WriteBatch {
  private:
   std::vector<Op> ops_;
 };
+
+/// Parses one mutation line — "+fact." inserts, "-fact." retracts, a bare
+/// "fact." inserts — into `*batch`. A missing trailing period is
+/// tolerated. Parsing interns into `universe` (new constants are safe at
+/// any time on a root universe — the interning tables are internally
+/// synchronized — and a new predicate *declaration* is permanent but
+/// rejected by CheckFrozenPredicates below before it can be served).
+/// Shared by the magicdb REPL, the apply-file loader, and the wire APPLY
+/// verb, so all three accept the same grammar and emit the same errors.
+Status ParseMutationLine(const std::string& text,
+                         const std::shared_ptr<Universe>& universe,
+                         WriteBatch* batch);
+
+/// The serving-surface predicate freeze: compiled plans overlay the base
+/// predicate table, so a predicate declared after serving started must not
+/// be served — its numeric id range collides with live plan overlays
+/// through the shared Database. `frozen_preds` is the predicate-table size
+/// captured when serving started; any op naming a predicate at or above it
+/// fails FailedPrecondition with a message naming the predicate, e.g.
+/// "predicate 'flight/2' was declared after serving started". Enforcement
+/// is by id range, NOT by detecting table growth: a stray declaration is
+/// permanent (and harmless while unused), so the same line resubmitted
+/// must still be rejected.
+Status CheckFrozenPredicate(const Universe& u, PredId pred,
+                            size_t frozen_preds);
+Status CheckFrozenPredicates(const Universe& u, const WriteBatch& batch,
+                             size_t frozen_preds);
 
 /// What one applied batch changed. `relations_mutated` counts relations
 /// whose tuple set actually changed (each had its mutation epoch bumped

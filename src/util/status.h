@@ -1,8 +1,10 @@
 #ifndef MAGIC_UTIL_STATUS_H_
 #define MAGIC_UTIL_STATUS_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "util/check.h"
@@ -58,6 +60,15 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
+  /// Builds a Status of any code (OK for kOk, dropping the message). The
+  /// named factories above are preferred in code that knows its error
+  /// class; this one exists for table-driven mappings — reconstructing a
+  /// Status from a wire code is the canonical use.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
@@ -90,6 +101,151 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// How one request ended, beyond its Status: the truncation/limit outcomes
+/// keep status OK or carry a matching non-OK code (kDeadlineExceeded /
+/// kCancelled), while kError covers every other non-OK status. Lives here —
+/// not in the engine — because it is one axis of the unified
+/// outcome <-> wire-code <-> exit-code table below, which every surface
+/// (in-process API, magicdb exit statuses, the TCP wire protocol) shares.
+enum class AnswerStatus {
+  kOk,                // complete answer set
+  kError,             // see QueryAnswer::status
+  kTruncated,         // QueryLimits::row_limit reached; tuples are a prefix
+  kDeadlineExceeded,  // deadline expired mid-run; tuples are a prefix
+  kCancelled,         // cancellation token set; tuples are a prefix
+  kOverloaded,        // rejected by admission control; never evaluated
+};
+
+inline std::string AnswerStatusName(AnswerStatus status) {
+  switch (status) {
+    case AnswerStatus::kOk: return "ok";
+    case AnswerStatus::kError: return "error";
+    case AnswerStatus::kTruncated: return "truncated";
+    case AnswerStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case AnswerStatus::kCancelled: return "cancelled";
+    case AnswerStatus::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
+/// The single request-outcome vocabulary shared by every serving surface.
+/// A WireCode is what crosses the process boundary: the first token of
+/// every response frame of the line protocol is its name, and the exit
+/// status of magicdb's batch/REPL/client modes is its exit code. There is
+/// exactly one table (kWireCodeTable); the server, the client, and the CLI
+/// all read it, so the three surfaces cannot drift apart.
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kTruncated,          // success: a row limit (or sink) stopped the answer
+  kDeadlineExceeded,   // per-request deadline expired (queued or mid-run)
+  kCancelled,          // per-request cancellation token fired
+  kOverloaded,         // shed by admission control; never evaluated
+  kInvalidArgument,    // malformed request (parse error, bad seed arity…)
+  kNotFound,           // unknown predicate / unknown session handle
+  kFailedPrecondition, // not valid in this state (frozen predicate table,
+                       // writes on a read-only service…)
+  kResourceExhausted,  // evaluation hit a fact/iteration budget
+  kUnsafe,             // static analysis refused the strategy
+  kUnimplemented,
+  kInternal,
+  kProtocol,           // framing violation (oversized/torn frame); the
+                       // connection is not recoverable
+};
+
+/// One row of the unified table: the wire token, the process exit code,
+/// and the Status code a client reconstructs. Exit-code contract: 0 =
+/// success (including truncation-by-limit, which magicdb has always
+/// treated as success), 1 = internal error, 2 = usage (reserved for the
+/// CLIs' own argument errors), 3 = the request was bad, 4 = deadline,
+/// 5 = cancelled, 6 = overload / resource budget, 7 = protocol violation.
+struct WireCodeRow {
+  WireCode wire;
+  const char* name;
+  int exit_code;
+  StatusCode status;
+};
+
+inline constexpr WireCodeRow kWireCodeTable[] = {
+    {WireCode::kOk, "Ok", 0, StatusCode::kOk},
+    {WireCode::kTruncated, "Truncated", 0, StatusCode::kOk},
+    {WireCode::kDeadlineExceeded, "DeadlineExceeded", 4,
+     StatusCode::kDeadlineExceeded},
+    {WireCode::kCancelled, "Cancelled", 5, StatusCode::kCancelled},
+    {WireCode::kOverloaded, "Overloaded", 6, StatusCode::kResourceExhausted},
+    {WireCode::kInvalidArgument, "InvalidArgument", 3,
+     StatusCode::kInvalidArgument},
+    {WireCode::kNotFound, "NotFound", 3, StatusCode::kNotFound},
+    {WireCode::kFailedPrecondition, "FailedPrecondition", 3,
+     StatusCode::kFailedPrecondition},
+    {WireCode::kResourceExhausted, "ResourceExhausted", 6,
+     StatusCode::kResourceExhausted},
+    {WireCode::kUnsafe, "Unsafe", 3, StatusCode::kUnsafe},
+    {WireCode::kUnimplemented, "Unimplemented", 3, StatusCode::kUnimplemented},
+    {WireCode::kInternal, "Internal", 1, StatusCode::kInternal},
+    {WireCode::kProtocol, "Protocol", 7, StatusCode::kInvalidArgument},
+};
+
+inline constexpr const WireCodeRow& WireCodeInfo(WireCode code) {
+  return kWireCodeTable[static_cast<size_t>(code)];
+}
+inline constexpr const char* WireCodeName(WireCode code) {
+  return WireCodeInfo(code).name;
+}
+inline constexpr int ExitCodeFor(WireCode code) {
+  return WireCodeInfo(code).exit_code;
+}
+/// The Status a client reconstructs for a received code (kOk/kTruncated
+/// both mean "status OK": truncation is a successful outcome).
+inline Status StatusFromWire(WireCode code, std::string msg) {
+  return Status::FromCode(WireCodeInfo(code).status, std::move(msg));
+}
+/// Inverse of WireCodeName (the client side of the wire). Linear scan over
+/// the one table; response parsing is never a hot path.
+inline std::optional<WireCode> WireCodeFromName(std::string_view name) {
+  for (const WireCodeRow& row : kWireCodeTable) {
+    if (name == row.name) return row.wire;
+  }
+  return std::nullopt;
+}
+
+/// Maps a plain Status onto the wire — used for request-level failures that
+/// never produced an answer (parse errors, APPLY rejections, …).
+inline constexpr WireCode ToWireCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return WireCode::kOk;
+    case StatusCode::kInvalidArgument: return WireCode::kInvalidArgument;
+    case StatusCode::kNotFound: return WireCode::kNotFound;
+    case StatusCode::kFailedPrecondition: return WireCode::kFailedPrecondition;
+    case StatusCode::kResourceExhausted: return WireCode::kResourceExhausted;
+    case StatusCode::kDeadlineExceeded: return WireCode::kDeadlineExceeded;
+    case StatusCode::kCancelled: return WireCode::kCancelled;
+    case StatusCode::kUnsafe: return WireCode::kUnsafe;
+    case StatusCode::kUnimplemented: return WireCode::kUnimplemented;
+    case StatusCode::kInternal: return WireCode::kInternal;
+  }
+  return WireCode::kInternal;
+}
+
+/// Maps a request outcome (QueryAnswer::outcome + its status) onto the
+/// wire. The outcome wins where it refines the status; kError defers to
+/// the status code. This is THE funnel every reporter uses — magicdb's
+/// batch exit statuses, the REPL, the server, the client — replacing the
+/// per-surface hand mapping that used to exist.
+inline constexpr WireCode ToWireCode(AnswerStatus outcome, StatusCode code) {
+  switch (outcome) {
+    case AnswerStatus::kOk: return WireCode::kOk;
+    case AnswerStatus::kTruncated: return WireCode::kTruncated;
+    case AnswerStatus::kDeadlineExceeded: return WireCode::kDeadlineExceeded;
+    case AnswerStatus::kCancelled: return WireCode::kCancelled;
+    case AnswerStatus::kOverloaded: return WireCode::kOverloaded;
+    case AnswerStatus::kError:
+      // A kError outcome with an OK status would be a bug; surface it as
+      // internal rather than success.
+      return code == StatusCode::kOk ? WireCode::kInternal : ToWireCode(code);
+  }
+  return WireCode::kInternal;
+}
 
 /// Holds either a value of type T or an error Status.
 template <typename T>

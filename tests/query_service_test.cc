@@ -36,10 +36,12 @@ TEST(QueryServiceTest, BatchMatchesSingleThreadedEngineForEveryStrategy) {
 
     // Many instances of one form, deliberately repeating constants so the
     // cache and the pool both see duplicates in flight.
-    std::vector<Query> batch;
+    std::vector<QueryRequest> batch;
     for (int repeat = 0; repeat < 4; ++repeat) {
       for (int i = 0; i < 24; i += 2) {
-        batch.push_back(InstanceAt(w, "c" + std::to_string(i)));
+        QueryRequest request;
+        request.query = InstanceAt(w, "c" + std::to_string(i));
+        batch.push_back(std::move(request));
       }
     }
 
@@ -56,7 +58,7 @@ TEST(QueryServiceTest, BatchMatchesSingleThreadedEngineForEveryStrategy) {
     for (size_t i = 0; i < batch.size(); ++i) {
       ASSERT_TRUE(answers[i].status.ok())
           << StrategyName(strategy) << ": " << answers[i].status.ToString();
-      QueryAnswer expected = engine.Run(w.program, batch[i], w.db);
+      QueryAnswer expected = engine.Run(w.program, batch[i].query, w.db);
       ASSERT_TRUE(expected.status.ok());
       EXPECT_EQ(answers[i].tuples, expected.tuples)
           << StrategyName(strategy) << " query #" << i;
@@ -72,11 +74,13 @@ TEST(QueryServiceTest, BatchMatchesSingleThreadedEngineForEveryStrategy) {
 
 TEST(QueryServiceTest, SameGenerationBatchMatchesEngine) {
   Workload w = MakeSameGenNonlinear(6, 4);
-  std::vector<Query> batch;
+  std::vector<QueryRequest> batch;
   for (int level = 0; level < 3; ++level) {
     for (int column = 0; column < 4; ++column) {
-      batch.push_back(InstanceAt(w, "n" + std::to_string(level) + "_" +
-                                        std::to_string(column)));
+      QueryRequest request;
+      request.query = InstanceAt(w, "n" + std::to_string(level) + "_" +
+                                        std::to_string(column));
+      batch.push_back(std::move(request));
     }
   }
 
@@ -88,7 +92,7 @@ TEST(QueryServiceTest, SameGenerationBatchMatchesEngine) {
   QueryEngine engine;
   for (size_t i = 0; i < batch.size(); ++i) {
     ASSERT_TRUE(answers[i].status.ok()) << answers[i].status.ToString();
-    QueryAnswer expected = engine.Run(w.program, batch[i], w.db);
+    QueryAnswer expected = engine.Run(w.program, batch[i].query, w.db);
     EXPECT_EQ(answers[i].tuples, expected.tuples) << "query #" << i;
   }
 }
@@ -175,7 +179,9 @@ TEST(QueryServiceTest, BasePredicateQueriesAreDirectSelections) {
   QueryServiceOptions options;
   options.num_threads = 2;
   QueryService service(w.program, w.db, options);
-  QueryAnswer answer = service.Answer(query);
+  QueryRequest request;
+  request.query = query;
+  QueryAnswer answer = service.Answer(request);
   ASSERT_TRUE(answer.status.ok()) << answer.status.ToString();
   ASSERT_EQ(answer.tuples.size(), 1u);
   EXPECT_EQ(u.TermToString(answer.tuples[0][0]), "c4");
@@ -1121,9 +1127,11 @@ TEST(QueryServiceTest, ExpiredQueuedRequestIsShedWithoutEvaluating) {
 TEST(QueryServiceTest, AnswersComeBackInInputOrder) {
   Workload w = MakeAncestorChain(12);
   Universe& u = *w.universe;
-  std::vector<Query> batch;
+  std::vector<QueryRequest> batch;
   for (int i = 11; i >= 0; --i) {
-    batch.push_back(InstanceAt(w, "c" + std::to_string(i)));
+    QueryRequest request;
+    request.query = InstanceAt(w, "c" + std::to_string(i));
+    batch.push_back(std::move(request));
   }
   QueryServiceOptions options;
   options.num_threads = 8;

@@ -1,56 +1,61 @@
 // magicdb — command-line driver for the library.
 //
-//   magicdb [options] <program.dl>
+//   magicdb <subcommand> [options] <program.dl>
 //
-// Options:
-//   --query "anc(john, Y)"   query (overrides a ?- clause in the file)
-//   --batch FILE             serve every query in FILE (one per line)
-//                            concurrently through QueryService
-//   --threads N              worker threads for --batch (default: hardware)
+// Subcommands:
+//   eval    compile and run one query (from a ?- clause or --query) through
+//           the single-shot QueryEngine; --explain prints the rewritten
+//           program, --safety the Section 10 static verdicts
+//   bench   serve every query in --batch FILE concurrently through
+//           QueryService (answers stream per query, in derivation order);
+//           --apply FILE mutates the LIVE service between two passes
+//   apply   apply +fact/-fact mutation lines (--file FILE, default stdin)
+//           to a service through the write seam and report the counts
+//   repl    interactive loop on stdin: "+fact." inserts, "-fact." retracts
+//           (both via ApplyWrites, no restart), anything else is a query.
+//           New constants are fine; lines naming a predicate declared
+//           after startup are rejected with a diagnostic naming it
+//   serve   TCP server speaking the magicdb line protocol (PREPARE/QUERY/
+//           STREAM/APPLY/STATS/CLOSE) — see src/net/session.h for the
+//           grammar; magicdb-cli is the matching client
+//
+// Options (subcommand-dependent):
+//   --query "anc(john, Y)"   eval: query overriding a ?- clause
+//   --batch FILE             bench: query file, one query per line
+//   --apply FILE             bench: mutations applied between two passes
+//   --file FILE              apply: mutation file (default: stdin)
+//   --threads N              worker threads (default: hardware)
 //   --strategy NAME          naive | seminaive | gms | gsms | gc | gsc |
 //                            gc+sj | gsc+sj | topdown     (default gsms)
 //   --sip NAME               full | chain | head-only | empty | greedy
 //   --guards MODE            full | prop42 | ph-only      (default prop42)
 //   --facts DIR              load <pred>.facts TSV files from DIR
-//   --explain                print the adorned + rewritten programs
-//   --safety                 print the Section 10 static safety verdicts
-//   --check-safety           refuse strategies the static analysis rejects
-//   --stats                  print evaluation statistics
+//   --explain                eval: print the rewritten program
+//   --safety                 eval: print static safety verdicts
+//   --check-safety           eval: refuse statically rejected strategies
+//   --stats                  print serving statistics
 //   --max-facts N            evaluation budget (default 10M)
 //   --limit N                stop each query after N answer rows
 //   --deadline-ms N          per-query evaluation deadline
-//   --cache-bytes N          AnswerCache byte budget for --batch/--serve
-//                            (default 64 MiB; repeated seeds serve warm)
+//   --cache-bytes N          AnswerCache byte budget (default 64 MiB)
 //   --no-cache               disable cross-query answer memoization
-//   --apply FILE             with --batch: serve the batch, apply the
-//                            +fact/-fact mutations in FILE to the LIVE
-//                            service (QueryService::ApplyWrites), then
-//                            serve the batch again on the mutated EDB
-//   --serve                  interactive mode: read lines from stdin —
-//                            "+fact." inserts, "-fact." retracts (both via
-//                            ApplyWrites, no restart), anything else is a
-//                            query served through the service. New
-//                            constants are fine; new predicate names are
-//                            rejected (the live service's predicate table
-//                            is frozen under its compiled plans)
+//   --host H / --port P      serve: bind address (default 127.0.0.1:4617;
+//                            port 0 binds ephemeral and prints the choice)
+//   --max-connections N      serve: socket-level admission bound
 //
-// Batch answers stream through AnswerCursor as they are derived (chunked,
-// in derivation order, not sorted); single-query answers stay sorted. The
-// exit status is nonzero when any query fails (including deadline expiry;
-// hitting --limit is a success). Every strategy — including naive,
-// seminaive, and topdown — is compiled once per query form and served
-// concurrently across the worker pool (there is no serialized fallback
-// path), and all of them share the AnswerCache. EDB mutations go through
-// the service's write seam: in-flight queries drain, the batch applies
-// atomically, and the answer cache invalidates by epoch — reads after an
-// apply always see the mutated database.
+// Exit codes come from the one shared wire-code table (util/status.h) —
+// the same table magicdb-serve puts on the wire and magicdb-cli turns back
+// into exit codes: 0 success (hitting --limit included), 1 internal,
+// 2 usage, 3 bad request, 4 deadline expired, 5 cancelled, 6 overloaded,
+// 7 protocol error.
 //
 // Examples:
-//   magicdb --strategy gms --explain --stats family.dl
-//   magicdb --batch queries.txt --threads 8 --stats family.dl
-//   magicdb --query "anc(c0, Y)" --limit 1 --deadline-ms 50 family.dl
-//   magicdb --batch queries.txt --apply edits.txt --stats family.dl
-//   printf '+par(c3,c4).\nanc(c0, Y)\n' | magicdb --serve family.dl
+//   magicdb eval --strategy gms --explain --stats family.dl
+//   magicdb bench --batch queries.txt --threads 8 --stats family.dl
+//   magicdb eval --query "anc(c0, Y)" --limit 1 --deadline-ms 50 family.dl
+//   magicdb bench --batch queries.txt --apply edits.txt family.dl
+//   printf '+par(c3,c4).\nanc(c0, Y)\n' | magicdb repl family.dl
+//   magicdb serve --port 0 family.dl
 
 #include <chrono>
 #include <cstdio>
@@ -66,6 +71,7 @@
 #include "ast/printer.h"
 #include "engine/query_engine.h"
 #include "engine/query_service.h"
+#include "net/bootstrap.h"
 #include "storage/fact_io.h"
 #include "storage/write_batch.h"
 #include "util/stopwatch.h"
@@ -75,16 +81,18 @@ namespace {
 using namespace magic;
 
 struct Args {
+  std::string cmd;
   std::string program_path;
   std::string query_text;
   std::string batch_path;
   std::string apply_path;
+  std::string mutation_path;  // apply --file
   std::string facts_dir;
   size_t threads = 0;  // 0 = hardware concurrency
   size_t cache_bytes = QueryServiceOptions{}.cache_bytes;
   EngineOptions options;
   QueryLimits limits;
-  bool serve = false;
+  net::ServerOptions server;
   bool explain = false;
   bool safety = false;
   bool stats = false;
@@ -92,8 +100,27 @@ struct Args {
   std::string error;
 };
 
+bool In(const std::string& cmd, std::initializer_list<const char*> cmds) {
+  for (const char* c : cmds) {
+    if (cmd == c) return true;
+  }
+  return false;
+}
+
 Args ParseArgs(int argc, char** argv) {
   Args args;
+  if (argc < 2) {
+    args.ok = false;
+    args.error = "no subcommand given";
+    return args;
+  }
+  args.cmd = argv[1];
+  if (!In(args.cmd, {"eval", "bench", "apply", "repl", "serve"})) {
+    args.ok = false;
+    args.error = "unknown subcommand: " + args.cmd;
+    return args;
+  }
+  args.server.port = 4617;  // serve's default; --port 0 binds ephemeral
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       args.ok = false;
@@ -102,13 +129,31 @@ Args ParseArgs(int argc, char** argv) {
     }
     return argv[++i];
   };
-  for (int i = 1; i < argc; ++i) {
+  // Marks the current option as belonging to `cmds` only; a flag used
+  // under the wrong subcommand is a usage error, not silently ignored.
+  auto only = [&](int i, std::initializer_list<const char*> cmds) {
+    if (In(args.cmd, cmds)) return true;
+    args.ok = false;
+    args.error = std::string(argv[i]) + " is not valid for subcommand " +
+                 args.cmd;
+    return false;
+  };
+  for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--query") {
+      if (!only(i, {"eval"})) break;
       if (const char* v = need_value(i)) args.query_text = v;
     } else if (arg == "--batch") {
+      if (!only(i, {"bench"})) break;
       if (const char* v = need_value(i)) args.batch_path = v;
+    } else if (arg == "--apply") {
+      if (!only(i, {"bench"})) break;
+      if (const char* v = need_value(i)) args.apply_path = v;
+    } else if (arg == "--file") {
+      if (!only(i, {"apply"})) break;
+      if (const char* v = need_value(i)) args.mutation_path = v;
     } else if (arg == "--threads") {
+      if (!only(i, {"bench", "apply", "repl", "serve"})) break;
       if (const char* v = need_value(i)) {
         char* end = nullptr;
         unsigned long long threads = std::strtoull(v, &end, 10);
@@ -149,11 +194,14 @@ Args ParseArgs(int argc, char** argv) {
     } else if (arg == "--facts") {
       if (const char* v = need_value(i)) args.facts_dir = v;
     } else if (arg == "--explain") {
+      if (!only(i, {"eval"})) break;
       args.explain = true;
       args.options.explain = true;
     } else if (arg == "--safety") {
+      if (!only(i, {"eval"})) break;
       args.safety = true;
     } else if (arg == "--check-safety") {
+      if (!only(i, {"eval"})) break;
       args.options.static_safety_check = true;
     } else if (arg == "--stats") {
       args.stats = true;
@@ -162,15 +210,18 @@ Args ParseArgs(int argc, char** argv) {
         args.options.eval.max_facts = std::strtoull(v, nullptr, 10);
       }
     } else if (arg == "--limit") {
+      if (!only(i, {"eval", "bench", "repl"})) break;
       if (const char* v = need_value(i)) {
         args.limits.row_limit = std::strtoull(v, nullptr, 10);
       }
     } else if (arg == "--deadline-ms") {
+      if (!only(i, {"eval", "bench", "repl"})) break;
       if (const char* v = need_value(i)) {
         args.limits.deadline =
             std::chrono::milliseconds(std::strtoull(v, nullptr, 10));
       }
     } else if (arg == "--cache-bytes") {
+      if (!only(i, {"bench", "repl", "serve"})) break;
       if (const char* v = need_value(i)) {
         char* end = nullptr;
         unsigned long long bytes = std::strtoull(v, &end, 10);
@@ -182,11 +233,21 @@ Args ParseArgs(int argc, char** argv) {
         }
       }
     } else if (arg == "--no-cache") {
+      if (!only(i, {"bench", "repl", "serve"})) break;
       args.cache_bytes = 0;
-    } else if (arg == "--apply") {
-      if (const char* v = need_value(i)) args.apply_path = v;
-    } else if (arg == "--serve") {
-      args.serve = true;
+    } else if (arg == "--host") {
+      if (!only(i, {"serve"})) break;
+      if (const char* v = need_value(i)) args.server.host = v;
+    } else if (arg == "--port") {
+      if (!only(i, {"serve"})) break;
+      if (const char* v = need_value(i)) {
+        args.server.port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+      }
+    } else if (arg == "--max-connections") {
+      if (!only(i, {"serve"})) break;
+      if (const char* v = need_value(i)) {
+        args.server.max_connections = std::strtoull(v, nullptr, 10);
+      }
     } else if (arg.rfind("--", 0) == 0) {
       args.ok = false;
       args.error = "unknown option: " + arg;
@@ -198,76 +259,29 @@ Args ParseArgs(int argc, char** argv) {
     args.ok = false;
     args.error = "no program file given";
   }
-  if (args.ok && (!args.batch_path.empty() || args.serve) &&
-      (args.explain || args.safety || args.options.static_safety_check)) {
+  if (args.ok && args.cmd == "bench" && args.batch_path.empty()) {
     args.ok = false;
-    args.error =
-        "--explain/--safety/--check-safety are not supported with "
-        "--batch/--serve";
-  }
-  if (args.ok && !args.apply_path.empty() && args.batch_path.empty()) {
-    args.ok = false;
-    args.error = "--apply needs --batch (mutations apply to the live "
-                 "service between two passes of the batch)";
-  }
-  if (args.ok && args.serve && !args.batch_path.empty()) {
-    args.ok = false;
-    args.error = "--serve and --batch are mutually exclusive";
+    args.error = "bench needs --batch FILE";
   }
   return args;
 }
 
-/// Parses one mutation line — "+fact." inserts, "-fact." retracts, a bare
-/// "fact." inserts — into `batch`. A missing trailing period is tolerated.
-/// Parsing interns into the shared base Universe, whose contract is
-/// two-tiered once compiled plans exist: new *constants* are safe anytime
-/// the client side is quiescent (they are hash-consed terms; compilation
-/// never interns constant symbols through an overlay, so no live plan can
-/// alias them), but a new *predicate declaration* is not — its numeric id
-/// would collide with a live plan overlay's ids through the shared
-/// Database. --apply parses before the service exists, so anything goes
-/// there; --serve enforces the predicate freeze per line (see RunServe).
-bool ParseMutationLine(const std::string& text,
-                       const std::shared_ptr<Universe>& universe,
-                       WriteBatch* batch, std::string* error) {
-  bool retract = false;
-  size_t start = 0;
-  if (text[start] == '+' || text[start] == '-') {
-    retract = text[start] == '-';
-    ++start;
-  }
-  std::string fact_text = text.substr(start);
-  size_t last = fact_text.find_last_not_of(" \t\r");
-  if (last == std::string::npos) {
-    *error = "empty mutation";
-    return false;
-  }
-  fact_text.resize(last + 1);
-  if (fact_text.back() != '.') fact_text += '.';
-  auto parsed = ParseUnit(fact_text, universe);
-  if (!parsed.ok()) {
-    *error = parsed.status().ToString();
-    return false;
-  }
-  if (parsed->facts.empty() || !parsed->program.rules().empty() ||
-      parsed->query.has_value()) {
-    *error = "not a ground fact";
-    return false;
-  }
-  for (const Fact& fact : parsed->facts) {
-    if (retract) {
-      batch->Retract(fact.pred, fact.args);
-    } else {
-      batch->Insert(fact.pred, fact.args);
-    }
-  }
-  return true;
+/// Exit code for a plain Status, through the shared wire-code table.
+int ExitFor(const Status& status) {
+  return ExitCodeFor(ToWireCode(status.code()));
+}
+
+/// Exit code for a served answer: the outcome (truncated/deadline/...)
+/// decides before the status code does, exactly like the wire head token.
+int ExitForAnswer(const QueryAnswer& answer) {
+  return ExitCodeFor(ToWireCode(answer.outcome, answer.status.code()));
 }
 
 struct PassTotals {
   int failed = 0;
   int truncated = 0;
   size_t rows = 0;
+  int exit_code = 0;  // first failure's table exit code
 };
 
 /// Prints one tuple, tab-separated.
@@ -314,6 +328,7 @@ PassTotals ServeBatchPass(QueryService& service, const Args& args,
     if (!answer.status.ok()) {
       std::printf("error: %s\n", answer.status.ToString().c_str());
       ++totals.failed;
+      if (totals.exit_code == 0) totals.exit_code = ExitForAnswer(answer);
       continue;
     }
     if (free_positions.empty()) {
@@ -329,36 +344,32 @@ PassTotals ServeBatchPass(QueryService& service, const Args& args,
 }
 
 /// Reads an --apply file into one WriteBatch ("+fact." inserts, "-fact."
-/// retracts, bare facts insert; blank lines and % comments skip).
-bool LoadApplyFile(const std::string& path,
+/// retracts, bare facts insert; blank lines and % comments skip). The line
+/// grammar is ParseMutationLine (storage/write_batch.h) — the same parser
+/// the repl and the wire APPLY verb use.
+bool LoadApplyFile(std::istream& in, const std::string& label,
                    const std::shared_ptr<Universe>& universe,
                    WriteBatch* batch) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "magicdb: cannot open apply file %s\n",
-                 path.c_str());
-    return false;
-  }
   std::string line;
   while (std::getline(in, line)) {
     size_t start = line.find_first_not_of(" \t\r");
     if (start == std::string::npos || line[start] == '%') continue;
-    std::string error;
-    if (!ParseMutationLine(line.substr(start), universe, batch, &error)) {
-      std::fprintf(stderr, "magicdb: bad mutation \"%s\": %s\n",
-                   line.c_str(), error.c_str());
+    if (Status st = ParseMutationLine(line.substr(start), universe, batch);
+        !st.ok()) {
+      std::fprintf(stderr, "magicdb: bad mutation \"%s\" (%s): %s\n",
+                   line.c_str(), label.c_str(), st.message().c_str());
       return false;
     }
   }
   return true;
 }
 
-int RunBatch(const Args& args, const ParsedUnit& parsed, Database& db) {
+int RunBench(const Args& args, const ParsedUnit& parsed, Database& db) {
   std::ifstream in(args.batch_path);
   if (!in) {
     std::fprintf(stderr, "magicdb: cannot open batch file %s\n",
                  args.batch_path.c_str());
-    return 1;
+    return ExitCodeFor(WireCode::kInvalidArgument);
   }
   std::vector<std::string> lines;
   std::vector<Query> queries;
@@ -372,23 +383,33 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, Database& db) {
       std::fprintf(stderr, "magicdb: bad batch query \"%s\": %s\n",
                    text.c_str(),
                    q.ok() ? "not a query" : q.status().ToString().c_str());
-      return 1;
+      return ExitCodeFor(WireCode::kInvalidArgument);
     }
     lines.push_back(std::move(text));
     queries.push_back(*q->query);
   }
   if (queries.empty()) {
     std::fprintf(stderr, "magicdb: batch file has no queries\n");
-    return 1;
+    return ExitCodeFor(WireCode::kInvalidArgument);
   }
 
   // The --apply mutations are parsed up front (before the service exists)
-  // because parsing may intern new constants into the shared Universe,
-  // which must be quiescent once serving starts.
+  // because parsing may intern new symbols into the shared Universe —
+  // legal at any time now that the tables are internally synchronized,
+  // but new predicate *declarations* are only safe while no compiled
+  // plan overlays the table.
   WriteBatch edits;
-  if (!args.apply_path.empty() &&
-      !LoadApplyFile(args.apply_path, parsed.program.universe(), &edits)) {
-    return 1;
+  if (!args.apply_path.empty()) {
+    std::ifstream apply_in(args.apply_path);
+    if (!apply_in) {
+      std::fprintf(stderr, "magicdb: cannot open apply file %s\n",
+                   args.apply_path.c_str());
+      return ExitCodeFor(WireCode::kInvalidArgument);
+    }
+    if (!LoadApplyFile(apply_in, args.apply_path, parsed.program.universe(),
+                       &edits)) {
+      return ExitCodeFor(WireCode::kInvalidArgument);
+    }
   }
 
   QueryServiceOptions service_options;
@@ -410,7 +431,7 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, Database& db) {
     if (!applied.ok()) {
       std::fprintf(stderr, "magicdb: apply failed: %s\n",
                    applied.status().ToString().c_str());
-      return 1;
+      return ExitFor(applied.status());
     }
     std::printf("%% applied %s: +%zu -%zu fact(s), %zu relation(s) mutated\n",
                 args.apply_path.c_str(), applied->inserted,
@@ -420,6 +441,7 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, Database& db) {
     totals.failed += second.failed;
     totals.truncated += second.truncated;
     totals.rows += second.rows;
+    if (totals.exit_code == 0) totals.exit_code = second.exit_code;
     passes = 2;
   }
   double seconds = watch.ElapsedSeconds();
@@ -436,16 +458,54 @@ int RunBatch(const Args& args, const ParsedUnit& parsed, Database& db) {
                  totals.rows, totals.truncated, totals.failed,
                  stats.Summary().c_str());
   }
-  return totals.failed == 0 ? 0 : 1;
+  return totals.exit_code;
+}
+
+/// Standalone mutation pass: parse every line (file or stdin), apply them
+/// as ONE WriteBatch through the live service's write seam, report counts.
+int RunApply(const Args& args, const ParsedUnit& parsed, Database& db) {
+  WriteBatch batch;
+  if (!args.mutation_path.empty()) {
+    std::ifstream in(args.mutation_path);
+    if (!in) {
+      std::fprintf(stderr, "magicdb: cannot open %s\n",
+                   args.mutation_path.c_str());
+      return ExitCodeFor(WireCode::kInvalidArgument);
+    }
+    if (!LoadApplyFile(in, args.mutation_path, parsed.program.universe(),
+                       &batch)) {
+      return ExitCodeFor(WireCode::kInvalidArgument);
+    }
+  } else if (!LoadApplyFile(std::cin, "stdin", parsed.program.universe(),
+                            &batch)) {
+    return ExitCodeFor(WireCode::kInvalidArgument);
+  }
+
+  QueryServiceOptions service_options;
+  service_options.num_threads = args.threads;
+  service_options.engine = args.options;
+  QueryService service(parsed.program, db, service_options);
+  auto applied = service.ApplyWrites(batch);
+  if (!applied.ok()) {
+    std::fprintf(stderr, "magicdb: apply failed: %s\n",
+                 applied.status().ToString().c_str());
+    return ExitFor(applied.status());
+  }
+  std::printf("%% applied: +%zu -%zu fact(s), %zu cleared, "
+              "%zu relation(s) mutated\n",
+              applied->inserted, applied->retracted, applied->cleared,
+              applied->relations_mutated);
+  if (args.stats) {
+    std::fprintf(stderr, "%% %s\n", service.stats().Summary().c_str());
+  }
+  return ExitCodeFor(WireCode::kOk);
 }
 
 /// Interactive serving loop: queries and EDB mutations interleave on one
 /// live service. Mutation lines ("+fact." / "-fact.") go through
 /// ApplyWrites — the sanctioned in-band write path — so every later query
-/// sees the mutated database, warm cache or not. The REPL is
-/// single-threaded on the client side, so parsing (which may intern new
-/// constants into the base Universe) always happens at a quiescent point.
-int RunServe(const Args& args, const ParsedUnit& parsed, Database& db) {
+/// sees the mutated database, warm cache or not.
+int RunRepl(const Args& args, const ParsedUnit& parsed, Database& db) {
   QueryServiceOptions service_options;
   service_options.num_threads = args.threads;
   service_options.cache_bytes = args.cache_bytes;
@@ -455,25 +515,20 @@ int RunServe(const Args& args, const ParsedUnit& parsed, Database& db) {
 
   // Predicate freeze: compiled plans overlay the base predicate table, so
   // a predicate declared mid-session reuses a numeric id a live plan
-  // already owns (and its EDB relation would shadow that plan's magic/
-  // adorned predicates through the shared Database). New constants are
-  // fine — hash-consed terms no plan can alias — so inserting fresh nodes
-  // works; introducing a fresh *relation name* needs a restart. The
-  // enforcement is by id range against the size frozen here, NOT by
-  // detecting table growth: a stray declaration is permanent (and
+  // already owns. New constants are fine — hash-consed terms no plan can
+  // alias — so inserting fresh nodes works; introducing a fresh *relation
+  // name* needs a restart. CheckFrozenPredicate (the same check the wire
+  // APPLY verb runs) enforces by id range against the size frozen here,
+  // NOT by detecting table growth: a stray declaration is permanent (and
   // harmless while unused), so the same line resubmitted must still be
-  // rejected.
+  // rejected — and the diagnostic names the offending predicate.
   const size_t frozen_preds = u.predicates().size();
-  auto uses_frozen_out_predicate = [&](PredId pred) {
-    if (pred < frozen_preds) return false;
-    std::printf(
-        "error: line uses a predicate declared after serving started; "
-        "the live service's predicate table is frozen (new constants "
-        "are fine, new relation names need a restart)\n");
-    return true;
-  };
 
-  int failed = 0;
+  int exit_code = 0;
+  auto fail = [&](const Status& status) {
+    std::printf("error: %s\n", status.ToString().c_str());
+    if (exit_code == 0) exit_code = ExitFor(status);
+  };
   std::string line;
   while (std::getline(std::cin, line)) {
     size_t start = line.find_first_not_of(" \t\r");
@@ -481,28 +536,20 @@ int RunServe(const Args& args, const ParsedUnit& parsed, Database& db) {
     std::string text = line.substr(start);
     if (text[0] == '+' || text[0] == '-') {
       WriteBatch batch;
-      std::string error;
-      if (!ParseMutationLine(text, parsed.program.universe(), &batch,
-                             &error)) {
-        std::printf("error: %s\n", error.c_str());
-        ++failed;
+      if (Status st = ParseMutationLine(text, parsed.program.universe(),
+                                        &batch);
+          !st.ok()) {
+        fail(st);
         continue;
       }
-      bool frozen_out = false;
-      for (const WriteBatch::Op& op : batch.ops()) {
-        if (uses_frozen_out_predicate(op.pred)) {
-          frozen_out = true;
-          break;
-        }
-      }
-      if (frozen_out) {
-        ++failed;
+      if (Status st = CheckFrozenPredicates(u, batch, frozen_preds);
+          !st.ok()) {
+        fail(st);
         continue;
       }
       auto applied = service.ApplyWrites(batch);
       if (!applied.ok()) {
-        std::printf("error: %s\n", applied.status().ToString().c_str());
-        ++failed;
+        fail(applied.status());
         continue;
       }
       std::printf("%% applied: +%zu -%zu fact(s)\n", applied->inserted,
@@ -514,13 +561,18 @@ int RunServe(const Args& args, const ParsedUnit& parsed, Database& db) {
     text.resize(last + 1);
     auto q = ParseUnit("?- " + text + ".", parsed.program.universe());
     if (!q.ok() || !q->query.has_value()) {
-      std::printf("error: bad query \"%s\": %s\n", text.c_str(),
-                  q.ok() ? "not a query" : q.status().ToString().c_str());
-      ++failed;
+      if (q.ok()) {
+        fail(Status::InvalidArgument("bad query \"" + text +
+                                     "\": not a query"));
+      } else {
+        fail(q.status());
+      }
       continue;
     }
-    if (uses_frozen_out_predicate(q->query->goal.pred)) {
-      ++failed;
+    if (Status st = CheckFrozenPredicate(u, q->query->goal.pred,
+                                         frozen_preds);
+        !st.ok()) {
+      fail(st);
       continue;
     }
     std::printf("%% query: %s\n", text.c_str());
@@ -530,7 +582,7 @@ int RunServe(const Args& args, const ParsedUnit& parsed, Database& db) {
     QueryAnswer answer = service.Submit(request).get();
     if (!answer.status.ok()) {
       std::printf("error: %s\n", answer.status.ToString().c_str());
-      ++failed;
+      if (exit_code == 0) exit_code = ExitForAnswer(answer);
       continue;
     }
     if (QueryFreePositions(u, request.query).empty()) {
@@ -545,73 +597,33 @@ int RunServe(const Args& args, const ParsedUnit& parsed, Database& db) {
   if (args.stats) {
     std::fprintf(stderr, "%% %s\n", service.stats().Summary().c_str());
   }
-  return failed == 0 ? 0 : 1;
+  return exit_code;
 }
 
-int Run(const Args& args) {
-  std::ifstream in(args.program_path);
-  if (!in) {
-    std::fprintf(stderr, "magicdb: cannot open %s\n",
-                 args.program_path.c_str());
-    return 1;
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-
-  auto parsed = ParseUnit(buffer.str());
-  if (!parsed.ok()) {
-    std::fprintf(stderr, "magicdb: %s\n",
-                 parsed.status().ToString().c_str());
-    return 1;
-  }
-  for (const std::string& warning : ValidateProgram(parsed->program)) {
-    std::fprintf(stderr, "magicdb: warning: %s\n", warning.c_str());
-  }
-
-  Database db(parsed->program.universe());
-  for (const Fact& fact : parsed->facts) {
-    if (Status st = db.AddFact(fact); !st.ok()) {
-      std::fprintf(stderr, "magicdb: %s\n", st.ToString().c_str());
-      return 1;
-    }
-  }
-  if (!args.facts_dir.empty()) {
-    if (Status st = LoadFactsDirectory(parsed->program, args.facts_dir, &db);
-        !st.ok()) {
-      std::fprintf(stderr, "magicdb: %s\n", st.ToString().c_str());
-      return 1;
-    }
-  }
-
-  if (args.serve) {
-    return RunServe(args, *parsed, db);
-  }
-  if (!args.batch_path.empty()) {
-    return RunBatch(args, *parsed, db);
-  }
-
-  std::optional<Query> query = parsed->query;
+int RunEval(const Args& args, const ParsedUnit& parsed, Database& db,
+            const std::string& source_text) {
+  std::optional<Query> query = parsed.query;
   if (!args.query_text.empty()) {
     auto q = ParseUnit("?- " + args.query_text + ".",
-                       parsed->program.universe());
+                       parsed.program.universe());
     if (!q.ok() || !q->query.has_value()) {
       std::fprintf(stderr, "magicdb: bad --query: %s\n",
                    q.ok() ? "not a query" : q.status().ToString().c_str());
-      return 1;
+      return ExitCodeFor(WireCode::kInvalidArgument);
     }
     query = q->query;
   }
   if (!query.has_value()) {
     std::fprintf(stderr,
                  "magicdb: no query (add a ?- clause or pass --query)\n");
-    return 1;
+    return ExitCodeFor(WireCode::kInvalidArgument);
   }
 
-  Universe& u = *parsed->program.universe();
+  Universe& u = *parsed.program.universe();
   if (args.safety) {
     // Use a fresh parse so the report's adornment does not perturb the
     // predicate names of the main run.
-    auto fresh = ParseUnit(buffer.str());
+    auto fresh = ParseUnit(source_text);
     std::optional<Query> fresh_query = fresh.ok() ? fresh->query : std::nullopt;
     if (fresh.ok() && !args.query_text.empty()) {
       auto q = ParseUnit("?- " + args.query_text + ".",
@@ -633,7 +645,7 @@ int Run(const Args& args) {
   }
 
   QueryEngine engine(args.options);
-  QueryAnswer answer = engine.Run(parsed->program, *query, db, args.limits);
+  QueryAnswer answer = engine.Run(parsed.program, *query, db, args.limits);
   if (args.explain && !answer.rewritten_text.empty()) {
     std::printf("%% rewritten program (%s, sip=%s)\n%s%%\n",
                 StrategyName(args.options.strategy).c_str(),
@@ -641,20 +653,13 @@ int Run(const Args& args) {
   }
   if (!answer.status.ok()) {
     std::fprintf(stderr, "magicdb: %s\n", answer.status.ToString().c_str());
-    return 1;
+    return ExitForAnswer(answer);
   }
   std::vector<int> free_positions = QueryFreePositions(u, *query);
   if (free_positions.empty()) {
     std::printf("%s\n", answer.tuples.empty() ? "false" : "true");
   } else {
-    for (const auto& tuple : answer.tuples) {
-      std::string row;
-      for (TermId term : tuple) {
-        if (!row.empty()) row += "\t";
-        row += u.TermToString(term);
-      }
-      std::printf("%s\n", row.c_str());
-    }
+    for (const auto& tuple : answer.tuples) PrintTuple(u, tuple);
   }
   if (answer.truncated()) {
     std::fprintf(stderr, "magicdb: truncated after %zu row(s) (--limit)\n",
@@ -671,7 +676,62 @@ int Run(const Args& args) {
                      answer.eval_stats.join_probes),
                  answer.eval_stats.seconds * 1e3);
   }
-  return 0;
+  return ExitForAnswer(answer);
+}
+
+int Run(const Args& args) {
+  if (args.cmd == "serve") {
+    // serve delegates the whole lifecycle (load, listen, signal-driven
+    // shutdown) to the shared bootstrap that magicdb-serve also uses.
+    net::ServeBootstrap bootstrap;
+    bootstrap.program_path = args.program_path;
+    bootstrap.facts_dir = args.facts_dir;
+    bootstrap.service.num_threads = args.threads;
+    bootstrap.service.cache_bytes = args.cache_bytes;
+    bootstrap.service.engine = args.options;
+    bootstrap.server = args.server;
+    bootstrap.stats = args.stats;
+    return net::RunServeMain(bootstrap);
+  }
+
+  std::ifstream in(args.program_path);
+  if (!in) {
+    std::fprintf(stderr, "magicdb: cannot open %s\n",
+                 args.program_path.c_str());
+    return ExitCodeFor(WireCode::kInvalidArgument);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  auto parsed = ParseUnit(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "magicdb: %s\n",
+                 parsed.status().ToString().c_str());
+    return ExitFor(parsed.status());
+  }
+  for (const std::string& warning : ValidateProgram(parsed->program)) {
+    std::fprintf(stderr, "magicdb: warning: %s\n", warning.c_str());
+  }
+
+  Database db(parsed->program.universe());
+  for (const Fact& fact : parsed->facts) {
+    if (Status st = db.AddFact(fact); !st.ok()) {
+      std::fprintf(stderr, "magicdb: %s\n", st.ToString().c_str());
+      return ExitFor(st);
+    }
+  }
+  if (!args.facts_dir.empty()) {
+    if (Status st = LoadFactsDirectory(parsed->program, args.facts_dir, &db);
+        !st.ok()) {
+      std::fprintf(stderr, "magicdb: %s\n", st.ToString().c_str());
+      return ExitFor(st);
+    }
+  }
+
+  if (args.cmd == "bench") return RunBench(args, *parsed, db);
+  if (args.cmd == "apply") return RunApply(args, *parsed, db);
+  if (args.cmd == "repl") return RunRepl(args, *parsed, db);
+  return RunEval(args, *parsed, db, buffer.str());
 }
 
 }  // namespace
@@ -680,14 +740,19 @@ int main(int argc, char** argv) {
   Args args = ParseArgs(argc, argv);
   if (!args.ok) {
     std::fprintf(stderr, "magicdb: %s\n", args.error.c_str());
-    std::fprintf(stderr,
-                 "usage: magicdb [--query Q] [--batch FILE] [--apply FILE] "
-                 "[--serve] [--threads N] "
-                 "[--strategy S] [--sip NAME] "
-                 "[--guards MODE] [--facts DIR] [--explain] [--safety] "
-                 "[--check-safety] [--stats] [--max-facts N] [--limit N] "
-                 "[--deadline-ms N] [--cache-bytes N] [--no-cache] "
-                 "program.dl\n");
+    std::fprintf(
+        stderr,
+        "usage: magicdb <subcommand> [options] program.dl\n"
+        "  eval  [--query Q] [--strategy S] [--sip NAME] [--guards MODE]\n"
+        "        [--explain] [--safety] [--check-safety] [--limit N]\n"
+        "        [--deadline-ms N] [--max-facts N] [--facts DIR] [--stats]\n"
+        "  bench --batch FILE [--apply FILE] [--threads N] [--limit N]\n"
+        "        [--deadline-ms N] [--cache-bytes N|--no-cache] ...\n"
+        "  apply [--file FILE] [--threads N] [--facts DIR] [--stats]\n"
+        "  repl  [--threads N] [--limit N] [--deadline-ms N]\n"
+        "        [--cache-bytes N|--no-cache] ...\n"
+        "  serve [--host H] [--port P] [--max-connections N] [--threads N]\n"
+        "        [--cache-bytes N|--no-cache] [--facts DIR] [--stats] ...\n");
     return 2;
   }
   return Run(args);
