@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Runs clang-tidy (config: .clang-tidy) over every first-party translation
+# unit in compile_commands.json. The gate is zero unsuppressed findings —
+# WarningsAsErrors is '*' in the config, so any finding fails the run;
+# deliberate exceptions are inline NOLINTs with a reason next to them.
+#
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# build-dir (default ./build) must have been configured with
+# -DCMAKE_EXPORT_COMPILE_COMMANDS=ON. Degrades gracefully when clang-tidy
+# is not installed (prints a notice and exits 0) so the script is safe to
+# call from environments that only carry GCC; CI pins a leg where the
+# tool is guaranteed present. Run from the repository root.
+set -eu
+
+BUILD_DIR=${1:-./build}
+TIDY=${CLANG_TIDY:-clang-tidy}
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY not found; skipping (install clang-tidy or set CLANG_TIDY)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json missing;" >&2
+  echo "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+  exit 2
+fi
+
+# First-party sources only: gtest/other third-party TUs that end up in the
+# database are not ours to lint.
+FILES=$(find src tools bench tests -name '*.cc' 2>/dev/null | sort)
+if [ -z "$FILES" ]; then
+  echo "run_clang_tidy: no sources found (run from the repository root)" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: $(echo "$FILES" | wc -l) translation units, config $(pwd)/.clang-tidy"
+
+STATUS=0
+# xargs -P parallelizes across cores; clang-tidy exits nonzero on any
+# finding because WarningsAsErrors is '*'.
+JOBS=$(nproc 2>/dev/null || echo 4)
+echo "$FILES" | xargs -P "$JOBS" -n 4 "$TIDY" -p "$BUILD_DIR" --quiet || STATUS=$?
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "run_clang_tidy: findings above must be fixed or NOLINT'd with a reason" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"

@@ -3,13 +3,12 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 
 #include "ast/adornment.h"
 #include "ast/symbol_table.h"
+#include "util/annotated_mutex.h"
 #include "util/check.h"
 
 namespace magic {
@@ -93,7 +92,7 @@ class PredicateTable {
   PredId Declare(SymbolId name, uint32_t arity, PredKind kind) {
     MAGIC_CHECK_MSG(!FindInBase(name, arity).has_value(),
                     "predicate already declared");
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     MAGIC_CHECK_MSG(!FindLocked(name, arity).has_value(),
                     "predicate already declared");
     return DeclareLocked(name, arity, kind);
@@ -109,7 +108,7 @@ class PredicateTable {
       MaybeUpgrade(*found, kind);
       return *found;
     }
-    std::unique_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     if (std::optional<PredId> found = FindLocked(name, arity)) {
       if (kind == PredKind::kDerived &&
           infos_[*found - offset_].kind == PredKind::kBase) {
@@ -122,7 +121,7 @@ class PredicateTable {
 
   std::optional<PredId> Find(SymbolId name, uint32_t arity) const {
     if (std::optional<PredId> found = FindInBase(name, arity)) return found;
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     return FindLocked(name, arity);
   }
 
@@ -130,22 +129,23 @@ class PredicateTable {
   /// storage).
   const PredicateInfo& info(PredId id) const {
     if (id < offset_) return base_->info(id);
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     MAGIC_CHECK(id - offset_ < infos_.size());
     return infos_[id - offset_];
   }
   /// Compile-time only: hands out an unguarded reference (see the class
-  /// comment). A base id through an overlay is a checked error.
+  /// comment). A base id through an overlay is a checked error. Takes the
+  /// lock exclusive — the caller is about to write through the result.
   PredicateInfo& mutable_info(PredId id) {
     MAGIC_CHECK_MSG(id >= offset_,
                     "overlay may not mutate a frozen base predicate");
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    WriterMutexLock lock(mutex_);
     MAGIC_CHECK(id - offset_ < infos_.size());
     return infos_[id - offset_];
   }
 
   size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
+    ReaderMutexLock lock(mutex_);
     return offset_ + infos_.size();
   }
 
@@ -155,19 +155,27 @@ class PredicateTable {
   }
 
   /// Base lookup happens outside this table's lock; the order is strictly
-  /// overlay -> base, so layering cannot deadlock.
+  /// overlay -> base, so layering cannot deadlock. Filtered to the
+  /// overlay's id horizon: the root table keeps declaring at runtime, so a
+  /// base hit with id >= offset_ (declared after this overlay captured
+  /// offset_) would alias an overlay-local id — info() on it resolves to
+  /// the wrong predicate or MAGIC_CHECK-aborts. Treat it as a miss.
   std::optional<PredId> FindInBase(SymbolId name, uint32_t arity) const {
     if (base_ == nullptr) return std::nullopt;
-    return base_->Find(name, arity);
+    std::optional<PredId> found = base_->Find(name, arity);
+    if (found.has_value() && *found >= offset_) return std::nullopt;
+    return found;
   }
 
-  std::optional<PredId> FindLocked(SymbolId name, uint32_t arity) const {
+  std::optional<PredId> FindLocked(SymbolId name, uint32_t arity) const
+      REQUIRES_SHARED(mutex_) {
     auto it = index_.find(Key(name, arity));
     if (it == index_.end()) return std::nullopt;
     return it->second;
   }
 
-  PredId DeclareLocked(SymbolId name, uint32_t arity, PredKind kind) {
+  PredId DeclareLocked(SymbolId name, uint32_t arity, PredKind kind)
+      REQUIRES(mutex_) {
     PredId id = offset_ + static_cast<PredId>(infos_.size());
     PredicateInfo info;
     info.name = name;
@@ -190,11 +198,17 @@ class PredicateTable {
 
   const PredicateTable* base_ = nullptr;
   PredId offset_ = 0;
-  mutable std::shared_mutex mutex_;
+  /// Root tables rank kSymbolRoot; each overlay layer sits one step below
+  /// its base, matching SymbolTable — the overlay -> base order is an
+  /// ascending rank chain the Debug checker enforces.
+  mutable SharedMutex mutex_{base_ == nullptr
+                                 ? lock_rank::kSymbolRoot
+                                 : base_->mutex_.rank() -
+                                       lock_rank::kOverlayStep};
   /// Deque, not vector: growth never moves existing infos, so info()'s
   /// returned references survive concurrent declaration.
-  std::deque<PredicateInfo> infos_;
-  std::unordered_map<uint64_t, PredId> index_;
+  std::deque<PredicateInfo> infos_ GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, PredId> index_ GUARDED_BY(mutex_);
 };
 
 }  // namespace magic

@@ -1,19 +1,30 @@
 #include "ast/symbol_table.h"
 
-#include <mutex>
-
 #include "util/check.h"
 
 namespace magic {
 
+std::optional<SymbolId> SymbolTable::FindInBase(std::string_view name) const {
+  std::optional<SymbolId> found = base_->Find(name);
+  // Horizon filter: the root table keeps interning at runtime (the network
+  // server parses new constants on live connections), so the base can hold
+  // ids >= offset_ that did not exist when this overlay was created. Those
+  // ids belong to the base's id space alone — in the overlay they alias
+  // overlay-local ids (Name() would resolve them to the wrong string, or
+  // MAGIC_CHECK-abort). Treat them as misses.
+  if (found.has_value() && *found >= offset_) return std::nullopt;
+  return found;
+}
+
 SymbolId SymbolTable::Intern(std::string_view name) {
-  // Overlay fast path: a name the base already has keeps the base's id.
-  // Lock order is strictly overlay -> base (never reversed), so layering
-  // cannot deadlock.
+  // Overlay fast path: a name the base already had at overlay creation
+  // keeps the base's id. Lock order is strictly overlay -> base (never
+  // reversed) — a descending-rank chain the Debug checker enforces — so
+  // layering cannot deadlock.
   if (base_ != nullptr) {
-    if (std::optional<SymbolId> found = base_->Find(name)) return *found;
+    if (std::optional<SymbolId> found = FindInBase(name)) return *found;
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   if (std::optional<SymbolId> found = FindLocked(name)) return *found;
   SymbolId id = offset_ + static_cast<SymbolId>(names_.size());
   names_.emplace_back(name);
@@ -29,22 +40,22 @@ std::optional<SymbolId> SymbolTable::FindLocked(std::string_view name) const {
 
 std::optional<SymbolId> SymbolTable::Find(std::string_view name) const {
   if (base_ != nullptr) {
-    if (std::optional<SymbolId> found = base_->Find(name)) return found;
+    if (std::optional<SymbolId> found = FindInBase(name)) return found;
   }
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return FindLocked(name);
 }
 
 const std::string& SymbolTable::Name(SymbolId id) const {
   if (id < offset_) return base_->Name(id);
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   MAGIC_CHECK(id - offset_ < names_.size());
   // The deque never moves elements, so the reference outlives the lock.
   return names_[id - offset_];
 }
 
 size_t SymbolTable::size() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return offset_ + names_.size();
 }
 

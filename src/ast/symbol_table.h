@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "util/annotated_mutex.h"
 
 namespace magic {
 
@@ -68,15 +69,27 @@ class SymbolTable {
   size_t size() const;
 
  private:
-  std::optional<SymbolId> FindLocked(std::string_view name) const;
+  std::optional<SymbolId> FindLocked(std::string_view name) const
+      REQUIRES_SHARED(mutex_);
+  /// Base lookup filtered to the overlay's id horizon: a name the base
+  /// interned *after* this overlay captured offset_ gets an id >= offset_,
+  /// which would alias an overlay-local id — such a hit must be treated as
+  /// a miss (and, in Intern, shadowed by an overlay-local entry).
+  std::optional<SymbolId> FindInBase(std::string_view name) const;
 
   const SymbolTable* base_ = nullptr;
   SymbolId offset_ = 0;
-  mutable std::shared_mutex mutex_;
+  /// Root tables rank kSymbolRoot; each overlay layer sits one step below
+  /// its base, so the contract's overlay -> base acquisition order is a
+  /// strictly ascending rank chain (and base -> overlay aborts in Debug).
+  mutable SharedMutex mutex_{base_ == nullptr
+                                 ? lock_rank::kSymbolRoot
+                                 : base_->mutex_.rank() -
+                                       lock_rank::kOverlayStep};
   /// Deque, not vector: growth never moves existing strings, so Name()'s
   /// returned references survive concurrent interning.
-  std::deque<std::string> names_;
-  std::unordered_map<std::string, SymbolId> index_;
+  std::deque<std::string> names_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, SymbolId> index_ GUARDED_BY(mutex_);
 };
 
 }  // namespace magic

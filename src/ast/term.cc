@@ -107,7 +107,7 @@ bool TermArena::Equal(const TermData& a, const TermData& b) {
 }
 
 TermId TermArena::Intern(TermData data) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t h = HashOf(data);
   auto& bucket = dedup_[h];
   const ChunkDir* dir = dir_.load(std::memory_order_relaxed);

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/symbol_table.h"
+#include "util/annotated_mutex.h"
 
 namespace magic {
 
@@ -102,17 +102,20 @@ class TermArena {
     std::vector<TermData*> chunks;
   };
 
-  TermId Intern(TermData data);
+  TermId Intern(TermData data) EXCLUDES(mutex_);
   static uint64_t HashOf(const TermData& data);
   static bool Equal(const TermData& a, const TermData& b);
 
   std::atomic<size_t> size_{0};
   std::atomic<const ChunkDir*> dir_{nullptr};
 
-  std::mutex mutex_;  // guards everything below
-  std::vector<std::unique_ptr<TermData[]>> chunk_owner_;
-  std::vector<std::unique_ptr<ChunkDir>> dir_owner_;
-  std::unordered_map<uint64_t, std::vector<TermId>> dedup_;
+  /// Writer-side lock; readers go through the atomics above only. A
+  /// data-plane lock: workers intern mid-evaluation under the shared serve
+  /// lock, and nothing ranked is ever taken under it.
+  Mutex mutex_{lock_rank::kTermArena};
+  std::vector<std::unique_ptr<TermData[]>> chunk_owner_ GUARDED_BY(mutex_);
+  std::vector<std::unique_ptr<ChunkDir>> dir_owner_ GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, std::vector<TermId>> dedup_ GUARDED_BY(mutex_);
 };
 
 }  // namespace magic

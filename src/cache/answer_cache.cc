@@ -105,7 +105,7 @@ void AnswerCache::Put(uintptr_t tag, std::vector<TermId> seed, uint64_t epoch,
     return;
   }
   Shard& shard = ShardFor(hash);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(shard.mutex);
 
   // Copy-on-write: the published table is immutable, so build the next
   // snapshot from it. O(entries per shard) per insert — the cache is for
@@ -149,7 +149,7 @@ void AnswerCache::Clear() {
   if (!enabled()) return;
   for (size_t i = 0; i <= shard_mask_; ++i) {
     Shard& shard = shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     shard.bytes = 0;
     shard.bytes_published.store(0, std::memory_order_relaxed);
     shard.entries_published.store(0, std::memory_order_relaxed);

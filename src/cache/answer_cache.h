@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/term.h"
+#include "util/annotated_mutex.h"
 
 namespace magic {
 
@@ -166,10 +166,12 @@ class AnswerCache {
     std::atomic<const Table*> table{nullptr};
     std::atomic<int64_t> active_readers{0};
 
-    std::mutex mutex;  // writers: current_owner, retired, bytes
-    std::unique_ptr<const Table> current_owner;
-    std::vector<std::unique_ptr<const Table>> retired;
-    size_t bytes = 0;
+    /// Writer-side state. Shard mutexes are leaves of the data plane:
+    /// nothing ranked is ever taken under one.
+    Mutex mutex{lock_rank::kCacheShard};
+    std::unique_ptr<const Table> current_owner GUARDED_BY(mutex);
+    std::vector<std::unique_ptr<const Table>> retired GUARDED_BY(mutex);
+    size_t bytes GUARDED_BY(mutex) = 0;
 
     /// Occupancy mirrors for stats(), updated under mutex, read anywhere.
     std::atomic<size_t> bytes_published{0};
@@ -187,7 +189,8 @@ class AnswerCache {
   }
   /// Publishes `next` as `shard`'s table and reclaims retired tables if
   /// the shard is quiescent. Caller holds the shard mutex.
-  static void PublishTable(Shard& shard, std::unique_ptr<const Table> next);
+  static void PublishTable(Shard& shard, std::unique_ptr<const Table> next)
+      REQUIRES(shard.mutex);
 
   static size_t EntryBytes(const Key& key, const Tuples& tuples);
 

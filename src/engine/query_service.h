@@ -7,9 +7,7 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -19,6 +17,7 @@
 #include "engine/prepared.h"
 #include "storage/database.h"
 #include "storage/write_batch.h"
+#include "util/annotated_mutex.h"
 #include "util/thread_pool.h"
 
 namespace magic {
@@ -94,11 +93,14 @@ class AnswerCursor {
  private:
   friend class QueryService;
   struct State {
-    std::mutex mutex;
-    std::condition_variable ready;
-    std::deque<std::vector<TermId>> buffer;
-    bool done = false;
-    QueryAnswer final;
+    Mutex mutex{lock_rank::kCursor};
+    /// _any variant: it waits on the annotated MutexLock guard itself, so
+    /// the rank checker and the static analysis both see the release/
+    /// reacquire pair a wait performs.
+    std::condition_variable_any ready;
+    std::deque<std::vector<TermId>> buffer GUARDED_BY(mutex);
+    bool done GUARDED_BY(mutex) = false;
+    QueryAnswer final GUARDED_BY(mutex);
     std::shared_ptr<std::atomic<bool>> cancel;
   };
   explicit AnswerCursor(std::shared_ptr<State> state)
@@ -174,7 +176,11 @@ class AnswerCursor {
 ///   * The request path takes `serve_mutex_` shared, never exclusive. The
 ///     exclusive mode belongs to ApplyWrites alone (the quiescent-point
 ///     seam), and code holding it exclusive takes no other service lock —
-///     the order is `serve (exclusive) -> nothing`.
+///     only data-plane locks (the storage layer's table/index mutexes)
+///     while applying the batch. Machine-checked: ApplyWrites is
+///     EXCLUDES(form_mutex_, inflight_mutex_) and serve_mutex_ carries an
+///     exclusive-nest floor in the Debug rank checker
+///     (util/annotated_mutex.h).
 ///   * Workers re-read the database epoch under the shared lock (a writer
 ///     holds it exclusive, so the value is pinned for the whole
 ///     evaluation), which is what keys every AnswerCache fill to the data
@@ -189,7 +195,9 @@ class AnswerCursor {
 ///     -> pool/cursor internals. form_mutex_ nests inside the serve lock
 ///     now that compilation no longer takes serve_mutex_, which is what
 ///     lets workers run the full cache probe (including the subsumption
-///     sibling lookup) on the second-chance path.
+///     sibling lookup) on the second-chance path. The order is encoded as
+///     lock ranks (util/annotated_mutex.h) and asserted on every
+///     acquisition in Debug builds.
 class QueryService {
  private:
   struct CachedForm;
@@ -288,7 +296,14 @@ class QueryService {
   /// invalidates nothing. Callable from any thread, including concurrently
   /// with Submit/Answer/Stream; writers serialize on the seam itself.
   /// Requires the mutable-Database constructor.
-  Result<WriteResult> ApplyWrites(const WriteBatch& batch);
+  ///
+  /// EXCLUDES names the whole service tier: the seam must enter with no
+  /// service lock held, and — the contract's sharpest edge — code holding
+  /// `serve_mutex_` exclusive must never take `form_mutex_` or
+  /// `inflight_mutex_` (a parked duplicate's re-dispatch would deadlock
+  /// against the drain).
+  Result<WriteResult> ApplyWrites(const WriteBatch& batch)
+      EXCLUDES(serve_mutex_, form_mutex_, inflight_mutex_);
 
   /// Serving counters. Naming contract (the one reporting path magicdb
   /// and the benches share): `form_cache_hits` counts request-tier
@@ -358,7 +373,7 @@ class QueryService {
     /// a JSON record — the benches' reporting path.
     std::string JsonFragment() const;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(form_mutex_);
 
   size_t num_threads() const { return pool_.size(); }
 
@@ -417,7 +432,8 @@ class QueryService {
   /// compilation failure is a CachedForm with a null `form`. Compilation
   /// writes only into the plan's Universe overlay, so this holds only
   /// form_mutex_ — no universe/serve lock.
-  CachedForm* GetOrCompile(const QueryRequest& request, const FormKey& key);
+  CachedForm* GetOrCompile(const QueryRequest& request, const FormKey& key)
+      EXCLUDES(form_mutex_);
 
   /// Reserves one admission slot. Returns false (and leaves no slot taken)
   /// when `enforce_admission` and the bounded queue is full.
@@ -445,7 +461,8 @@ class QueryService {
                     QueryLimits limits, AnswerSink sink,
                     bool enforce_admission, Completion done,
                     std::optional<std::chrono::steady_clock::time_point>
-                        admitted_at = std::nullopt);
+                        admitted_at = std::nullopt)
+      EXCLUDES(form_mutex_, inflight_mutex_);
 
   /// Serves `cached`'s instance from the AnswerCache when possible
   /// (exact-key hit, or the fully-free subsumption fast path). `epoch` is
@@ -458,7 +475,7 @@ class QueryService {
   bool TryServeCached(CachedForm* cached,
                       const std::vector<TermId>& bound_values, uint64_t epoch,
                       const QueryLimits& limits, const AnswerSink& sink,
-                      const Completion& done);
+                      const Completion& done) EXCLUDES(form_mutex_);
 
   /// Completes a request from a cached tuple set: applies the row limit,
   /// feeds the sink (streaming) or materializes `tuples` (unary), and
@@ -477,13 +494,14 @@ class QueryService {
   /// optimization, and stalling an evaluating worker behind an in-flight
   /// compilation (which holds form_mutex_ for the whole adorn+rewrite)
   /// would cost more than skipping the fast path once.
-  CachedForm* FindFreeSibling(CachedForm* cached);
+  CachedForm* FindFreeSibling(CachedForm* cached) EXCLUDES(form_mutex_);
 
   /// Leader-side exit of the coalescing table: unregisters the in-flight
   /// (form, seed) entry and re-dispatches every parked duplicate (each
   /// re-probes the cache, which the leader just filled on the clean path).
   void ReleaseInflight(CachedForm* cached,
-                       const std::vector<TermId>& bound_values);
+                       const std::vector<TermId>& bound_values)
+      EXCLUDES(inflight_mutex_);
 
   std::future<QueryAnswer> SubmitImpl(const QueryRequest& request,
                                       bool enforce_admission);
@@ -501,24 +519,27 @@ class QueryService {
   const Database& db_;
   /// Non-null iff the service was constructed over a mutable Database;
   /// ApplyWrites is the only code that writes through it, always under
-  /// serve_mutex_ exclusive.
-  Database* mutable_db_ = nullptr;
+  /// serve_mutex_ exclusive (PT_GUARDED_BY: the *pointee* write needs the
+  /// seam; reading the pointer itself is free).
+  Database* mutable_db_ PT_GUARDED_BY(serve_mutex_) = nullptr;
   QueryServiceOptions options_;
 
   /// Shared = every request (all strategies; compilation does not touch
   /// it). Exclusive = ApplyWrites only — the quiescent-point write seam;
   /// nothing on the request path takes it exclusive, and the exclusive
-  /// holder takes no further service lock (order: serve exclusive ->
-  /// nothing).
-  std::shared_mutex serve_mutex_;
+  /// holder takes no further *service* lock — only data-plane locks
+  /// (symbol/predicate tables, relation indices) at or above the
+  /// exclusive-nest floor, which the rank checker enforces at runtime.
+  SharedMutex serve_mutex_{lock_rank::kServe, lock_rank::kExclusiveNestFloor};
 
   /// Guards forms_ and the compile counters. Nests inside serve_mutex_
   /// (workers may probe the form cache for the subsumption sibling) and
   /// inside inflight_mutex_ never — see the lock order above.
-  mutable std::mutex form_mutex_;
-  std::unordered_map<FormKey, CachedForm, FormKeyHash> forms_;
-  size_t forms_compiled_ = 0;
-  size_t form_cache_hits_ = 0;
+  mutable Mutex form_mutex_{lock_rank::kForm};
+  std::unordered_map<FormKey, CachedForm, FormKeyHash> forms_
+      GUARDED_BY(form_mutex_);
+  size_t forms_compiled_ GUARDED_BY(form_mutex_) = 0;
+  size_t form_cache_hits_ GUARDED_BY(form_mutex_) = 0;
   std::atomic<size_t> queries_served_{0};
   std::atomic<size_t> overloaded_{0};
   std::atomic<size_t> answers_from_cache_{0};
@@ -532,10 +553,10 @@ class QueryService {
 
   /// In-flight evaluations keyed by (form, seed); the mapped value holds
   /// the parked duplicates' re-dispatch closures.
-  std::mutex inflight_mutex_;
+  Mutex inflight_mutex_{lock_rank::kInflight};
   std::unordered_map<InflightKey, std::vector<std::function<void()>>,
                      InflightKeyHash>
-      inflight_;
+      inflight_ GUARDED_BY(inflight_mutex_);
 
   /// Cross-query answer memo; internally synchronized (lock-free hit
   /// path), so it sits outside the serve/form lock order entirely.

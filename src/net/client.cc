@@ -33,7 +33,7 @@ Result<MagicClient> MagicClient::Connect(const std::string& host,
                                          uint16_t port) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    return Status::Internal("socket: " + ErrnoMessage(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -45,7 +45,7 @@ Result<MagicClient> MagicClient::Connect(const std::string& host,
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     Status st = Status::Internal("connect " + host + ":" +
                                  std::to_string(port) + ": " +
-                                 std::strerror(errno));
+                                 ErrnoMessage(errno));
     ::close(fd);
     return st;
   }

@@ -32,7 +32,7 @@ Status MagicServer::Start() {
   if (started_) return Status::FailedPrecondition("server already started");
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    return Status::Internal("socket: " + ErrnoMessage(errno));
   }
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -46,17 +46,15 @@ Status MagicServer::Start() {
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    Status st =
-        Status::Internal(std::string("bind ") + options_.host + ":" +
-                         std::to_string(options_.port) + ": " +
-                         std::strerror(errno));
+    Status st = Status::Internal("bind " + options_.host + ":" +
+                                 std::to_string(options_.port) + ": " +
+                                 ErrnoMessage(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
   }
   if (::listen(listen_fd_, 64) < 0) {
-    Status st = Status::Internal(std::string("listen: ") +
-                                 std::strerror(errno));
+    Status st = Status::Internal("listen: " + ErrnoMessage(errno));
     ::close(listen_fd_);
     listen_fd_ = -1;
     return st;
@@ -83,7 +81,7 @@ void MagicServer::Stop() {
   // Unblock every session parked in recv, then join. Sessions close their
   // own fd when they return, so the fd stays valid until the join.
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     for (auto& [id, conn] : sessions_) {
       if (!conn.finished) ::shutdown(conn.fd, SHUT_RDWR);
     }
@@ -91,7 +89,7 @@ void MagicServer::Stop() {
   while (true) {
     std::thread thread;
     {
-      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      MutexLock lock(sessions_mutex_);
       auto it = sessions_.begin();
       if (it == sessions_.end()) break;
       thread = std::move(it->second.thread);
@@ -125,13 +123,13 @@ void MagicServer::AcceptLoop() {
     active_.fetch_add(1);
     uint64_t id;
     {
-      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      MutexLock lock(sessions_mutex_);
       id = next_session_id_++;
       sessions_[id].fd = fd;
     }
     std::thread thread(&MagicServer::RunSession, this, id, fd);
     {
-      std::lock_guard<std::mutex> lock(sessions_mutex_);
+      MutexLock lock(sessions_mutex_);
       sessions_[id].thread = std::move(thread);
     }
   }
@@ -143,7 +141,7 @@ void MagicServer::RunSession(uint64_t id, int fd) {
   active_.fetch_sub(1);
   // close + finished flip together under the lock, so Stop() never
   // shutdown()s an fd number the kernel may have already reused.
-  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  MutexLock lock(sessions_mutex_);
   ::close(fd);
   auto it = sessions_.find(id);
   if (it != sessions_.end()) it->second.finished = true;
@@ -152,7 +150,7 @@ void MagicServer::RunSession(uint64_t id, int fd) {
 void MagicServer::ReapFinished() {
   std::vector<std::thread> done;
   {
-    std::lock_guard<std::mutex> lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       if (it->second.finished && it->second.thread.joinable()) {
         done.push_back(std::move(it->second.thread));

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "net/session.h"
+#include "util/annotated_mutex.h"
 
 namespace magic {
 namespace net {
@@ -57,17 +57,17 @@ class MagicServer {
   const std::string& host() const { return options_.host; }
 
   /// Stops accepting, disconnects every session, joins all threads.
-  void Stop();
+  void Stop() EXCLUDES(sessions_mutex_);
 
   /// Connections currently being served (tests and the overload path).
   size_t active_connections() const { return active_.load(); }
 
  private:
-  void AcceptLoop();
-  void RunSession(uint64_t id, int fd);
+  void AcceptLoop() EXCLUDES(sessions_mutex_);
+  void RunSession(uint64_t id, int fd) EXCLUDES(sessions_mutex_);
   /// Joins session threads that have finished (called from the accept
   /// loop so a long-lived server does not accumulate dead threads).
-  void ReapFinished();
+  void ReapFinished() EXCLUDES(sessions_mutex_);
 
   ServeContext ctx_;
   ServerOptions options_;
@@ -77,14 +77,17 @@ class MagicServer {
   bool started_ = false;
   std::thread accept_thread_;
 
-  std::mutex sessions_mutex_;
+  /// Ranked below the whole service tier: a session thread finishing
+  /// holds this while a request of its own may still be draining, and the
+  /// server must never hold it while entering QueryService.
+  Mutex sessions_mutex_{lock_rank::kServerSessions};
   struct Conn {
     int fd = -1;
     std::thread thread;
     bool finished = false;
   };
-  std::unordered_map<uint64_t, Conn> sessions_;
-  uint64_t next_session_id_ = 0;
+  std::unordered_map<uint64_t, Conn> sessions_ GUARDED_BY(sessions_mutex_);
+  uint64_t next_session_id_ GUARDED_BY(sessions_mutex_) = 0;
   std::atomic<size_t> active_{0};
 };
 

@@ -3,6 +3,7 @@
 #include <sys/socket.h>
 
 #include <cerrno>
+#include <cstring>
 
 namespace magic {
 namespace net {
@@ -70,6 +71,26 @@ bool WriteFrame(int fd, std::string_view payload) {
                     static_cast<char>(len >> 8), static_cast<char>(len)};
   if (!SendAll(fd, header, sizeof(header))) return false;
   return SendAll(fd, payload.data(), payload.size());
+}
+
+namespace {
+
+// strerror_r has two signatures: GNU returns char* (possibly a static
+// string, ignoring buf), XSI returns int (filling buf). Overload dispatch
+// normalizes both without a feature-test-macro #if maze; only one overload
+// is instantiated per platform, hence maybe_unused.
+[[maybe_unused]] const char* StrerrorResult(const char* result, const char*) {
+  return result;
+}
+[[maybe_unused]] const char* StrerrorResult(int result, const char* buf) {
+  return result == 0 ? buf : "unknown error";
+}
+
+}  // namespace
+
+std::string ErrnoMessage(int err) {
+  char buf[128] = "unknown error";
+  return StrerrorResult(::strerror_r(err, buf, sizeof(buf)), buf);
 }
 
 }  // namespace net

@@ -51,6 +51,12 @@ FrameResult ReadFrame(int fd, size_t max_payload, std::string* out);
 /// suppressed via MSG_NOSIGNAL; it reports as false, not a signal).
 bool WriteFrame(int fd, std::string_view payload);
 
+/// Thread-safe strerror for status messages: std::strerror formats into a
+/// shared static buffer (clang-tidy concurrency-mt-unsafe), and this layer
+/// fails from many session threads at once. Formats via strerror_r into a
+/// local buffer instead.
+std::string ErrnoMessage(int err);
+
 }  // namespace net
 }  // namespace magic
 

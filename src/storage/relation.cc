@@ -90,7 +90,7 @@ bool Relation::Retract(std::span<const TermId> tuple) {
   // never equal size(), so the lock-free fast path rejects the index
   // until it is rebuilt, lazily on the next probe or via RebuildIndexes.
   {
-    std::lock_guard<std::mutex> lock(index_mutex_);
+    MutexLock lock(index_mutex_);
     for (auto& [mask, index] : indices_) {
       index->rows_built.store(kIndexInvalidated, std::memory_order_release);
     }
@@ -108,7 +108,7 @@ void Relation::Clear() {
   // truncation must start index state from scratch. Exclusive access means
   // no probe is in flight, so the retired snapshots can go too (they point
   // into indices_).
-  std::lock_guard<std::mutex> lock(index_mutex_);
+  MutexLock lock(index_mutex_);
   index_table_.store(nullptr, std::memory_order_release);
   indices_.clear();
   table_owner_.clear();
@@ -116,7 +116,7 @@ void Relation::Clear() {
 }
 
 void Relation::RebuildIndexes() {
-  std::lock_guard<std::mutex> lock(index_mutex_);
+  MutexLock lock(index_mutex_);
   for (auto& [mask, index] : indices_) ExtendIndex(mask, index.get());
 }
 
@@ -200,7 +200,7 @@ void Relation::Probe(uint64_t mask, std::span<const TermId> key,
   // Slow path (first probe for this mask, or rows appended since the last
   // build — both single-threaded situations per the class contract, except
   // for the one-time concurrent build race, which the mutex settles).
-  std::lock_guard<std::mutex> lock(index_mutex_);
+  MutexLock lock(index_mutex_);
   auto [it, inserted] = indices_.try_emplace(mask);
   if (inserted) it->second = std::make_unique<Index>();
   Index* index = it->second.get();

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "ast/term.h"
+#include "util/annotated_mutex.h"
 
 namespace magic {
 
@@ -165,7 +165,7 @@ class Relation {
   };
 
   uint64_t KeyHashForRow(uint64_t mask, size_t row) const;
-  void ExtendIndex(uint64_t mask, Index* index) const;
+  void ExtendIndex(uint64_t mask, Index* index) const REQUIRES(index_mutex_);
   void ProbeIndex(const Index& index, std::span<const TermId> key,
                   uint64_t mask, size_t from_row, size_t to_row,
                   std::vector<uint32_t>* out) const;
@@ -195,9 +195,14 @@ class Relation {
   std::unordered_map<uint64_t, std::vector<uint32_t>> dedup_;
 
   mutable std::atomic<const IndexTable*> index_table_{nullptr};
-  mutable std::mutex index_mutex_;  // guards the two owners below
-  mutable std::unordered_map<uint64_t, std::unique_ptr<Index>> indices_;
-  mutable std::vector<std::unique_ptr<IndexTable>> table_owner_;
+  /// Guards the two owners below. A data-plane lock: legal under the
+  /// exclusive serve seam (ApplyWrites rebuilds indices through it) as
+  /// well as under any shared-side evaluation lock.
+  mutable Mutex index_mutex_{lock_rank::kRelationIndex};
+  mutable std::unordered_map<uint64_t, std::unique_ptr<Index>> indices_
+      GUARDED_BY(index_mutex_);
+  mutable std::vector<std::unique_ptr<IndexTable>> table_owner_
+      GUARDED_BY(index_mutex_);
 };
 
 }  // namespace magic

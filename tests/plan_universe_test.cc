@@ -109,6 +109,72 @@ TEST(PlanUniverseTest, UniquePredicateNameAvoidsBaseCollisions) {
   EXPECT_EQ(overlay.symbols().Name(free_name), "anc_bf");
 }
 
+TEST(PlanUniverseTest, LateBaseSymbolsDoNotAliasOverlayIds) {
+  // The root table keeps interning at runtime (the server parses new
+  // constants on live connections), so a base id assigned *after* an
+  // overlay captured its offset can numerically collide with an
+  // overlay-local id. The overlay must treat such base hits as misses —
+  // resolving them would hand back the overlay's string for the base's
+  // name (or vice versa).
+  std::shared_ptr<Universe> base = MakeBase();
+  const size_t base_symbols = base->symbols().size();
+
+  Universe overlay((std::shared_ptr<const Universe>(base)));
+  SymbolId plan_local = overlay.Sym("magic_anc_bf");
+  EXPECT_EQ(plan_local, static_cast<SymbolId>(base_symbols));
+
+  // The base interns a new name after overlay creation; it lands on the
+  // same numeric id as the overlay's plan-local symbol.
+  SymbolId late = base->Sym("late_root_name");
+  EXPECT_EQ(late, plan_local);
+
+  // A lookup through the overlay must miss (not alias plan_local)...
+  EXPECT_FALSE(overlay.symbols().Find("late_root_name").has_value());
+  // ...and the overlay's own id still resolves to the overlay's string.
+  EXPECT_EQ(overlay.symbols().Name(plan_local), "magic_anc_bf");
+
+  // Interning the late name through the overlay shadows it locally with a
+  // fresh id that resolves correctly, leaving the base untouched.
+  SymbolId shadowed = overlay.Sym("late_root_name");
+  EXPECT_NE(shadowed, late);
+  EXPECT_EQ(overlay.symbols().Name(shadowed), "late_root_name");
+  EXPECT_EQ(base->symbols().Name(late), "late_root_name");
+}
+
+TEST(PlanUniverseTest, LateBasePredicatesDoNotAliasOverlayIds) {
+  // Same horizon rule for the predicate registry: a root declaration made
+  // after overlay creation gets an id that collides with an overlay-local
+  // predicate; resolving it through the overlay would return the wrong
+  // PredicateInfo (or trip the offset MAGIC_CHECK).
+  std::shared_ptr<Universe> base = MakeBase();
+  SymbolId late_name = base->Sym("late_pred");  // symbol exists pre-overlay
+  base->predicates().Declare(base->Sym("par"), 2, PredKind::kBase);
+  const size_t base_preds = base->predicates().size();
+
+  Universe overlay((std::shared_ptr<const Universe>(base)));
+  SymbolId local_name = overlay.Sym("magic_anc_bf");
+  PredId plan_local =
+      overlay.predicates().Declare(local_name, 2, PredKind::kMagic);
+  EXPECT_EQ(plan_local, static_cast<PredId>(base_preds));
+
+  PredId late = base->predicates().Declare(late_name, 2, PredKind::kDerived);
+  EXPECT_EQ(late, plan_local);  // numeric collision across the horizon
+
+  // Find through the overlay must miss instead of returning the aliased
+  // id, and the overlay-local info stays the authoritative resolution.
+  EXPECT_FALSE(overlay.predicates().Find(late_name, 2).has_value());
+  EXPECT_EQ(overlay.predicates().info(plan_local).name, local_name);
+  EXPECT_EQ(overlay.predicates().info(plan_local).kind, PredKind::kMagic);
+
+  // GetOrDeclare through the overlay declares a fresh local predicate
+  // rather than "upgrading" the base's late entry through the alias.
+  PredId shadowed =
+      overlay.predicates().GetOrDeclare(late_name, 2, PredKind::kDerived);
+  EXPECT_NE(shadowed, late);
+  EXPECT_EQ(overlay.predicates().info(shadowed).kind, PredKind::kDerived);
+  EXPECT_EQ(base->predicates().info(late).name, late_name);
+}
+
 TEST(PlanUniverseTest, FreshVariablesNeverCollideWithBaseVariables) {
   std::shared_ptr<Universe> base = MakeBase();
   TermId base_fresh = base->FreshVariable("I");
