@@ -22,7 +22,10 @@
 //   repeat  a zipfian repeated-seed sequence served twice: once with the
 //           AnswerCache disabled (repeat_cold line) and once against a
 //           pre-filled cache (repeat_warm line) — the cross-query
-//           memoization win on skewed real-world traffic
+//           memoization win on skewed real-world traffic. A third
+//           repeat_warm_noobs line repeats the warm pass with the
+//           observability plumbing disabled (options.obs.enabled=false),
+//           pricing the tracing/histogram overhead on the hot path
 //   strategy  non-rewriting strategies (seminaive, topdown) served as
 //           prepared handles — one strategy_seminaive and one
 //           strategy_topdown line per thread count. These used to run
@@ -162,14 +165,26 @@ void EmitLine(const BenchCase& c, const char* mode, size_t threads,
   // Counter fields come from the one shared reporting path
   // (Stats::JsonFragment) so the bench never re-aggregates by hand.
   // `extra` is a mode-specific run of `"key":value,` pairs (the serve
-  // mode's rate/latency percentiles).
+  // mode's rate + arrival-anchored latency percentiles). Modes without an
+  // `extra` get p50/p95/p99 from the service's own request-latency
+  // histogram instead — the same cells METRICS scrapes.
+  std::string latency;
+  if (extra.empty() && stats.request_latency.count > 0) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"p99_ms\":%.3f,",
+                  stats.request_latency.Quantile(0.50) / 1e6,
+                  stats.request_latency.Quantile(0.95) / 1e6,
+                  stats.request_latency.Quantile(0.99) / 1e6);
+    latency = buf;
+  }
   std::printf(
       "{\"bench\":\"throughput\",\"workload\":\"%s\",\"mode\":\"%s\","
       "\"threads\":%zu,\"queries\":%zu,\"seconds\":%.6f,\"qps\":%.1f,"
-      "\"answers\":%zu,\"failures\":%zu,%s%s}\n",
+      "\"answers\":%zu,\"failures\":%zu,%s%s%s}\n",
       c.name.c_str(), mode, threads, queries, seconds,
       static_cast<double>(queries) / seconds, answers, failures,
-      extra.c_str(), stats.JsonFragment().c_str());
+      extra.c_str(), latency.c_str(), stats.JsonFragment().c_str());
   std::fflush(stdout);
 }
 
@@ -326,10 +341,17 @@ void RunCase(BenchCase& c, size_t max_threads, const std::string& mode,
         traffic.push_back(distinct[index]);
       }
 
-      for (const char* phase : {"repeat_cold", "repeat_warm"}) {
-        const bool warm = std::strcmp(phase, "repeat_warm") == 0;
+      for (const char* phase :
+           {"repeat_cold", "repeat_warm", "repeat_warm_noobs"}) {
+        const bool warm = std::strncmp(phase, "repeat_warm", 11) == 0;
         QueryServiceOptions phase_options = options;
         if (warm) phase_options.cache_bytes = QueryServiceOptions{}.cache_bytes;
+        // The noobs phase is the warm pass with observability off: the
+        // delta between the two warm lines is the obs overhead (the
+        // acceptance budget is within 5% on repeat_warm QPS).
+        if (std::strcmp(phase, "repeat_warm_noobs") == 0) {
+          phase_options.obs.enabled = false;
+        }
         QueryService service(c.workload.program, c.workload.db,
                              phase_options);
         QueryRequest exemplar;
@@ -340,14 +362,32 @@ void RunCase(BenchCase& c, size_t max_threads, const std::string& mode,
                        handle.status().ToString().c_str());
           return;
         }
-        // Warm phase: one untimed pass fills the cache, the timed pass
-        // then serves the same skewed sequence from it.
-        if (warm) (void)ServeSeeds(service, *handle, traffic);
+        // Warm phase: one untimed pass fills the cache, a second untimed
+        // pass brings the hit path itself to steady state (the first
+        // post-cold phase otherwise pays the cold run's heap/CPU-cache
+        // wreckage and the warm-vs-noobs comparison measures phase order,
+        // not observability), and the timed pass then serves the same
+        // skewed sequence from the warm cache.
+        if (warm) {
+          (void)ServeSeeds(service, *handle, traffic);
+          (void)ServeSeeds(service, *handle, traffic);
+        }
+        // The warm passes serve in microseconds, so one pass over the
+        // traffic is scheduler-noise territory; timing several passes
+        // makes the warm-vs-noobs delta (the obs overhead budget)
+        // measurable. QPS stays per-query, so lines remain comparable.
+        const size_t timed_passes = warm ? 8 : 1;
+        size_t total_answers = 0;
+        size_t failures = 0;
         Stopwatch watch;
-        auto [total_answers, failures] = ServeSeeds(service, *handle, traffic);
+        for (size_t pass = 0; pass < timed_passes; ++pass) {
+          auto [answers, failed] = ServeSeeds(service, *handle, traffic);
+          total_answers += answers;
+          failures += failed;
+        }
         double seconds = watch.ElapsedSeconds();
-        EmitLine(c, phase, threads, traffic.size(), seconds, total_answers,
-                 failures, service.stats());
+        EmitLine(c, phase, threads, traffic.size() * timed_passes, seconds,
+                 total_answers, failures, service.stats());
       }
     }
 

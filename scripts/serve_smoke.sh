@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # End-to-end smoke test of the wire surface: starts magicdb-serve on an
 # ephemeral port, drives it with magicdb-cli (PREPARE / QUERY / APPLY /
-# STREAM / STATS), checks row counts before and after a live write, then
-# sends SIGTERM and asserts a clean shutdown. Exercises the same
-# binary+protocol pairing a user deploys, not the in-process test server.
+# STREAM / STATS / METRICS), checks row counts before and after a live
+# write, validates the Prometheus text exposition and the JSON stats
+# document, then sends SIGTERM and asserts a clean shutdown. Exercises the
+# same binary+protocol pairing a user deploys, not the in-process test
+# server.
 #
 #   scripts/serve_smoke.sh [serve-binary] [cli-binary]
 #
@@ -85,6 +87,47 @@ rows=$(run stream "anc(c0, Y)" | wc -l)
 
 # STATS returns the JSON summary payload.
 run stats | grep -q '{' || fail "stats payload missing"
+
+# A profiled QUERY appends %-prefixed per-rule fixpoint profile lines.
+# A cold seed: cache-served answers carry no profile (nothing evaluated).
+run query "anc(c1, Y)" profile=1 > "$WORK/profiled.out" \
+  || fail "profile=1 query rejected"
+grep -q '^% .*evals=' "$WORK/profiled.out" \
+  || fail "profile=1 reply missing the per-rule profile lines"
+
+# METRICS scrapes the registry as Prometheus text exposition: typed
+# metric families, counter totals, at least one latency histogram with
+# cumulative le= buckets, and the per-rule fixpoint profile counters.
+run metrics > "$WORK/metrics.prom" || fail "metrics scrape rejected"
+grep -q '^# TYPE magicdb_queries_served counter' "$WORK/metrics.prom" \
+  || fail "metrics exposition missing typed counter families"
+grep -q '^magicdb_queries_served_total ' "$WORK/metrics.prom" \
+  || fail "metrics exposition missing the served-queries counter"
+grep -q '^# TYPE magicdb_form_latency_ns histogram' "$WORK/metrics.prom" \
+  || fail "metrics exposition missing the form latency histogram type"
+grep -q 'magicdb_form_latency_ns_bucket{.*le="' "$WORK/metrics.prom" \
+  || fail "metrics exposition missing cumulative histogram buckets"
+grep -q 'le="+Inf"' "$WORK/metrics.prom" \
+  || fail "metrics exposition missing the +Inf bucket"
+grep -q '^magicdb_rule_evals_total{' "$WORK/metrics.prom" \
+  || fail "metrics exposition missing per-rule profile counters"
+
+# METRICS json (and the STATS payload) must be one well-formed JSON
+# document carrying the per-form histograms and fixpoint profiles.
+run metrics json > "$WORK/metrics.json" || fail "metrics json rejected"
+grep -q '"forms":' "$WORK/metrics.json" \
+  || fail "metrics json missing the per-form array"
+grep -q '"profile":' "$WORK/metrics.json" \
+  || fail "metrics json missing the fixpoint profiles"
+grep -q '"eval_latency":' "$WORK/metrics.json" \
+  || fail "metrics json missing the per-form latency histograms"
+if command -v python3 > /dev/null 2>&1; then
+  python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+    "$WORK/metrics.json" || fail "metrics json does not parse"
+  run stats > "$WORK/stats.json"
+  python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+    "$WORK/stats.json" || fail "stats json does not parse"
+fi
 
 # A new predicate through the wire must be frozen out, naming the culprit.
 if printf '+brand_new_rel(a, b).\n' | run apply > /dev/null; then

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ast/printer.h"
 #include "util/check.h"
 
 namespace magic {
@@ -23,6 +24,17 @@ bool ComputeFullyFree(const Universe& u, const Query& exemplar,
     }
   }
   return true;
+}
+
+/// Pairs the compile-time rule labels with one run's per-rule counters.
+void FillPlanProfile(const std::vector<std::string>& labels,
+                     const std::vector<RuleProfile>& profiles,
+                     QueryAnswer* answer) {
+  const size_t n = std::min(labels.size(), profiles.size());
+  answer->profile.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    answer->profile.push_back(RuleProfileEntry{labels[i], profiles[i]});
+  }
 }
 
 }  // namespace
@@ -98,6 +110,17 @@ Result<std::shared_ptr<const CompiledPlan>> CompiledPlan::Compile(
     }
   }
   plan->fully_free = ComputeFullyFree(u, exemplar, plan->bound_positions);
+
+  // Print the evaluated program's rules once, at compile time, so the
+  // per-request profile path never touches the printer.
+  const Program& evaluated = plan->original.has_value() ? *plan->original
+                             : plan->adorned.has_value()
+                                 ? plan->adorned->program
+                                 : plan->rewritten.program;
+  plan->rule_labels.reserve(evaluated.rules().size());
+  for (const Rule& rule : evaluated.rules()) {
+    plan->rule_labels.push_back(RuleToString(u, rule));
+  }
   return std::shared_ptr<const CompiledPlan>(std::move(plan));
 }
 
@@ -135,7 +158,14 @@ QueryAnswer CompiledPlan::Answer(
   if (limits.max_facts.has_value()) {
     instance_options.max_facts = *limits.max_facts;
   }
-  const bool controlled = limits.NeedsControl() || static_cast<bool>(sink);
+  // `hooked` = the evaluation streams answers through the collector hook
+  // (limits that stop early, or a sink). `controlled` additionally covers
+  // trace-only requests: they need the EvalControl carrier for the
+  // fixpoint span, but keep the hook-free extraction path — tracing must
+  // not change how answers are produced.
+  const bool hooked = limits.row_limit != 0 || limits.deadline.has_value() ||
+                      limits.cancel != nullptr || static_cast<bool>(sink);
+  const bool controlled = hooked || limits.trace != nullptr;
   AnswerCollector collector(limits.row_limit, sink ? &sink : nullptr);
   EvalControl control;
   if (limits.deadline.has_value()) {
@@ -143,12 +173,13 @@ QueryAnswer CompiledPlan::Answer(
         admitted.value_or(std::chrono::steady_clock::now()) + *limits.deadline;
   }
   if (limits.cancel != nullptr) control.cancel = limits.cancel.get();
+  control.trace = limits.trace;
 
   switch (strategy) {
     case Strategy::kNaiveBottomUp:
     case Strategy::kSemiNaiveBottomUp: {
       AnswerProjector projector = AnswerProjector::ForDirect(u, instance);
-      if (controlled) {
+      if (hooked) {
         control.sink_pred = instance.goal.pred;
         control.on_fact = MakeAnswerHook(projector, collector);
       }
@@ -158,7 +189,7 @@ QueryAnswer CompiledPlan::Answer(
       answer.status = result.status;
       answer.eval_stats = result.stats;
       answer.total_facts = result.TotalFacts();
-      if (controlled) {
+      if (hooked) {
         if (!sink) answer.tuples = collector.TakeSorted();
       } else {
         auto it = result.idb.find(instance.goal.pred);
@@ -166,11 +197,12 @@ QueryAnswer CompiledPlan::Answer(
             u, instance, it == result.idb.end() ? nullptr : &it->second);
       }
       answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+      FillPlanProfile(rule_labels, result.rule_profiles, &answer);
       return answer;
     }
     case Strategy::kTopDown: {
       AnswerProjector projector = AnswerProjector::ForDirect(u, instance);
-      if (controlled) {
+      if (hooked) {
         control.sink_pred = adorned->query_pred;
         control.on_fact = MakeAnswerHook(projector, collector);
       }
@@ -180,7 +212,7 @@ QueryAnswer CompiledPlan::Answer(
       answer.status = result.status;
       answer.topdown_stats = result.stats;
       answer.total_facts = result.stats.answers;
-      if (controlled) {
+      if (hooked) {
         if (!sink) answer.tuples = collector.TakeSorted();
       } else {
         std::vector<int> free_positions = QueryFreePositions(u, instance);
@@ -196,6 +228,7 @@ QueryAnswer CompiledPlan::Answer(
             answer.tuples.end());
       }
       answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+      FillPlanProfile(rule_labels, result.rule_profiles, &answer);
       return answer;
     }
     default:
@@ -211,21 +244,30 @@ QueryAnswer CompiledPlan::Answer(
     answer.total_facts = result.TotalFacts();
     answer.tuples = ExtractAnswers(u, rewritten, instance, result);
     answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+    FillPlanProfile(rule_labels, result.rule_profiles, &answer);
     return answer;
   }
 
   // Bounded/streaming path: filter and project answer rows as they are
   // derived, so the fixpoint aborts the moment the caller has enough.
+  // (Trace-only controlled runs skip the hook and extract afterwards.)
   AnswerProjector projector =
       AnswerProjector::ForRewritten(u, rewritten, instance);
-  control.sink_pred = rewritten.answer_pred;
-  control.on_fact = MakeAnswerHook(projector, collector);
+  if (hooked) {
+    control.sink_pred = rewritten.answer_pred;
+    control.on_fact = MakeAnswerHook(projector, collector);
+  }
   EvalResult result = evaluator.Run(rewritten.program, db, seeds, &control);
   answer.status = result.status;
   answer.eval_stats = result.stats;
   answer.total_facts = result.TotalFacts();
-  if (!sink) answer.tuples = collector.TakeSorted();
+  if (hooked) {
+    if (!sink) answer.tuples = collector.TakeSorted();
+  } else {
+    answer.tuples = ExtractAnswers(u, rewritten, instance, result);
+  }
   answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+  FillPlanProfile(rule_labels, result.rule_profiles, &answer);
   return answer;
 }
 

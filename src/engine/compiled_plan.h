@@ -53,6 +53,10 @@ struct CompiledPlan {
   /// kNaiveBottomUp / kSemiNaiveBottomUp: the original program, rebound to
   /// the plan universe, evaluated to fixpoint and filtered per instance.
   std::optional<Program> original;
+  /// The evaluated program's rules, printed once at compile time; indexed
+  /// like the engines' per-rule profiles, so Answer() can attach labelled
+  /// fixpoint profiles without re-rendering rules per request.
+  std::vector<std::string> rule_labels;
 
   /// Compiles the query form of `exemplar` (its binding pattern; the
   /// constants are ignored) under `options.strategy`. Accepts every

@@ -77,6 +77,19 @@ std::vector<std::vector<TermId>> SortedUnique(
   return tuples;
 }
 
+/// Pairs each per-rule profile with the rule's text from the program the
+/// engine evaluated (not the user's source program — the rewritten rules
+/// are the ones whose cost is being attributed).
+void FillProfile(const Universe& u, const Program& evaluated,
+                 const std::vector<RuleProfile>& profiles,
+                 QueryAnswer* answer) {
+  answer->profile.reserve(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    answer->profile.push_back(
+        RuleProfileEntry{RuleToString(u, evaluated.rules()[i]), profiles[i]});
+  }
+}
+
 }  // namespace
 
 AnswerProjector AnswerProjector::ForRewritten(
@@ -264,6 +277,7 @@ QueryAnswer QueryEngine::Run(
         admitted.value_or(std::chrono::steady_clock::now()) + *limits.deadline;
   }
   if (limits.cancel != nullptr) control.cancel = limits.cancel.get();
+  control.trace = limits.trace;
   EvalOptions eval_options = options_.eval;
   if (limits.max_facts.has_value()) eval_options.max_facts = *limits.max_facts;
 
@@ -319,6 +333,7 @@ QueryAnswer QueryEngine::Run(
           u, query, it == result.idb.end() ? nullptr : &it->second);
     }
     answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+    FillProfile(u, program, result.rule_profiles, &answer);
     if (options_.explain) {
       answer.rewritten_text = ProgramToString(program);
     }
@@ -382,6 +397,7 @@ QueryAnswer QueryEngine::Run(
       answer.tuples = SortedUnique(std::move(answer.tuples));
     }
     answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+    FillProfile(u, adorned->program, result.rule_profiles, &answer);
     if (options_.explain) {
       answer.rewritten_text = ProgramToString(adorned->program);
     }
@@ -414,6 +430,7 @@ QueryAnswer QueryEngine::Run(
     answer.tuples = ExtractAnswers(u, *rewritten, query, result);
   }
   answer.outcome = ClassifyOutcome(result.stop_reason, answer.status);
+  FillProfile(u, rewritten->program, result.rule_profiles, &answer);
   if (options_.explain) {
     answer.rewritten_text = ProgramToString(rewritten->program);
   }

@@ -81,10 +81,15 @@ struct QueryLimits {
   /// Cooperative cancellation: set to true (from any thread) to abort the
   /// evaluation; the answer's outcome becomes kCancelled.
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// Internal observability hook (set by QueryService, not by clients):
+  /// when non-null the evaluation records its fixpoint span here. Borrowed
+  /// for the duration of the run; single-request ownership.
+  obs::Trace* trace = nullptr;
 
   /// True when any bound requires the evaluation-time control hook.
   bool NeedsControl() const {
-    return row_limit != 0 || deadline.has_value() || cancel != nullptr;
+    return row_limit != 0 || deadline.has_value() || cancel != nullptr ||
+           trace != nullptr;
   }
 };
 
@@ -99,6 +104,14 @@ struct QueryLimits {
 /// the tuples went to the sink; materializing a second sorted copy would
 /// defeat the point of streaming.
 using AnswerSink = std::function<bool(const std::vector<TermId>&)>;
+
+/// One rule's slice of a fixpoint profile, with the rule rendered in the
+/// program the engine actually evaluated (the rewritten/adorned program
+/// for those strategies — the per-rule evidence of what the rewrite paid).
+struct RuleProfileEntry {
+  std::string rule;
+  RuleProfile counts;
+};
 
 /// The result of answering one query.
 struct QueryAnswer {
@@ -117,6 +130,9 @@ struct QueryAnswer {
   TopDownStats topdown_stats;
   /// Total facts in the evaluated program's IDB (relevant-fact metric).
   size_t total_facts = 0;
+  /// Per-rule fixpoint profile of the evaluated program (empty for
+  /// base-predicate selections and cache hits).
+  std::vector<RuleProfileEntry> profile;
   /// The rewritten program, printed, when EngineOptions::explain is set.
   std::string rewritten_text;
   std::string safety_note;

@@ -8,6 +8,7 @@
 
 #include "util/check.h"
 #include "util/hash.h"
+#include "util/json_writer.h"
 #include "util/stopwatch.h"
 
 namespace magic {
@@ -136,6 +137,26 @@ AnswerCache::Tuples FilterSubsumed(const AnswerCache::Tuples& all,
   return out;
 }
 
+/// Nanoseconds-since-epoch of a steady_clock time point, on the same
+/// clock obs::Trace::NowNs() reads — so span and latency arithmetic can
+/// mix deadline anchors with trace timestamps.
+uint64_t ToNs(std::chrono::steady_clock::time_point tp) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+/// Renders a bound-value seed for the slow-query log ("c3", "a b", ...).
+std::string SeedToString(const Universe& u, const std::vector<TermId>& seed) {
+  std::string out;
+  for (TermId term : seed) {
+    if (!out.empty()) out += ' ';
+    out += u.TermToString(term);
+  }
+  return out;
+}
+
 }  // namespace
 
 QueryService::QueryService(const Program& program, const Database& db,
@@ -143,9 +164,57 @@ QueryService::QueryService(const Program& program, const Database& db,
     : program_(program),
       db_(db),
       options_(std::move(options)),
+      slow_log_(options_.obs.slow_query_capacity),
       cache_(AnswerCacheOptions{.max_bytes = options_.cache_bytes}),
       pool_(options_.num_threads != 0 ? options_.num_threads
-                                      : std::thread::hardware_concurrency()) {}
+                                      : std::thread::hardware_concurrency()) {
+  // Service-wide instruments, registered once; the hot path only touches
+  // the returned cells (relaxed atomic adds — no registry lock).
+  forms_compiled_ = metrics_.GetCounter(
+      "magicdb_forms_compiled", {}, "Query forms compiled (per form key)");
+  form_cache_hits_ = metrics_.GetCounter(
+      "magicdb_form_cache_hits", {},
+      "Request-tier lookups that found an already-compiled form");
+  queries_served_ = metrics_.GetCounter(
+      "magicdb_queries_served", {},
+      "Requests completed (evaluated, cache-served, or shed)");
+  overloaded_ = metrics_.GetCounter(
+      "magicdb_overloaded", {},
+      "TrySubmit rejections by admission control");
+  answers_from_cache_ = metrics_.GetCounter(
+      "magicdb_answers_from_cache", {},
+      "Requests served from the AnswerCache without evaluation");
+  answers_subsumed_ = metrics_.GetCounter(
+      "magicdb_answers_subsumed", {},
+      "Cache serves produced by filtering a fully-free cached answer set");
+  coalesced_ = metrics_.GetCounter(
+      "magicdb_coalesced", {},
+      "Duplicate in-flight (form, seed) requests parked behind a leader");
+  deadline_shed_ = metrics_.GetCounter(
+      "magicdb_deadline_shed", {},
+      "Requests shed because their deadline expired before evaluation");
+  writes_applied_ = metrics_.GetCounter(
+      "magicdb_writes_applied", {},
+      "Write batches applied through the ApplyWrites seam");
+  request_latency_ = metrics_.GetHistogram(
+      "magicdb_request_latency_ns", {},
+      "End-to-end request latency, admission to completion");
+  write_drain_ = metrics_.GetHistogram(
+      "magicdb_write_drain_ns", {},
+      "Per-batch ApplyWrites drain wait for the exclusive serve seam");
+  compile_latency_ = metrics_.GetHistogram(
+      "magicdb_compile_latency_ns", {},
+      "Form compilation time (adorn + rewrite), paid once per form");
+  pending_gauge_ = metrics_.GetGauge(
+      "magicdb_pending_requests", {},
+      "Requests submitted but not yet completed (refreshed at scrape)");
+  cache_entries_gauge_ = metrics_.GetGauge(
+      "magicdb_answer_cache_entries", {},
+      "AnswerCache resident entries (refreshed at scrape)");
+  cache_bytes_gauge_ = metrics_.GetGauge(
+      "magicdb_answer_cache_bytes", {},
+      "AnswerCache resident bytes (refreshed at scrape)");
+}
 
 QueryService::QueryService(const Program& program, Database& db,
                            QueryServiceOptions options)
@@ -170,11 +239,12 @@ QueryService::FormKey QueryService::MakeKey(const QueryRequest& request) const {
 }
 
 QueryService::CachedForm* QueryService::GetOrCompile(
-    const QueryRequest& request, const FormKey& key) {
+    const QueryRequest& request, const FormKey& key, bool* compiled) {
+  if (compiled != nullptr) *compiled = false;
   MutexLock lock(form_mutex_);
   auto it = forms_.find(key);
   if (it != forms_.end()) {
-    ++form_cache_hits_;
+    form_cache_hits_->Add();
     return &it->second;
   }
   EngineOptions engine_options = options_.engine;
@@ -195,8 +265,65 @@ QueryService::CachedForm* QueryService::GetOrCompile(
     cached.error = form.status();
     return &cached;
   }
-  ++forms_compiled_;
+  forms_compiled_->Add();
+  if (compiled != nullptr) *compiled = true;
   cached.form = std::make_unique<PreparedQueryForm>(std::move(*form));
+
+  // Register the form's instruments while we still hold form_mutex_ (the
+  // metrics mutex ranks above it, so the nesting is legal). One-time cost
+  // per form; the serving paths only Add()/Record() through the pointers.
+  cached.form_label =
+      cached.pred_name + "/" + cached.form->adornment().ToString();
+  obs::MetricsRegistry::Labels form_labels{{"form", cached.form_label},
+                                           {"strategy", cached.strategy}};
+  cached.queries = metrics_.GetCounter(
+      "magicdb_form_queries", form_labels,
+      "Instances served per compiled form (evaluated or cache-served)");
+  cached.rows = metrics_.GetCounter("magicdb_form_rows", form_labels,
+                                    "Answer tuples returned per form");
+  cached.truncated =
+      metrics_.GetCounter("magicdb_form_truncated", form_labels,
+                          "Instances stopped by a row limit");
+  obs::MetricsRegistry::Labels eval_labels = form_labels;
+  eval_labels.emplace_back("stage", "eval");
+  obs::MetricsRegistry::Labels inline_labels = form_labels;
+  inline_labels.emplace_back("stage", "cache_inline");
+  cached.eval_latency = metrics_.GetHistogram(
+      "magicdb_form_latency_ns", eval_labels,
+      "Per-instance serving latency by stage (eval vs cache_inline)");
+  cached.inline_latency = metrics_.GetHistogram(
+      "magicdb_form_latency_ns", inline_labels,
+      "Per-instance serving latency by stage (eval vs cache_inline)");
+  const std::vector<std::string>& rule_labels =
+      cached.form->plan().rule_labels;
+  cached.rule_counters.reserve(rule_labels.size());
+  for (size_t i = 0; i < rule_labels.size(); ++i) {
+    // Rules are labelled by index (the full rule text lives in the stats
+    // JSON profile — too long and too free-form for a label value).
+    obs::MetricsRegistry::Labels labels{{"form", cached.form_label},
+                                        {"rule", std::to_string(i)}};
+    RuleCounters rc;
+    rc.evals = metrics_.GetCounter(
+        "magicdb_rule_evals", labels,
+        "Fixpoint rule evaluations (semi-naive: one per delta position "
+        "per iteration; top-down: subquery rule attempts)");
+    rc.firings = metrics_.GetCounter("magicdb_rule_firings", labels,
+                                     "Complete body matches of the rule");
+    rc.new_facts = metrics_.GetCounter(
+        "magicdb_rule_new_facts", labels,
+        "Facts the rule derived that were new to its head relation");
+    rc.duplicate_facts = metrics_.GetCounter(
+        "magicdb_rule_duplicate_facts", labels,
+        "Facts the rule re-derived (already present)");
+    rc.join_probes = metrics_.GetCounter(
+        "magicdb_rule_join_probes", labels,
+        "Join candidate rows probed while evaluating the rule");
+    rc.delta_rows = metrics_.GetCounter(
+        "magicdb_rule_delta_rows", labels,
+        "Delta-window rows joined against (semi-naive) or subqueries "
+        "generated (top-down)");
+    cached.rule_counters.push_back(rc);
+  }
   return &cached;
 }
 
@@ -205,7 +332,7 @@ bool QueryService::Admit(bool enforce_admission) {
   if (enforce_admission && options_.max_pending != 0 &&
       prev >= options_.max_pending) {
     pending_.fetch_sub(1, std::memory_order_relaxed);
-    overloaded_.fetch_add(1, std::memory_order_relaxed);
+    overloaded_->Add();
     return false;
   }
   return true;
@@ -304,16 +431,18 @@ void QueryService::ServeHit(CachedForm* cached,
   answer.outcome = (limit_hit || sink_stopped) ? AnswerStatus::kTruncated
                                                : AnswerStatus::kOk;
 
-  FormCounters& counters = cached->counters;
-  counters.queries.fetch_add(1, std::memory_order_relaxed);
-  counters.rows.fetch_add(serve, std::memory_order_relaxed);
+  cached->queries->Add();
+  cached->rows->Add(serve);
   if (answer.outcome == AnswerStatus::kTruncated) {
-    counters.truncated.fetch_add(1, std::memory_order_relaxed);
+    cached->truncated->Add();
   }
-  // eval_micros deliberately untouched: no evaluation ran.
-  queries_served_.fetch_add(1, std::memory_order_relaxed);
-  answers_from_cache_.fetch_add(1, std::memory_order_relaxed);
-  if (subsumed) answers_subsumed_.fetch_add(1, std::memory_order_relaxed);
+  // eval latency deliberately untouched: no evaluation ran. The caller
+  // records this serve into the form's distinct `cache_inline` histogram
+  // instead (it owns the request's latency anchor), so warm hits never
+  // dilute eval-stage latency.
+  queries_served_->Add();
+  answers_from_cache_->Add();
+  if (subsumed) answers_subsumed_->Add();
   done(std::move(answer));
 }
 
@@ -372,7 +501,8 @@ void QueryService::ReleaseInflight(CachedForm* cached,
 void QueryService::DispatchForm(
     CachedForm* cached, std::vector<TermId> bound_values, QueryLimits limits,
     AnswerSink sink, bool enforce_admission, Completion done,
-    std::optional<std::chrono::steady_clock::time_point> admitted_at) {
+    std::optional<std::chrono::steady_clock::time_point> admitted_at,
+    obs::Span compile_span) {
   // The deadline anchor survives coalescing round-trips: a parked
   // duplicate re-enters here with its original `admitted_at`, so park
   // time counts against the deadline exactly like queue time does. The
@@ -382,21 +512,36 @@ void QueryService::DispatchForm(
   const auto admitted = admitted_at.value_or(std::chrono::steady_clock::now());
   if (limits.deadline.has_value() &&
       std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
-    deadline_shed_.fetch_add(1, std::memory_order_relaxed);
-    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    deadline_shed_->Add();
+    queries_served_->Add();
     done(DeadlineShedAnswer());
     return;
   }
+  // Latency is measured from the admission anchor (same clock as the
+  // trace spans), so queue wait and coalescing park time count toward the
+  // recorded latency exactly as they count against the deadline.
+  const bool obs_on = options_.obs.enabled;
+  const uint64_t t_anchor = obs_on ? ToNs(admitted) : 0;
 
   // The inline probe's epoch read is lock-free, so it can race an
   // ApplyWrites; TryServeCached re-checks the epoch before serving a hit
   // (see the fence there). The worker path below re-reads the epoch under
   // the shared serve lock instead, where it is pinned.
+  const uint64_t probe_start = obs_on ? obs::Trace::NowNs() : 0;
   const uint64_t epoch = cache_.enabled() ? db_.epoch() : 0;
   if (cache_.enabled() &&
       TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
-    return;  // warm hit: completed inline, nothing dispatched
+    // Warm hit: completed inline — no worker, no admission slot, and no
+    // Trace allocation. Two histogram cells record it, under the form's
+    // distinct `cache_inline` stage.
+    if (obs_on) {
+      const uint64_t now = obs::Trace::NowNs();
+      cached->inline_latency->Record(now - t_anchor);
+      request_latency_->Record(now - t_anchor);
+    }
+    return;
   }
+  const uint64_t probe_end = obs_on ? obs::Trace::NowNs() : 0;
 
   if (!Admit(enforce_admission)) {
     done(OverloadedAnswer());
@@ -418,29 +563,49 @@ void QueryService::DispatchForm(
     auto [it, inserted] =
         inflight_.try_emplace(InflightKey{cached, bound_values});
     if (!inserted) {
-      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      coalesced_->Add();
       it->second.push_back(
           [this, cached, bound_values = std::move(bound_values),
            limits = std::move(limits), sink = std::move(sink),
-           done = std::move(done), admitted]() mutable {
+           done = std::move(done), admitted, compile_span]() mutable {
             // Return the parked slot, then go around again with the
             // original anchor. enforce_admission=false: this request was
             // already admitted once and must not be rejected late.
             pending_.fetch_sub(1, std::memory_order_relaxed);
             DispatchForm(cached, std::move(bound_values), std::move(limits),
                          std::move(sink), /*enforce_admission=*/false,
-                         std::move(done), admitted);
+                         std::move(done), admitted, compile_span);
           });
       return;
     }
     // Inserted: this request is the leader and must ReleaseInflight on
     // every completion path below.
   }
+  // Cold path: the request will occupy a worker, so a per-request Trace
+  // is worth its one small allocation. Spans recorded so far: admission
+  // (anchor -> probe) and the inline cache probe; the compile span rides
+  // in from the request tier when this request actually compiled.
+  std::shared_ptr<obs::Trace> trace;
+  uint64_t t_submit = 0;
+  if (obs_on) {
+    trace = std::make_shared<obs::Trace>();
+    trace->Record(obs::Stage::kAdmit, t_anchor, probe_start);
+    if (compile_span.end_ns != 0) {
+      trace->Record(obs::Stage::kCompile, compile_span.start_ns,
+                    compile_span.end_ns);
+    }
+    trace->Record(obs::Stage::kCacheProbe, probe_start, probe_end);
+    t_submit = obs::Trace::NowNs();
+  }
   pool_.Submit([this, cached, coalescing,
                 bound_values = std::move(bound_values),
                 limits = std::move(limits), sink = std::move(sink),
-                done = std::move(done), admitted]() mutable {
+                done = std::move(done), admitted, trace = std::move(trace),
+                t_anchor, t_submit]() mutable {
     ReaderMutexLock serving(serve_mutex_);
+    if (trace != nullptr) {
+      trace->Record(obs::Stage::kQueueWait, t_submit, obs::Trace::NowNs());
+    }
     // Epoch re-read under the serve lock: an in-band writer holds it
     // exclusive, so from here to completion the value is pinned — the
     // second-chance probe and the fill below are keyed by the epoch of
@@ -453,8 +618,8 @@ void QueryService::DispatchForm(
     // a worker on an unwanted answer.
     if (limits.deadline.has_value() &&
         std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
-      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
-      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      deadline_shed_->Add();
+      queries_served_->Add();
       if (coalescing) ReleaseInflight(cached, bound_values);
       pending_.fetch_sub(1, std::memory_order_relaxed);
       done(DeadlineShedAnswer());
@@ -467,37 +632,66 @@ void QueryService::DispatchForm(
     // the serve lock now that compilation doesn't take serve_mutex_.
     if (cache_.enabled() &&
         TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
+      if (trace != nullptr) {
+        // Served by a leader's fill while queued: latency-wise this is a
+        // cache serve, so it records as cache_inline, not eval.
+        const uint64_t now = obs::Trace::NowNs();
+        cached->inline_latency->Record(now - t_anchor);
+        request_latency_->Record(now - t_anchor);
+      }
       if (coalescing) ReleaseInflight(cached, bound_values);
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return;
     }
+    // Hand the trace to the engine: the fixpoint span is recorded inside
+    // Evaluator/TopDownEngine (they own the evaluation interval).
+    limits.trace = trace.get();
     Stopwatch watch;
     // Streamed answers leave tuples empty (the AnswerSink contract), so
     // count emitted rows through a wrapper for the per-form stats — and,
     // when the cache wants a fill, keep a copy of what streamed by.
     size_t streamed = 0;
+    uint64_t stream_first = 0;
     const bool collect = cache_.enabled() && static_cast<bool>(sink);
     std::vector<std::vector<TermId>> collected;
     AnswerSink counted;
     if (sink) {
       counted = [&](const std::vector<TermId>& tuple) {
         ++streamed;
+        if (trace != nullptr && stream_first == 0) {
+          stream_first = obs::Trace::NowNs();
+        }
         if (collect) collected.push_back(tuple);
         return sink(tuple);
       };
     }
     QueryAnswer answer = cached->form->Answer(bound_values, db_, limits,
                                               counted, admitted);
-    FormCounters& counters = cached->counters;
-    counters.queries.fetch_add(1, std::memory_order_relaxed);
-    counters.rows.fetch_add(answer.tuples.size() + streamed,
-                            std::memory_order_relaxed);
+    const uint64_t eval_ns =
+        static_cast<uint64_t>(watch.ElapsedSeconds() * 1e9);
+    cached->queries->Add();
+    cached->rows->Add(answer.tuples.size() + streamed);
     if (answer.outcome == AnswerStatus::kTruncated) {
-      counters.truncated.fetch_add(1, std::memory_order_relaxed);
+      cached->truncated->Add();
     }
-    counters.eval_micros.fetch_add(
-        static_cast<uint64_t>(watch.ElapsedSeconds() * 1e6),
-        std::memory_order_relaxed);
+    // Always recorded (the Stopwatch reads predate observability and the
+    // record is three relaxed adds): eval latency feeds eval_micros in
+    // Stats even when the optional obs half is off.
+    cached->eval_latency->Record(eval_ns);
+    // Accumulate this run's per-rule fixpoint profile into the form's
+    // registry counters (skipping zero deltas keeps quiet rules free).
+    const size_t rules =
+        std::min(answer.profile.size(), cached->rule_counters.size());
+    for (size_t i = 0; i < rules; ++i) {
+      const RuleProfile& p = answer.profile[i].counts;
+      RuleCounters& rc = cached->rule_counters[i];
+      if (p.evals != 0) rc.evals->Add(p.evals);
+      if (p.firings != 0) rc.firings->Add(p.firings);
+      if (p.new_facts != 0) rc.new_facts->Add(p.new_facts);
+      if (p.duplicate_facts != 0) rc.duplicate_facts->Add(p.duplicate_facts);
+      if (p.join_probes != 0) rc.join_probes->Add(p.join_probes);
+      if (p.delta_rows != 0) rc.delta_rows->Add(p.delta_rows);
+    }
     // Fill on bounded-clean completions only: kOk means the fixpoint ran
     // to completion under no truncating limit, so the tuple set is the
     // full answer. Sink-fed runs are re-sorted to the canonical order
@@ -516,7 +710,23 @@ void QueryService::DispatchForm(
     }
     // Unpark duplicates only after the fill above, so they hit it.
     if (coalescing) ReleaseInflight(cached, bound_values);
-    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    queries_served_->Add();
+    if (trace != nullptr) {
+      const uint64_t t_done = obs::Trace::NowNs();
+      if (stream_first != 0) {
+        trace->Record(obs::Stage::kStream, stream_first, t_done);
+      }
+      const uint64_t total = t_done - t_anchor;
+      request_latency_->Record(total);
+      if (total >= options_.obs.slow_query_ns) {
+        obs::SlowQuery slow;
+        slow.form = cached->form_label;
+        slow.seed = SeedToString(*program_.universe(), bound_values);
+        slow.total_ns = total;
+        slow.spans = trace->spans();
+        slow_log_.Record(std::move(slow));
+      }
+    }
     pending_.fetch_sub(1, std::memory_order_relaxed);
     done(std::move(answer));
   });
@@ -537,8 +747,8 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
       ReaderMutexLock serving(serve_mutex_);
       if (limits.deadline.has_value() &&
           std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
-        deadline_shed_.fetch_add(1, std::memory_order_relaxed);
-        queries_served_.fetch_add(1, std::memory_order_relaxed);
+        deadline_shed_->Add();
+        queries_served_->Add();
         pending_.fetch_sub(1, std::memory_order_relaxed);
         done(DeadlineShedAnswer());
         return;
@@ -546,7 +756,10 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
       QueryEngine engine(options_.engine);
       QueryAnswer answer = engine.Run(program_, query, db_, limits, sink,
                                       admitted);
-      queries_served_.fetch_add(1, std::memory_order_relaxed);
+      queries_served_->Add();
+      if (options_.obs.enabled) {
+        request_latency_->Record(obs::Trace::NowNs() - ToNs(admitted));
+      }
       pending_.fetch_sub(1, std::memory_order_relaxed);
       done(std::move(answer));
     });
@@ -556,13 +769,22 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
   // Every derived-predicate strategy — rewriting or not — resolves to a
   // compiled plan; there is no exclusive-locked fallback path anymore.
   const FormKey key = MakeKey(request);
-  CachedForm* cached = GetOrCompile(request, key);
+  bool compiled = false;
+  const uint64_t compile_start =
+      options_.obs.enabled ? obs::Trace::NowNs() : 0;
+  CachedForm* cached = GetOrCompile(request, key, &compiled);
+  obs::Span compile_span{};
+  if (compiled && options_.obs.enabled) {
+    compile_span =
+        obs::Span{obs::Stage::kCompile, compile_start, obs::Trace::NowNs()};
+    compile_latency_->Record(compile_span.end_ns - compile_span.start_ns);
+  }
   if (cached->form == nullptr) {
     QueryAnswer answer;
     answer.status = cached->error;
     answer.outcome = AnswerStatus::kError;
     answer.strategy_name = StrategyName(key.strategy);
-    queries_served_.fetch_add(1, std::memory_order_relaxed);
+    queries_served_->Add();
     done(std::move(answer));
     return;
   }
@@ -574,7 +796,8 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
     }
   }
   DispatchForm(cached, std::move(bound_values), request.limits,
-               std::move(sink), enforce_admission, std::move(done));
+               std::move(sink), enforce_admission, std::move(done),
+               std::nullopt, compile_span);
 }
 
 Result<QueryService::FormHandle> QueryService::Prepare(
@@ -740,9 +963,9 @@ Result<WriteResult> QueryService::ApplyWrites(const WriteBatch& batch) {
   // new worker dispatch until release. Inline warm hits stay lock-free;
   // the epoch fence in TryServeCached keeps them out of the write window.
   WriterMutexLock quiesce(serve_mutex_);
-  write_drain_ns_.fetch_add(
-      static_cast<uint64_t>(drain.ElapsedSeconds() * 1e9),
-      std::memory_order_relaxed);
+  // A histogram, not a sum: drain waits are dominated by the slowest
+  // in-flight evaluation, so the tail is the signal.
+  write_drain_->Record(static_cast<uint64_t>(drain.ElapsedSeconds() * 1e9));
   // Single-threaded application under the seam (validated above, so the
   // drained window pays no second pass); per-relation epoch bumps and
   // probe-index rebuilds happen in the storage layer. Holding the seam
@@ -751,7 +974,7 @@ Result<WriteResult> QueryService::ApplyWrites(const WriteBatch& batch) {
   // deadlock against dispatch or compilation. The Debug rank checker
   // enforces exactly this via serve_mutex_'s exclusive-nest floor.
   WriteResult result = mutable_db_->ApplyValidated(batch);
-  writes_applied_.fetch_add(1, std::memory_order_relaxed);
+  writes_applied_->Add();
   return result;
 }
 
@@ -768,57 +991,152 @@ QueryService::Stats::Totals QueryService::Stats::totals() const {
 
 std::string QueryService::Stats::Summary() const {
   const Totals all = totals();
-  char buffer[640];
+  char buffer[768];
   std::snprintf(
       buffer, sizeof(buffer),
       "%zu form(s) compiled, %zu form-cache hit(s); answer cache: "
       "%" PRIu64 " hit(s), %" PRIu64 " miss(es), %zu served from cache "
       "(%zu subsumed), %" PRIu64 " eviction(s), %zu/%zu byte(s); "
       "served %zu (%zu coalesced, %zu deadline-shed, %zu overloaded); "
+      "latency p50/p99 %.3f/%.3f ms over %" PRIu64 " request(s); "
       "%zu write batch(es) applied (drain %.3f ms); "
-      "form rows %" PRIu64 " (%" PRIu64 " truncated)",
+      "form rows %" PRIu64 " (%" PRIu64 " truncated); %zu slow quer(ies)",
       forms_compiled, form_cache_hits, answer_cache.hits,
       answer_cache.misses, answers_from_cache, answers_subsumed,
       answer_cache.evictions, answer_cache.bytes, answer_cache.max_bytes,
-      queries_served, coalesced, deadline_shed, overloaded, writes_applied,
-      static_cast<double>(write_drain_ns) / 1e6, all.rows, all.truncated);
+      queries_served, coalesced, deadline_shed, overloaded,
+      request_latency.Quantile(0.5) / 1e6,
+      request_latency.Quantile(0.99) / 1e6, request_latency.count,
+      writes_applied, static_cast<double>(write_drain.sum) / 1e6, all.rows,
+      all.truncated, slow_queries.size());
   return buffer;
 }
 
+namespace {
+
+/// The flat counters both JSON shapes share. Key names are the historical
+/// JsonFragment contract the bench trajectory lines parse;
+/// `write_drain_ns` stays the drain-time *sum* for continuity even though
+/// the full distribution now rides in Json()'s histogram object.
+void WriteFragmentKeys(const QueryService::Stats& stats, JsonWriter& w) {
+  const QueryService::Stats::Totals all = stats.totals();
+  w.Key("forms_compiled").Uint(stats.forms_compiled);
+  w.Key("form_cache_hits").Uint(stats.form_cache_hits);
+  w.Key("answer_hits").Uint(stats.answer_cache.hits);
+  w.Key("answer_misses").Uint(stats.answer_cache.misses);
+  w.Key("answers_from_cache").Uint(stats.answers_from_cache);
+  w.Key("answers_subsumed").Uint(stats.answers_subsumed);
+  w.Key("coalesced").Uint(stats.coalesced);
+  w.Key("deadline_shed").Uint(stats.deadline_shed);
+  w.Key("writes_applied").Uint(stats.writes_applied);
+  w.Key("write_drain_ns").Uint(stats.write_drain.sum);
+  w.Key("answer_evictions").Uint(stats.answer_cache.evictions);
+  w.Key("answer_bytes").Uint(stats.answer_cache.bytes);
+  w.Key("form_rows").Uint(all.rows);
+  w.Key("form_truncated").Uint(all.truncated);
+}
+
+void WriteHistogramJson(const obs::HistogramSnapshot& h, JsonWriter& w) {
+  w.BeginObject();
+  w.Key("count").Uint(h.count);
+  w.Key("sum_ns").Uint(h.sum);
+  w.Key("p50_ns").Double(h.Quantile(0.5));
+  w.Key("p95_ns").Double(h.Quantile(0.95));
+  w.Key("p99_ns").Double(h.Quantile(0.99));
+  w.EndObject();
+}
+
+}  // namespace
+
 std::string QueryService::Stats::JsonFragment() const {
-  const Totals all = totals();
-  char buffer[640];
-  std::snprintf(
-      buffer, sizeof(buffer),
-      "\"forms_compiled\":%zu,\"form_cache_hits\":%zu,"
-      "\"answer_hits\":%" PRIu64 ",\"answer_misses\":%" PRIu64
-      ",\"answers_from_cache\":%zu,\"answers_subsumed\":%zu,"
-      "\"coalesced\":%zu,\"deadline_shed\":%zu,"
-      "\"writes_applied\":%zu,\"write_drain_ns\":%" PRIu64
-      ",\"answer_evictions\":%" PRIu64 ",\"answer_bytes\":%zu,"
-      "\"form_rows\":%" PRIu64 ",\"form_truncated\":%" PRIu64,
-      forms_compiled, form_cache_hits, answer_cache.hits,
-      answer_cache.misses, answers_from_cache, answers_subsumed, coalesced,
-      deadline_shed, writes_applied, write_drain_ns, answer_cache.evictions,
-      answer_cache.bytes, all.rows, all.truncated);
-  return buffer;
+  JsonWriter w;  // fragment mode: no outer braces
+  WriteFragmentKeys(*this, w);
+  return w.str();
+}
+
+std::string QueryService::Stats::Json() const {
+  JsonWriter w;
+  w.BeginObject();
+  WriteFragmentKeys(*this, w);
+  w.Key("queries_served").Uint(queries_served);
+  w.Key("overloaded").Uint(overloaded);
+  w.Key("pending").Uint(pending);
+  w.Key("request_latency");
+  WriteHistogramJson(request_latency, w);
+  w.Key("write_drain");
+  WriteHistogramJson(write_drain, w);
+  w.Key("forms").BeginArray();
+  for (const FormStats& form : forms) {
+    w.BeginObject();
+    w.Key("pred").String(form.pred);
+    w.Key("adornment").String(form.adornment);
+    w.Key("strategy").String(form.strategy);
+    w.Key("sip").String(form.sip);
+    w.Key("queries").Uint(form.queries);
+    w.Key("rows").Uint(form.rows);
+    w.Key("truncated").Uint(form.truncated);
+    w.Key("eval_micros").Uint(form.eval_micros);
+    w.Key("eval_latency");
+    WriteHistogramJson(form.eval_latency, w);
+    w.Key("cache_inline_latency");
+    WriteHistogramJson(form.inline_latency, w);
+    w.Key("profile").BeginArray();
+    for (const RuleProfileEntry& entry : form.profile) {
+      w.BeginObject();
+      w.Key("rule").String(entry.rule);
+      w.Key("evals").Uint(entry.counts.evals);
+      w.Key("firings").Uint(entry.counts.firings);
+      w.Key("new_facts").Uint(entry.counts.new_facts);
+      w.Key("duplicate_facts").Uint(entry.counts.duplicate_facts);
+      w.Key("join_probes").Uint(entry.counts.join_probes);
+      w.Key("delta_rows").Uint(entry.counts.delta_rows);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("slow_queries").BeginArray();
+  for (const obs::SlowQuery& slow : slow_queries) {
+    w.BeginObject();
+    w.Key("form").String(slow.form);
+    w.Key("seed").String(slow.seed);
+    w.Key("total_ns").Uint(slow.total_ns);
+    w.Key("sequence").Uint(slow.sequence);
+    w.Key("spans").BeginArray();
+    for (const obs::Span& span : slow.spans) {
+      w.BeginObject();
+      w.Key("stage").String(obs::StageName(span.stage));
+      w.Key("start_ns").Uint(span.start_ns);
+      w.Key("end_ns").Uint(span.end_ns);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
 }
 
 QueryService::Stats QueryService::stats() const {
-  MutexLock lock(form_mutex_);
   Stats stats;
-  stats.forms_compiled = forms_compiled_;
-  stats.form_cache_hits = form_cache_hits_;
-  stats.queries_served = queries_served_.load(std::memory_order_relaxed);
-  stats.overloaded = overloaded_.load(std::memory_order_relaxed);
+  stats.forms_compiled = static_cast<size_t>(forms_compiled_->value());
+  stats.form_cache_hits = static_cast<size_t>(form_cache_hits_->value());
+  stats.queries_served = static_cast<size_t>(queries_served_->value());
+  stats.overloaded = static_cast<size_t>(overloaded_->value());
   stats.answers_from_cache =
-      answers_from_cache_.load(std::memory_order_relaxed);
-  stats.answers_subsumed = answers_subsumed_.load(std::memory_order_relaxed);
-  stats.coalesced = coalesced_.load(std::memory_order_relaxed);
-  stats.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
-  stats.writes_applied = writes_applied_.load(std::memory_order_relaxed);
-  stats.write_drain_ns = write_drain_ns_.load(std::memory_order_relaxed);
+      static_cast<size_t>(answers_from_cache_->value());
+  stats.answers_subsumed = static_cast<size_t>(answers_subsumed_->value());
+  stats.coalesced = static_cast<size_t>(coalesced_->value());
+  stats.deadline_shed = static_cast<size_t>(deadline_shed_->value());
+  stats.writes_applied = static_cast<size_t>(writes_applied_->value());
+  stats.pending = pending_.load(std::memory_order_relaxed);
+  stats.write_drain = write_drain_->Snapshot();
+  stats.request_latency = request_latency_->Snapshot();
   stats.answer_cache = cache_.stats();
+  stats.slow_queries = slow_log_.Snapshot();
+  MutexLock lock(form_mutex_);
   for (const auto& [key, cached] : forms_) {
     if (cached.form == nullptr) continue;
     Stats::FormStats form_stats;
@@ -826,16 +1144,42 @@ QueryService::Stats QueryService::stats() const {
     form_stats.adornment = cached.form->adornment().ToString();
     form_stats.strategy = cached.strategy;
     form_stats.sip = cached.sip;
-    form_stats.queries =
-        cached.counters.queries.load(std::memory_order_relaxed);
-    form_stats.rows = cached.counters.rows.load(std::memory_order_relaxed);
-    form_stats.truncated =
-        cached.counters.truncated.load(std::memory_order_relaxed);
-    form_stats.eval_micros =
-        cached.counters.eval_micros.load(std::memory_order_relaxed);
+    form_stats.queries = cached.queries->value();
+    form_stats.rows = cached.rows->value();
+    form_stats.truncated = cached.truncated->value();
+    form_stats.eval_latency = cached.eval_latency->Snapshot();
+    form_stats.inline_latency = cached.inline_latency->Snapshot();
+    form_stats.eval_micros = form_stats.eval_latency.sum / 1000;
+    const std::vector<std::string>& rule_labels =
+        cached.form->plan().rule_labels;
+    form_stats.profile.reserve(cached.rule_counters.size());
+    for (size_t i = 0; i < cached.rule_counters.size(); ++i) {
+      const RuleCounters& rc = cached.rule_counters[i];
+      RuleProfile counts;
+      counts.evals = rc.evals->value();
+      counts.firings = rc.firings->value();
+      counts.new_facts = rc.new_facts->value();
+      counts.duplicate_facts = rc.duplicate_facts->value();
+      counts.join_probes = rc.join_probes->value();
+      counts.delta_rows = rc.delta_rows->value();
+      form_stats.profile.push_back(RuleProfileEntry{
+          i < rule_labels.size() ? rule_labels[i] : std::string(), counts});
+    }
     stats.forms.push_back(std::move(form_stats));
   }
   return stats;
+}
+
+std::string QueryService::MetricsText() const {
+  // Refresh the scrape-time mirrors, then render everything the registry
+  // holds — service counters, latency histograms, per-form and per-rule
+  // counters — through the one exposition path.
+  pending_gauge_->Set(
+      static_cast<int64_t>(pending_.load(std::memory_order_relaxed)));
+  const AnswerCache::Stats cache_stats = cache_.stats();
+  cache_entries_gauge_->Set(static_cast<int64_t>(cache_stats.entries));
+  cache_bytes_gauge_->Set(static_cast<int64_t>(cache_stats.bytes));
+  return metrics_.PrometheusText();
 }
 
 }  // namespace magic

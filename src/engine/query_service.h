@@ -15,6 +15,8 @@
 
 #include "cache/answer_cache.h"
 #include "engine/prepared.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/database.h"
 #include "storage/write_batch.h"
 #include "util/annotated_mutex.h"
@@ -57,6 +59,10 @@ struct QueryServiceOptions {
   /// Defaults for requests that don't override strategy/sip; `eval` and
   /// `guard_mode` always come from here.
   EngineOptions engine;
+  /// Latency/trace recording knobs. Counters and fixpoint profiles are
+  /// always on; `obs.enabled` gates the clock reads (histograms, spans)
+  /// and the slow-query ring.
+  obs::ObservabilityOptions obs;
 };
 
 /// A pull-based stream over one query's answers, fed by the evaluator's
@@ -305,13 +311,15 @@ class QueryService {
   Result<WriteResult> ApplyWrites(const WriteBatch& batch)
       EXCLUDES(serve_mutex_, form_mutex_, inflight_mutex_);
 
-  /// Serving counters. Naming contract (the one reporting path magicdb
-  /// and the benches share): `form_cache_hits` counts request-tier
-  /// lookups that found an already-compiled form; `answer_cache` holds
-  /// the raw AnswerCache counters (exact hits/misses/evictions/bytes);
-  /// `answers_from_cache` counts requests answered without evaluation
-  /// (including subsumed ones), and every such request still counts in
-  /// `queries_served` and its form's FormStats.
+  /// Serving counters, snapshotted from the metrics registry — the ONE
+  /// aggregation path every reporter (magicdb --stats, STATS/METRICS wire
+  /// verbs, benches) reads. Naming contract: `form_cache_hits` counts
+  /// request-tier lookups that found an already-compiled form;
+  /// `answer_cache` holds the raw AnswerCache counters (exact hits/
+  /// misses/evictions/bytes); `answers_from_cache` counts requests
+  /// answered without evaluation (including subsumed ones), and every
+  /// such request still counts in `queries_served` and its form's
+  /// FormStats.
   struct Stats {
     size_t forms_compiled = 0;
     size_t form_cache_hits = 0;
@@ -332,11 +340,19 @@ class QueryService {
     /// Write batches applied through ApplyWrites (validation failures and
     /// read-only-service rejections excluded).
     size_t writes_applied = 0;
-    /// Total nanoseconds ApplyWrites spent draining — waiting for the
-    /// exclusive serve lock while in-flight evaluations finished.
-    uint64_t write_drain_ns = 0;
+    /// Requests submitted but not yet completed at snapshot time.
+    size_t pending = 0;
+    /// Per-batch ApplyWrites drain time (ns spent waiting for the
+    /// exclusive serve lock while in-flight evaluations finished) — a
+    /// histogram now, so drain tails are visible, not averaged away.
+    obs::HistogramSnapshot write_drain;
+    /// End-to-end request latency (ns, admission anchor -> completion)
+    /// across every served request: inline warm hits and evaluated ones.
+    obs::HistogramSnapshot request_latency;
     /// Raw cross-query answer-cache counters.
     AnswerCache::Stats answer_cache;
+    /// The slow-query ring at snapshot time, oldest first.
+    std::vector<obs::SlowQuery> slow_queries;
 
     /// Per-form serving counters, one entry per successfully compiled
     /// form. `queries` counts instances that produced an answer from the
@@ -352,12 +368,19 @@ class QueryService {
       uint64_t queries = 0;    // instances served (evaluated or cached)
       uint64_t rows = 0;       // answer tuples returned
       uint64_t truncated = 0;  // instances stopped by a row limit
-      uint64_t eval_micros = 0;  // total evaluation wall time
+      uint64_t eval_micros = 0;  // total evaluation wall time (= sum of
+                                 // eval_latency, for the legacy reporters)
+      /// Per-evaluated-instance latency (ns, fixpoint + extraction).
+      obs::HistogramSnapshot eval_latency;
+      /// Per-inline-cache-hit latency (ns) — the `cache_inline` stage.
+      obs::HistogramSnapshot inline_latency;
+      /// Accumulated fixpoint profile of the form's compiled program:
+      /// one entry per evaluated rule, summed over every instance.
+      std::vector<RuleProfileEntry> profile;
     };
     std::vector<FormStats> forms;
 
-    /// Cache-wide aggregation of the per-form counters — the single
-    /// aggregation path every reporter (magicdb --stats, benches) uses.
+    /// Cache-wide aggregation of the per-form counters.
     struct Totals {
       uint64_t queries = 0;
       uint64_t rows = 0;
@@ -372,8 +395,24 @@ class QueryService {
     /// Comma-separated `"key":value` pairs (no braces) for splicing into
     /// a JSON record — the benches' reporting path.
     std::string JsonFragment() const;
+
+    /// The full stats document as one JSON object: the fragment's
+    /// counters plus latency quantiles, per-form histograms/profiles,
+    /// and the slow-query ring (the `STATS json` wire reply).
+    std::string Json() const;
   };
   Stats stats() const EXCLUDES(form_mutex_);
+
+  /// Prometheus-style text exposition of every registered instrument
+  /// (service counters, latency histograms, per-form and per-rule
+  /// counters), with the scrape-time mirrors (pending depth, answer-cache
+  /// occupancy) refreshed first. The METRICS wire verb serves this.
+  std::string MetricsText() const;
+
+  /// The service's metrics registry. Exposed so embedders can register
+  /// their own instruments into the same scrape (ROADMAP invariant: one
+  /// registry per serving process, one aggregation path).
+  obs::MetricsRegistry& metrics() { return metrics_; }
 
   size_t num_threads() const { return pool_.size(); }
 
@@ -389,18 +428,23 @@ class QueryService {
     size_t operator()(const FormKey& key) const;
   };
 
-  /// Per-form serving counters, written lock-free by workers.
-  struct FormCounters {
-    std::atomic<uint64_t> queries{0};
-    std::atomic<uint64_t> rows{0};
-    std::atomic<uint64_t> truncated{0};
-    std::atomic<uint64_t> eval_micros{0};
+  /// One rule's registry-backed profile counters (instrument pointers are
+  /// stable for the registry's lifetime; workers Add() lock-free).
+  struct RuleCounters {
+    obs::Counter* evals = nullptr;
+    obs::Counter* firings = nullptr;
+    obs::Counter* new_facts = nullptr;
+    obs::Counter* duplicate_facts = nullptr;
+    obs::Counter* join_probes = nullptr;
+    obs::Counter* delta_rows = nullptr;
   };
 
   /// A compilation outcome. Failures are cached too (they are
   /// deterministic per form key), so a stream of unpreparable requests
   /// pays the compile once, not per request. Lives at a stable address
   /// (unordered_map nodes don't move), so FormHandles can point into it.
+  /// The per-form instruments below are registered once at compile time
+  /// (never for failed compiles) and written lock-free on the hot path.
   struct CachedForm {
     std::unique_ptr<PreparedQueryForm> form;  // null when compilation failed
     Status error;
@@ -411,7 +455,18 @@ class QueryService {
     std::string pred_name;  // static labels for Stats::FormStats
     std::string strategy;
     std::string sip;
-    FormCounters counters;
+    std::string form_label;  // "pred/adornment", the metric `form` label
+    obs::Counter* queries = nullptr;
+    obs::Counter* rows = nullptr;
+    obs::Counter* truncated = nullptr;
+    /// Latency of evaluated instances (stage="eval") and of inline cache
+    /// hits (stage="cache_inline") — two cells of one labelled histogram
+    /// family, so a scrape separates real fixpoint time from memo serves.
+    obs::Histogram* eval_latency = nullptr;
+    obs::Histogram* inline_latency = nullptr;
+    /// Indexed like the plan's rule_labels; accumulates every instance's
+    /// per-rule fixpoint profile.
+    std::vector<RuleCounters> rule_counters;
   };
 
   using Completion = std::function<void(QueryAnswer)>;
@@ -431,9 +486,12 @@ class QueryService {
   /// Looks up or compiles the form for `request`. Never returns null; a
   /// compilation failure is a CachedForm with a null `form`. Compilation
   /// writes only into the plan's Universe overlay, so this holds only
-  /// form_mutex_ — no universe/serve lock.
-  CachedForm* GetOrCompile(const QueryRequest& request, const FormKey& key)
-      EXCLUDES(form_mutex_);
+  /// form_mutex_ — no universe/serve lock (the metrics mutex it takes to
+  /// register the form's instruments ranks above form_mutex_, a legal
+  /// nesting). `*compiled` (optional) reports whether this call actually
+  /// compiled, so the request tier can attach a compile span.
+  CachedForm* GetOrCompile(const QueryRequest& request, const FormKey& key,
+                           bool* compiled = nullptr) EXCLUDES(form_mutex_);
 
   /// Reserves one admission slot. Returns false (and leaves no slot taken)
   /// when `enforce_admission` and the bounded queue is full.
@@ -457,11 +515,14 @@ class QueryService {
   /// a parked duplicate passes it through its re-dispatch, so its
   /// deadline keeps counting queue *and* park time and is shed, never
   /// re-anchored, when it expires.
+  /// `compile_span` (end_ns != 0 when present) is the request-tier
+  /// compile interval, recorded into the trace when one is allocated.
   void DispatchForm(CachedForm* cached, std::vector<TermId> bound_values,
                     QueryLimits limits, AnswerSink sink,
                     bool enforce_admission, Completion done,
                     std::optional<std::chrono::steady_clock::time_point>
-                        admitted_at = std::nullopt)
+                        admitted_at = std::nullopt,
+                    obs::Span compile_span = {})
       EXCLUDES(form_mutex_, inflight_mutex_);
 
   /// Serves `cached`'s instance from the AnswerCache when possible
@@ -532,23 +593,46 @@ class QueryService {
   /// exclusive-nest floor, which the rank checker enforces at runtime.
   SharedMutex serve_mutex_{lock_rank::kServe, lock_rank::kExclusiveNestFloor};
 
-  /// Guards forms_ and the compile counters. Nests inside serve_mutex_
-  /// (workers may probe the form cache for the subsumption sibling) and
-  /// inside inflight_mutex_ never — see the lock order above.
+  /// Guards forms_. Nests inside serve_mutex_ (workers may probe the form
+  /// cache for the subsumption sibling) and inside inflight_mutex_ never —
+  /// see the lock order above.
   mutable Mutex form_mutex_{lock_rank::kForm};
   std::unordered_map<FormKey, CachedForm, FormKeyHash> forms_
       GUARDED_BY(form_mutex_);
-  size_t forms_compiled_ GUARDED_BY(form_mutex_) = 0;
-  size_t form_cache_hits_ GUARDED_BY(form_mutex_) = 0;
-  std::atomic<size_t> queries_served_{0};
-  std::atomic<size_t> overloaded_{0};
-  std::atomic<size_t> answers_from_cache_{0};
-  std::atomic<size_t> answers_subsumed_{0};
-  std::atomic<size_t> coalesced_{0};
-  std::atomic<size_t> deadline_shed_{0};
-  std::atomic<size_t> writes_applied_{0};
-  std::atomic<uint64_t> write_drain_ns_{0};
+
+  /// The one metrics surface: every service counter/histogram below is an
+  /// instrument registered here, so Stats, the STATS wire verb, and the
+  /// METRICS exposition all read the same cells — there is no second
+  /// aggregation path. Declared before the instrument pointers (they are
+  /// registered from it in the constructor) and before pool_ (workers
+  /// write instruments until the pool drains in ~QueryService).
+  mutable obs::MetricsRegistry metrics_;
+  obs::SlowQueryLog slow_log_;
+
+  // Registry-owned counters; pointers are stable for the service's life.
+  obs::Counter* forms_compiled_ = nullptr;
+  obs::Counter* form_cache_hits_ = nullptr;
+  obs::Counter* queries_served_ = nullptr;
+  obs::Counter* overloaded_ = nullptr;
+  obs::Counter* answers_from_cache_ = nullptr;
+  obs::Counter* answers_subsumed_ = nullptr;
+  obs::Counter* coalesced_ = nullptr;
+  obs::Counter* deadline_shed_ = nullptr;
+  obs::Counter* writes_applied_ = nullptr;
+  /// End-to-end latency of every served request (inline hits included).
+  obs::Histogram* request_latency_ = nullptr;
+  /// Per-batch ApplyWrites drain wait.
+  obs::Histogram* write_drain_ = nullptr;
+  /// Request-tier form compilation time.
+  obs::Histogram* compile_latency_ = nullptr;
+  /// Scrape-time mirrors (refreshed by MetricsText/stats, not hot-path).
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Gauge* cache_entries_gauge_ = nullptr;
+  obs::Gauge* cache_bytes_gauge_ = nullptr;
+
   /// Requests submitted but not yet completed (admission-control depth).
+  /// Stays a raw atomic: Admit's fetch_add is also the admission check,
+  /// which a monotonic counter cannot express.
   std::atomic<size_t> pending_{0};
 
   /// In-flight evaluations keyed by (form, seed); the mapped value holds

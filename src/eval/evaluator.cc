@@ -64,6 +64,9 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
   EvalResult result;
   result.status = Status::OK();
   Stopwatch watch;
+  const uint64_t trace_start =
+      control != nullptr && control->trace != nullptr ? obs::Trace::NowNs()
+                                                      : 0;
   const Universe& u = program.u();
 
   StopReason stop = StopReason::kNone;
@@ -124,6 +127,7 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
     }
     plans.push_back(std::move(plan));
   }
+  if (options_.rule_profile) result.rule_profiles.resize(plans.size());
 
   // Watermarks for semi-naive deltas: prev = IDB size before the previous
   // round's insertions became visible, cur = size at the start of this round.
@@ -182,6 +186,23 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
       }
       views[i] = view;
     }
+
+    // Per-rule profile: deltas of the run-wide counters across this
+    // evaluation, so the profile costs nothing inside the join itself.
+    RuleProfile* profile = options_.rule_profile
+                               ? &result.rule_profiles[rule_index]
+                               : nullptr;
+    if (profile != nullptr) {
+      ++profile->evals;
+      if (delta_pos >= 0) {
+        profile->delta_rows +=
+            views[delta_pos].to - views[delta_pos].from;
+      }
+    }
+    const uint64_t firings_before = result.stats.rule_firings;
+    const uint64_t new_before = result.stats.new_facts;
+    const uint64_t dup_before = result.stats.duplicate_facts;
+    const uint64_t probes_before = result.stats.join_probes;
 
     // Recursive backtracking join over the body in written (sip) order.
     std::vector<TermId> key;
@@ -263,7 +284,15 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
       }
       return true;
     };
-    return join(join, 0);
+    const bool ok = join(join, 0);
+    if (profile != nullptr) {
+      profile->firings += result.stats.rule_firings - firings_before;
+      profile->new_facts += result.stats.new_facts - new_before;
+      profile->duplicate_facts +=
+          result.stats.duplicate_facts - dup_before;
+      profile->join_probes += result.stats.join_probes - probes_before;
+    }
+    return ok;
   };
 
   // Fixpoint loop.
@@ -336,6 +365,10 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
         std::to_string(result.stats.iterations) + " iterations");
   }
   result.stats.seconds = watch.ElapsedSeconds();
+  if (control != nullptr && control->trace != nullptr) {
+    control->trace->Record(obs::Stage::kFixpoint, trace_start,
+                           obs::Trace::NowNs());
+  }
   return result;
 }
 

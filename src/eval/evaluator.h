@@ -11,6 +11,7 @@
 
 #include "ast/program.h"
 #include "eval/provenance.h"
+#include "obs/trace.h"
 #include "storage/database.h"
 #include "util/status.h"
 
@@ -29,6 +30,10 @@ struct EvalOptions {
   /// Record one derivation (rule + body facts) per derived fact, enabling
   /// ExplainFact to print the paper's derivation trees. Costs memory.
   bool track_provenance = false;
+  /// Accumulate per-rule work counters (RuleProfile) into the result. On
+  /// by default: the increments ride counters the fixpoint already
+  /// maintains, so the marginal cost is an index into a small vector.
+  bool rule_profile = true;
 };
 
 /// Why an evaluation stopped before reaching its natural fixpoint.
@@ -61,6 +66,10 @@ struct EvalControl {
   /// Cooperative cancellation flag, polled alongside the deadline. Owned by
   /// the caller; may be set from any thread.
   const std::atomic<bool>* cancel = nullptr;
+  /// Observability hook: when non-null, the engine records its fixpoint
+  /// span (Stage::kFixpoint) here. Borrowed; single-request ownership —
+  /// see obs/trace.h for the (lack of a) synchronization contract.
+  obs::Trace* trace = nullptr;
 };
 
 /// Polls `control`'s cancellation flag and deadline (in that order, so a
@@ -81,6 +90,23 @@ struct EvalStats {
   double seconds = 0.0;
 };
 
+/// Per-rule slice of the fixpoint's work, indexed by the rule's position
+/// in the evaluated program. The same shape serves both engines: for
+/// bottom-up, `evals` counts (rule, delta-position) evaluations and
+/// `delta_rows` sums the delta-window sizes those evaluations consumed;
+/// for top-down, `evals` counts rule attempts against pending subqueries
+/// and `delta_rows` counts the subqueries the rule generated. This is the
+/// per-rule evidence the magic-sets literature keeps asking for: which
+/// rewritten rules pay for themselves on a given workload.
+struct RuleProfile {
+  uint64_t evals = 0;
+  uint64_t firings = 0;
+  uint64_t new_facts = 0;
+  uint64_t duplicate_facts = 0;
+  uint64_t join_probes = 0;
+  uint64_t delta_rows = 0;
+};
+
 /// Result of a bottom-up evaluation: the derived relations (IDB) and stats.
 /// `status` is ResourceExhausted when a budget was hit; the partial IDB is
 /// still returned so benches can report divergence behaviour.
@@ -93,6 +119,9 @@ struct EvalResult {
   StopReason stop_reason = StopReason::kNone;
   /// Populated when EvalOptions::track_provenance is set.
   ProvenanceMap provenance;
+  /// Per-rule work profile, indexed like the program's rule list.
+  /// Populated when EvalOptions::rule_profile is set (the default).
+  std::vector<RuleProfile> rule_profiles;
 
   size_t FactCount(PredId pred) const {
     auto it = idb.find(pred);

@@ -44,7 +44,13 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
   TopDownResult result;
   result.status = Status::OK();
   Stopwatch watch;
+  const uint64_t trace_start =
+      control != nullptr && control->trace != nullptr ? obs::Trace::NowNs()
+                                                      : 0;
   const Universe& u = *adorned.program.universe();
+  if (options_.rule_profile) {
+    result.rule_profiles.resize(adorned.program.rules().size());
+  }
 
   // Deadline/cancellation polling, shared with the bottom-up evaluator.
   StopReason stop = StopReason::kNone;
@@ -79,6 +85,13 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
   bool budget_hit = false;
   Substitution subst;
 
+  // Run-wide work counters; per-rule attribution takes deltas of these
+  // around each solve() call (solve is per-rule, so the deltas are exact).
+  uint64_t body_matches = 0;
+  uint64_t answers_inserted = 0;
+  uint64_t answer_duplicates = 0;
+  uint64_t subqueries_inserted = 0;
+
   // Solves the body of `rule` from literal `i` under `subst`; on a complete
   // match, derives the head into the answer table. Returns false when a
   // budget is exhausted.
@@ -91,8 +104,10 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
         if (ground == kInvalidTerm) return true;  // non-ground head: skip
         head_tuple.push_back(ground);
       }
+      ++body_matches;
       Relation& rel = result.answers.at(rule.head.pred);
       if (rel.Insert(head_tuple)) {
+        ++answers_inserted;
         *changed = true;
         if (control != nullptr && rule.head.pred == control->sink_pred &&
             control->on_fact && !control->on_fact(head_tuple)) {
@@ -100,6 +115,8 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
           return false;
         }
         if (++total > options_.max_facts) return false;
+      } else {
+        ++answer_duplicates;
       }
       return true;
     }
@@ -119,6 +136,7 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
         }
       }
       if (result.queries.at(lit.pred).Insert(bound_tuple)) {
+        ++subqueries_inserted;
         *changed = true;
         if (++total > options_.max_facts) return false;
       }
@@ -191,7 +209,24 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
             }
           }
           if (!head_ok) continue;
-          if (!solve(solve, rule, 0, &changed)) {
+          RuleProfile* profile = options_.rule_profile
+                                     ? &result.rule_profiles[ri]
+                                     : nullptr;
+          const uint64_t matches_before = body_matches;
+          const uint64_t answers_before = answers_inserted;
+          const uint64_t dup_before = answer_duplicates;
+          const uint64_t subqueries_before = subqueries_inserted;
+          const uint64_t probes_before = poll;
+          const bool solved = solve(solve, rule, 0, &changed);
+          if (profile != nullptr) {
+            ++profile->evals;
+            profile->firings += body_matches - matches_before;
+            profile->new_facts += answers_inserted - answers_before;
+            profile->duplicate_facts += answer_duplicates - dup_before;
+            profile->join_probes += poll - probes_before;
+            profile->delta_rows += subqueries_inserted - subqueries_before;
+          }
+          if (!solved) {
             ok = false;
             break;
           }
@@ -222,6 +257,10 @@ TopDownResult TopDownEngine::Run(const AdornedProgram& adorned,
         " queries+facts");
   }
   result.stats.seconds = watch.ElapsedSeconds();
+  if (control != nullptr && control->trace != nullptr) {
+    control->trace->Record(obs::Stage::kFixpoint, trace_start,
+                           obs::Trace::NowNs());
+  }
   return result;
 }
 

@@ -32,6 +32,11 @@ struct TopDownResult {
   /// Comparable with the adorned relations computed by P^mg.
   std::unordered_map<PredId, Relation> answers;
   TopDownStats stats;
+  /// Per-rule work profile, indexed like the adorned program's rule list
+  /// (`evals` counts (rule, subquery) attempts whose head unified,
+  /// `delta_rows` counts subqueries the rule generated). Populated when
+  /// EvalOptions::rule_profile is set (the default).
+  std::vector<RuleProfile> rule_profiles;
 
   /// The answers to the original query (tuples over the full arity of the
   /// adorned query predicate, restricted to the query's bound constants).

@@ -40,6 +40,7 @@ struct RequestOptions {
   QueryLimits limits;
   std::optional<Strategy> strategy;
   std::optional<std::string> sip;
+  bool profile = false;  // append per-rule fixpoint profile lines
   std::string error;  // nonempty = malformed option value
 
   static RequestOptions Consume(std::vector<std::string>* tokens) {
@@ -68,6 +69,14 @@ struct RequestOptions {
         }
       } else if (IsOptionToken(token, "sip", &value)) {
         opts.sip = value;
+      } else if (IsOptionToken(token, "profile", &value)) {
+        if (value == "1") {
+          opts.profile = true;
+        } else if (value == "0") {
+          opts.profile = false;
+        } else {
+          opts.error = "bad profile= value: " + value + " (want 0 or 1)";
+        }
       } else {
         break;
       }
@@ -96,6 +105,23 @@ std::string AnswerHead(WireCode code, size_t rows, AnswerStatus outcome,
   head += " outcome=" + AnswerStatusName(outcome);
   head += cached ? " cached=1" : " cached=0";
   return head;
+}
+
+/// One `%`-prefixed line per rule of the evaluated program, carrying this
+/// run's fixpoint profile. Cache-served answers ran no fixpoint and have an
+/// empty profile, so they append nothing.
+void AppendProfileLines(const QueryAnswer& answer, std::string* out) {
+  for (size_t i = 0; i < answer.profile.size(); ++i) {
+    const RuleProfile& c = answer.profile[i].counts;
+    *out += "\n% " + std::to_string(i) +
+            " evals=" + std::to_string(c.evals) +
+            " firings=" + std::to_string(c.firings) +
+            " new_facts=" + std::to_string(c.new_facts) +
+            " duplicate_facts=" + std::to_string(c.duplicate_facts) +
+            " join_probes=" + std::to_string(c.join_probes) +
+            " delta_rows=" + std::to_string(c.delta_rows) +
+            " rule=" + answer.profile[i].rule;
+  }
 }
 
 }  // namespace
@@ -141,6 +167,7 @@ bool Session::HandleFrame(const std::string& request) {
   if (verb == "STREAM") return HandleQuery(tokens, /*streaming=*/true);
   if (verb == "APPLY") return HandleApply(payload);
   if (verb == "STATS") return HandleStats();
+  if (verb == "METRICS") return HandleMetrics(tokens);
   if (verb == "CLOSE") {
     Reply(WireCode::kOk, "bye");
     return false;
@@ -235,7 +262,8 @@ bool Session::HandleQuery(const std::vector<std::string>& args,
   if (tokens.empty()) {
     return Reply(WireCode::kInvalidArgument,
                  std::string("usage: ") + (streaming ? "STREAM" : "QUERY") +
-                     " <name> [seed...] [limit=N] [deadline_ms=N]");
+                     " <name> [seed...] [limit=N] [deadline_ms=N] "
+                     "[profile=1]");
   }
   std::string name = tokens.front();
   auto it = forms_.find(name);
@@ -311,6 +339,7 @@ bool Session::HandleQuery(const std::vector<std::string>& args,
         response += "\n" + RenderTuple(u, tuple);
       }
     }
+    if (opts.profile) AppendProfileLines(answer, &response);
     return WriteFrame(fd_, response);
   }
 
@@ -344,6 +373,7 @@ bool Session::HandleQuery(const std::vector<std::string>& args,
   std::string head = AnswerHead(code, rows, final_answer.outcome,
                                 final_answer.from_cache);
   if (free_positions.empty()) head += rows == 0 ? "\nfalse" : "\ntrue";
+  if (opts.profile) AppendProfileLines(final_answer, &head);
   return WriteFrame(fd_, head);
 }
 
@@ -388,8 +418,19 @@ bool Session::HandleApply(const std::string& payload) {
 
 bool Session::HandleStats() {
   QueryService::Stats stats = ctx_->service->stats();
+  return Reply(WireCode::kOk, stats.Summary() + "\n" + stats.Json());
+}
+
+bool Session::HandleMetrics(const std::vector<std::string>& args) {
+  if (args.size() == 1 && args[0] == "json") {
+    return Reply(WireCode::kOk,
+                 "format=json\n" + ctx_->service->stats().Json());
+  }
+  if (!args.empty()) {
+    return Reply(WireCode::kInvalidArgument, "usage: METRICS [json]");
+  }
   return Reply(WireCode::kOk,
-               stats.Summary() + "\n{" + stats.JsonFragment() + "}");
+               "format=prometheus\n" + ctx_->service->MetricsText());
 }
 
 bool Session::Reply(WireCode code, const std::string& text) {

@@ -43,17 +43,23 @@ struct ServeContext {
 ///       compiles its form, and binds it to the client-chosen <name>
 ///       (re-PREPARE rebinds). The query's constants become the default
 ///       seed for QUERY/STREAM.
-///   QUERY <name> [seed...] [limit=N] [deadline_ms=N]
+///   QUERY <name> [seed...] [limit=N] [deadline_ms=N] [profile=1]
 ///       Evaluates one instance of a prepared form. Seeds are ground
 ///       terms without spaces (`c3`, `17`, `f(a,b)`), one per bound
 ///       position in position order; omitted seeds reuse the PREPARE
 ///       text's constants. Single response frame: first line
 ///       `<Code> rows=<n> outcome=<o> cached=<0|1>`, then one line per
 ///       tuple (tab-separated), or `true`/`false` for boolean queries.
-///   STREAM <name> [seed...] [limit=N] [deadline_ms=N]
+///       With profile=1, the frame ends with one `%`-prefixed line per
+///       rule of the evaluated (rewritten/adorned) program carrying that
+///       run's fixpoint profile (`% <i> evals=<n> firings=<n> ...
+///       rule=<text>`); cache-served answers ran no fixpoint and carry
+///       none.
+///   STREAM <name> [seed...] [limit=N] [deadline_ms=N] [profile=1]
 ///       Like QUERY but rows arrive as separate `*`-prefixed frames while
 ///       the fixpoint runs (derivation order, deduplicated, unsorted),
-///       terminated by one `<Code> rows=<n> outcome=<o>` frame.
+///       terminated by one `<Code> rows=<n> outcome=<o>` frame (which
+///       carries the `%` profile lines when profile=1 was given).
 ///   APPLY
 ///   <mutation-line>...
 ///       Applies the mutation lines (one per payload line after the verb
@@ -61,7 +67,13 @@ struct ServeContext {
 ///       WriteBatch through the live service's write seam. Response:
 ///       `Ok inserted=<n> retracted=<n> cleared=<n> mutated=<n>`.
 ///   STATS
-///       `Ok <summary>` plus one JSON line of the service counters.
+///       `Ok <summary>` plus one JSON line: the full stats document
+///       (service counters, latency histogram quantiles, per-form
+///       histograms and fixpoint profiles, the slow-query ring).
+///   METRICS [json]
+///       `Ok format=prometheus` followed by the Prometheus text
+///       exposition of every registered instrument (scrape surface), or
+///       with `json` the same stats JSON document STATS carries.
 ///   CLOSE
 ///       `Ok bye`, then the server closes the connection.
 ///
@@ -98,6 +110,7 @@ class Session {
   bool HandleQuery(const std::vector<std::string>& args, bool streaming);
   bool HandleApply(const std::string& payload);
   bool HandleStats();
+  bool HandleMetrics(const std::vector<std::string>& args);
 
   /// Single-frame response: `<code-name> <text>`. Returns false when the
   /// write failed (peer gone).

@@ -1,0 +1,40 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace magic {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAdmit:
+      return "admit";
+    case Stage::kCacheProbe:
+      return "cache_probe";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kCompile:
+      return "compile";
+    case Stage::kFixpoint:
+      return "fixpoint";
+    case Stage::kStream:
+      return "stream";
+  }
+  return "unknown";
+}
+
+void SlowQueryLog::Record(SlowQuery entry) {
+  if (capacity_ == 0) return;
+  MutexLock lock(mutex_);
+  entry.sequence = ++sequence_;
+  if (ring_.size() == capacity_) ring_.pop_front();
+  ring_.push_back(std::move(entry));
+}
+
+std::vector<SlowQuery> SlowQueryLog::Snapshot() const {
+  MutexLock lock(mutex_);
+  return std::vector<SlowQuery>(ring_.begin(), ring_.end());
+}
+
+}  // namespace obs
+}  // namespace magic

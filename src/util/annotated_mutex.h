@@ -74,6 +74,13 @@ inline constexpr int kTermArena = 520;      // TermArena::mutex_
 inline constexpr int kCacheShard = 560;     // AnswerCache::Shard::mutex
 inline constexpr int kPool = 600;           // ThreadPool::mutex_
 inline constexpr int kCursor = 640;         // AnswerCursor::State::mutex
+/// Observability locks are leaves above the whole data plane: metric
+/// registration and slow-query recording may happen from any request-path
+/// or write-seam frame (both ranks sit above kExclusiveNestFloor, so they
+/// stay legal under the exclusively held serve seam), and nothing ranked
+/// is ever acquired under them.
+inline constexpr int kMetrics = 860;        // obs::MetricsRegistry::mutex_
+inline constexpr int kSlowLog = 870;        // obs::SlowQueryLog::mutex_
 /// Default for mutexes outside the documented order: they may be taken
 /// under anything but must be leaves (nothing ranked is taken under them).
 inline constexpr int kLeaf = 900;

@@ -16,8 +16,8 @@
 //           New constants are fine; lines naming a predicate declared
 //           after startup are rejected with a diagnostic naming it
 //   serve   TCP server speaking the magicdb line protocol (PREPARE/QUERY/
-//           STREAM/APPLY/STATS/CLOSE) — see src/net/session.h for the
-//           grammar; magicdb-cli is the matching client
+//           STREAM/APPLY/STATS/METRICS/CLOSE) — see src/net/session.h for
+//           the grammar; magicdb-cli is the matching client
 //
 // Options (subcommand-dependent):
 //   --query "anc(john, Y)"   eval: query overriding a ?- clause
@@ -31,6 +31,9 @@
 //   --guards MODE            full | prop42 | ph-only      (default prop42)
 //   --facts DIR              load <pred>.facts TSV files from DIR
 //   --explain                eval: print the rewritten program
+//   --profile                eval: print the per-rule fixpoint profile
+//                            (iterations, firings, new/duplicate facts,
+//                            join probes, delta rows) EXPLAIN-style
 //   --safety                 eval: print static safety verdicts
 //   --check-safety           eval: refuse statically rejected strategies
 //   --stats                  print serving statistics
@@ -94,6 +97,7 @@ struct Args {
   QueryLimits limits;
   net::ServerOptions server;
   bool explain = false;
+  bool profile = false;
   bool safety = false;
   bool stats = false;
   bool ok = true;
@@ -197,6 +201,9 @@ Args ParseArgs(int argc, char** argv) {
       if (!only(i, {"eval"})) break;
       args.explain = true;
       args.options.explain = true;
+    } else if (arg == "--profile") {
+      if (!only(i, {"eval"})) break;
+      args.profile = true;
     } else if (arg == "--safety") {
       if (!only(i, {"eval"})) break;
       args.safety = true;
@@ -665,6 +672,25 @@ int RunEval(const Args& args, const ParsedUnit& parsed, Database& db,
     std::fprintf(stderr, "magicdb: truncated after %zu row(s) (--limit)\n",
                  answer.tuples.size());
   }
+  if (args.profile) {
+    // EXPLAIN-style fixpoint profile: one row per rule of the program that
+    // actually ran (rewritten/adorned/original by strategy), in rule order.
+    std::printf("%% fixpoint profile (%s, %zu rule(s))\n",
+                answer.strategy_name.c_str(), answer.profile.size());
+    std::printf("%% %4s %8s %8s %9s %9s %11s %10s  rule\n", "#", "evals",
+                "firings", "new", "dup", "probes", "delta");
+    for (size_t i = 0; i < answer.profile.size(); ++i) {
+      const RuleProfile& c = answer.profile[i].counts;
+      std::printf("%% %4zu %8llu %8llu %9llu %9llu %11llu %10llu  %s\n", i,
+                  static_cast<unsigned long long>(c.evals),
+                  static_cast<unsigned long long>(c.firings),
+                  static_cast<unsigned long long>(c.new_facts),
+                  static_cast<unsigned long long>(c.duplicate_facts),
+                  static_cast<unsigned long long>(c.join_probes),
+                  static_cast<unsigned long long>(c.delta_rows),
+                  answer.profile[i].rule.c_str());
+    }
+  }
   if (args.stats) {
     std::fprintf(stderr,
                  "%% %zu answer(s), %zu fact(s) derived, %llu firing(s), "
@@ -744,7 +770,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage: magicdb <subcommand> [options] program.dl\n"
         "  eval  [--query Q] [--strategy S] [--sip NAME] [--guards MODE]\n"
-        "        [--explain] [--safety] [--check-safety] [--limit N]\n"
+        "        [--explain] [--profile] [--safety] [--check-safety] "
+        "[--limit N]\n"
         "        [--deadline-ms N] [--max-facts N] [--facts DIR] [--stats]\n"
         "  bench --batch FILE [--apply FILE] [--threads N] [--limit N]\n"
         "        [--deadline-ms N] [--cache-bytes N|--no-cache] ...\n"

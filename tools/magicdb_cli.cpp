@@ -17,6 +17,9 @@
 //                                     "-fact.", one per line) from FILE or
 //                                     stdin as ONE atomic APPLY
 //   stats                             server-side serving statistics
+//   metrics [json]                    scrape the metrics registry:
+//                                     Prometheus text exposition, or the
+//                                     full stats JSON document with `json`
 //   raw WORD...                       send the words verbatim (testing)
 //
 // Every response's head line prints to stderr (it carries the wire code
@@ -50,7 +53,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: magicdb-cli [--host H] --port P "
-      "prepare|query|stream|apply|stats|raw [words...]\n");
+      "prepare|query|stream|apply|stats|metrics|raw [words...]\n");
   return 2;
 }
 
@@ -94,7 +97,7 @@ int main(int argc, char** argv) {
       request += argv[i];
     }
   } else if (verb == "prepare" || verb == "query" || verb == "stream" ||
-             verb == "stats" || verb == "apply") {
+             verb == "stats" || verb == "metrics" || verb == "apply") {
     request = verb;
     for (char& c : request) c = static_cast<char>(std::toupper(c));
     // One-shot form: prepared forms live per session, so `query

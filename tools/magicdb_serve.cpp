@@ -16,8 +16,8 @@
 //   --facts DIR          load <pred>.facts TSV files from DIR
 //   --stats              print serving statistics on shutdown
 //
-// The protocol (PREPARE/QUERY/STREAM/APPLY/STATS/CLOSE) is documented in
-// src/net/session.h; magicdb-cli is the matching client. SIGINT/SIGTERM
+// The protocol (PREPARE/QUERY/STREAM/APPLY/STATS/METRICS/CLOSE) is
+// documented in src/net/session.h; magicdb-cli is the matching client. SIGINT/SIGTERM
 // shut down cleanly: stop accepting, disconnect sessions, join threads,
 // then print `magicdb-serve: clean shutdown`.
 //
