@@ -14,7 +14,9 @@
 # arrive at a fixed rate RATE (default 1000/s) over real TCP connections
 # to an in-process magicdb-serve, and the line records p50/p95/p99
 # latency measured from each request's *scheduled* arrival, so queueing
-# delay counts). Run from the repository root.
+# delay counts). MODE=eval_large runs the standalone million-fact
+# single-stream fixpoint mode; LARGE_FACTS (default 1000000) sets its
+# EDB size. Run from the repository root.
 #
 # The output file only ever grows by complete, validated records: the
 # bench writes to a temp file, complete records are labelled into a
@@ -39,7 +41,8 @@ trap 'rm -f "$TMP" "$STAGE"' EXIT
 # records a partial run did complete).
 bench_status=0
 "$BIN" --threads "${THREADS:-4}" --queries "${QUERIES:-256}" \
-       --mode "${MODE:-all}" --rate "${RATE:-1000}" > "$TMP" || bench_status=$?
+       --mode "${MODE:-all}" --rate "${RATE:-1000}" \
+       --large-facts "${LARGE_FACTS:-1000000}" > "$TMP" || bench_status=$?
 
 while IFS= read -r line; do
   case $line in

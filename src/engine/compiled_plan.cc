@@ -121,6 +121,23 @@ Result<std::shared_ptr<const CompiledPlan>> CompiledPlan::Compile(
   for (const Rule& rule : evaluated.rules()) {
     plan->rule_labels.push_back(RuleToString(u, rule));
   }
+
+  // Bottom-up strategies: compile the evaluated program's join programs
+  // once, here, so Answer() never re-analyzes rules. Seed predicates are
+  // known at compile time (the rewrite's seed template), which is what
+  // lets literal IDB/EDB classification be static. Provenance-tracking
+  // plans keep the interpreter (it owns the match-trace machinery).
+  if (!plan->eval_options.track_provenance &&
+      options.strategy != Strategy::kTopDown) {
+    std::vector<PredId> seed_preds;
+    if (!plan->original.has_value() && plan->rewritten.seed.has_value()) {
+      seed_preds.push_back(plan->rewritten.seed->pred);
+    }
+    const Program& bottom_up =
+        plan->original.has_value() ? *plan->original : plan->rewritten.program;
+    plan->join_program = std::make_shared<const JoinProgram>(
+        JoinProgram::Compile(bottom_up, seed_preds));
+  }
   return std::shared_ptr<const CompiledPlan>(std::move(plan));
 }
 
@@ -185,7 +202,11 @@ QueryAnswer CompiledPlan::Answer(
       }
       Evaluator evaluator(instance_options);
       EvalResult result =
-          evaluator.Run(*original, db, {}, controlled ? &control : nullptr);
+          join_program != nullptr
+              ? evaluator.Run(*join_program, u, db, {},
+                              controlled ? &control : nullptr)
+              : evaluator.Run(*original, db, {},
+                              controlled ? &control : nullptr);
       answer.status = result.status;
       answer.eval_stats = result.stats;
       answer.total_facts = result.TotalFacts();
@@ -237,8 +258,13 @@ QueryAnswer CompiledPlan::Answer(
 
   std::vector<Fact> seeds = MakeSeeds(rewritten, instance, u);
   Evaluator evaluator(instance_options);
+  auto run_rewritten = [&](const EvalControl* ctl) {
+    return join_program != nullptr
+               ? evaluator.Run(*join_program, u, db, seeds, ctl)
+               : evaluator.Run(rewritten.program, db, seeds, ctl);
+  };
   if (!controlled) {
-    EvalResult result = evaluator.Run(rewritten.program, db, seeds);
+    EvalResult result = run_rewritten(nullptr);
     answer.status = result.status;
     answer.eval_stats = result.stats;
     answer.total_facts = result.TotalFacts();
@@ -257,7 +283,7 @@ QueryAnswer CompiledPlan::Answer(
     control.sink_pred = rewritten.answer_pred;
     control.on_fact = MakeAnswerHook(projector, collector);
   }
-  EvalResult result = evaluator.Run(rewritten.program, db, seeds, &control);
+  EvalResult result = run_rewritten(&control);
   answer.status = result.status;
   answer.eval_stats = result.stats;
   answer.total_facts = result.TotalFacts();

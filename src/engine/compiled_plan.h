@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engine/query_engine.h"
+#include "eval/join_program.h"
 
 namespace magic {
 
@@ -57,6 +58,12 @@ struct CompiledPlan {
   /// like the engines' per-rule profiles, so Answer() can attach labelled
   /// fixpoint profiles without re-rendering rules per request.
   std::vector<std::string> rule_labels;
+  /// Bottom-up strategies (original and rewritten programs): the evaluated
+  /// program's rules compiled once into slot-addressed join programs, so
+  /// per-request evaluation skips both rule analysis and the interpretive
+  /// per-row term walk (eval/join_program.h). Null for kTopDown and for
+  /// provenance-tracking plans, which Answer() routes to the interpreter.
+  std::shared_ptr<const JoinProgram> join_program;
 
   /// Compiles the query form of `exemplar` (its binding pattern; the
   /// constants are ignored) under `options.strategy`. Accepts every

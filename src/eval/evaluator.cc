@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "eval/join_program.h"
 #include "eval/matcher.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -9,27 +10,6 @@
 namespace magic {
 
 namespace {
-
-/// Variables an affine term depends on count as head variables that must be
-/// bound by the body; plain CheckWellFormed covers them because
-/// AppendVariables descends into affine children.
-Status CheckRangeRestrictedForEval(const Universe& u, const Rule& rule,
-                                   int rule_index) {
-  std::vector<SymbolId> body_vars;
-  for (const Literal& lit : rule.body) {
-    AppendLiteralVariables(u, lit, &body_vars);
-  }
-  std::vector<SymbolId> head_vars = LiteralVariables(u, rule.head);
-  for (SymbolId v : head_vars) {
-    if (std::find(body_vars.begin(), body_vars.end(), v) == body_vars.end()) {
-      return Status::InvalidArgument(
-          "rule " + std::to_string(rule_index) +
-          " is not range restricted (head variable '" + u.symbols().Name(v) +
-          "' unbound); bottom-up evaluation would be unsafe");
-    }
-  }
-  return Status::OK();
-}
 
 /// Evaluation-time view of one body literal.
 struct LiteralPlan {
@@ -61,6 +41,32 @@ StopReason PollEvalControl(const EvalControl* control) {
 EvalResult Evaluator::Run(const Program& program, const Database& edb,
                           const std::vector<Fact>& seeds,
                           const EvalControl* control) const {
+  // Provenance recording needs the interpreter's per-literal match trace.
+  if (options_.track_provenance) {
+    return RunInterpreted(program, edb, seeds, control);
+  }
+  std::vector<PredId> seed_preds;
+  for (const Fact& seed : seeds) {
+    if (std::find(seed_preds.begin(), seed_preds.end(), seed.pred) ==
+        seed_preds.end()) {
+      seed_preds.push_back(seed.pred);
+    }
+  }
+  JoinProgram jp = JoinProgram::Compile(program, seed_preds);
+  return RunJoinProgram(jp, program.u(), edb, seeds, options_, control);
+}
+
+EvalResult Evaluator::Run(const JoinProgram& join_program, const Universe& u,
+                          const Database& edb,
+                          const std::vector<Fact>& seeds,
+                          const EvalControl* control) const {
+  return RunJoinProgram(join_program, u, edb, seeds, options_, control);
+}
+
+EvalResult Evaluator::RunInterpreted(const Program& program,
+                                     const Database& edb,
+                                     const std::vector<Fact>& seeds,
+                                     const EvalControl* control) const {
   EvalResult result;
   result.status = Status::OK();
   Stopwatch watch;
@@ -94,8 +100,8 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
 
   if (options_.check_range_restriction) {
     for (size_t i = 0; i < program.rules().size(); ++i) {
-      Status st = CheckRangeRestrictedForEval(u, program.rules()[i],
-                                              static_cast<int>(i));
+      Status st = CheckRangeRestrictedRule(u, program.rules()[i],
+                                           static_cast<int>(i));
       if (!st.ok()) {
         result.status = st;
         return result;
@@ -230,12 +236,14 @@ EvalResult Evaluator::Run(const Program& program, const Database& edb,
           stop = StopReason::kSink;
           return false;
         }
-        if (result.stats.new_facts + result.stats.duplicate_facts >
-            options_.max_facts) {
-          return false;
-        }
       } else {
         ++result.stats.duplicate_facts;
+      }
+      // The budget covers both branches: a duplicate-heavy evaluation must
+      // stop at max_facts too, not only after a new fact.
+      if (result.stats.new_facts + result.stats.duplicate_facts >
+          options_.max_facts) {
+        return false;
       }
       return true;
     };

@@ -134,21 +134,46 @@ struct EvalResult {
   }
 };
 
+struct JoinProgram;
+
 /// Bottom-up evaluation (paper, Section 1.1): start from the database and
 /// empty derived predicates, repeatedly apply all rules until fixpoint.
 ///
 /// Derived predicates are the program's head predicates plus the predicates
 /// of `seeds` (the magic/counting seed facts produced from the query).
 /// Everything else reads from `edb`.
+///
+/// Two implementations share the exact same semantics (delta windows, stop
+/// conditions, budgets, profiles): the compiled path (eval/join_program.h)
+/// runs rules as slot-addressed JoinPrograms with allocation-free joins,
+/// and the generic interpreter remains as the reference implementation and
+/// the provenance path. Run() picks the compiled path unless the run needs
+/// provenance; callers holding a pre-compiled JoinProgram (CompiledPlan)
+/// use the JoinProgram overload and skip per-run compilation entirely.
 class Evaluator {
  public:
   explicit Evaluator(EvalOptions options = {}) : options_(options) {}
 
   /// `control`, when non-null, supplies per-run stop conditions (answer
-  /// sink, deadline, cancellation) checked during the fixpoint.
+  /// sink, deadline, cancellation) checked during the fixpoint. Compiles
+  /// the program's JoinProgram on the fly (routing to RunInterpreted when
+  /// options track provenance).
   EvalResult Run(const Program& program, const Database& edb,
                  const std::vector<Fact>& seeds = {},
                  const EvalControl* control = nullptr) const;
+
+  /// Runs a pre-compiled JoinProgram (see CompiledPlan, which compiles one
+  /// per bottom-up plan at Prepare time). `u` must be the universe the
+  /// program was compiled against.
+  EvalResult Run(const JoinProgram& join_program, const Universe& u,
+                 const Database& edb, const std::vector<Fact>& seeds = {},
+                 const EvalControl* control = nullptr) const;
+
+  /// The generic interpreter: the differential-test reference and the only
+  /// path that records provenance (track_provenance).
+  EvalResult RunInterpreted(const Program& program, const Database& edb,
+                            const std::vector<Fact>& seeds = {},
+                            const EvalControl* control = nullptr) const;
 
  private:
   EvalOptions options_;

@@ -99,4 +99,109 @@ TermId SubstituteGround(const Universe& u, TermId pattern,
   }
 }
 
+namespace {
+
+/// Looks up a variable's slot through the frame's compile-time slot map.
+/// Every variable appearing in a rule gets a slot at JoinProgram compile
+/// time, so a missing entry is a compiler bug, not a run-time condition.
+inline int SlotOf(const SlotFrame& f, SymbolId var) {
+  auto it = f.slots->find(var);
+  MAGIC_CHECK_MSG(it != f.slots->end(), "variable with no compiled slot");
+  return it->second;
+}
+
+inline void BindSlot(const SlotFrame& f, int slot, TermId ground) {
+  f.frame[slot] = ground;
+  f.trail->push_back(slot);
+}
+
+}  // namespace
+
+bool MatchTermSlots(const Universe& u, TermId pattern, TermId ground,
+                    const SlotFrame& f) {
+  const TermData& p = u.terms().Get(pattern);
+  if (p.ground) return pattern == ground;
+  switch (p.kind) {
+    case TermKind::kVariable: {
+      const int slot = SlotOf(f, p.symbol);
+      TermId bound = f.frame[slot];
+      if (bound != kInvalidTerm) return bound == ground;
+      BindSlot(f, slot, ground);
+      return true;
+    }
+    case TermKind::kCompound: {
+      const TermData& g = u.terms().Get(ground);
+      if (g.kind != TermKind::kCompound || g.symbol != p.symbol ||
+          g.children.size() != p.children.size()) {
+        return false;
+      }
+      // Recursive matches may intern integers (affine inversion), so work
+      // on copies of the child id lists (see the NOTE at the top).
+      std::vector<TermId> p_children = p.children;
+      std::vector<TermId> g_children = g.children;
+      for (size_t i = 0; i < p_children.size(); ++i) {
+        if (!MatchTermSlots(u, p_children[i], g_children[i], f)) return false;
+      }
+      return true;
+    }
+    case TermKind::kAffine: {
+      const TermData& g = u.terms().Get(ground);
+      if (g.kind != TermKind::kInteger) return false;
+      const int64_t ground_value = g.value;
+      const int64_t mul = p.mul;
+      const int64_t add = p.add;
+      const int slot = SlotOf(f, u.terms().Get(p.children[0]).symbol);
+      TermId bound = f.frame[slot];
+      if (bound != kInvalidTerm) {
+        const TermData& b = u.terms().Get(bound);
+        return b.kind == TermKind::kInteger &&
+               mul * b.value + add == ground_value;
+      }
+      int64_t delta = ground_value - add;
+      if (delta % mul != 0) return false;
+      TermId binding = u.Integer(delta / mul);  // may reallocate the arena
+      BindSlot(f, slot, binding);
+      return true;
+    }
+    default:
+      MAGIC_CHECK_MSG(false, "non-ground constant/integer term");
+      return false;
+  }
+}
+
+TermId SubstituteGroundSlots(const Universe& u, TermId pattern,
+                             const SlotFrame& f) {
+  const TermData& p = u.terms().Get(pattern);
+  if (p.ground) return pattern;
+  switch (p.kind) {
+    case TermKind::kVariable:
+      return f.frame[SlotOf(f, p.symbol)];
+    case TermKind::kCompound: {
+      // Recursive substitution interns terms; copy before descending.
+      const SymbolId functor = p.symbol;
+      std::vector<TermId> p_children = p.children;
+      std::vector<TermId> children;
+      children.reserve(p_children.size());
+      for (TermId child : p_children) {
+        TermId sub = SubstituteGroundSlots(u, child, f);
+        if (sub == kInvalidTerm) return kInvalidTerm;
+        children.push_back(sub);
+      }
+      return u.terms().MakeCompound(functor, std::move(children));
+    }
+    case TermKind::kAffine: {
+      const int64_t mul = p.mul;
+      const int64_t add = p.add;
+      TermId bound = f.frame[SlotOf(f, u.terms().Get(p.children[0]).symbol)];
+      if (bound == kInvalidTerm) return kInvalidTerm;
+      const TermData& b = u.terms().Get(bound);
+      if (b.kind != TermKind::kInteger) return kInvalidTerm;
+      const int64_t value = b.value;
+      return u.Integer(mul * value + add);
+    }
+    default:
+      return kInvalidTerm;
+  }
+}
+
 }  // namespace magic

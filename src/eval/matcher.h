@@ -64,6 +64,34 @@ bool MatchTerm(const Universe& u, TermId pattern, TermId ground,
 TermId SubstituteGround(const Universe& u, TermId pattern,
                         const Substitution& subst);
 
+/// Slot-addressed variable bindings for the compiled join path
+/// (JoinProgram): a rule's variables are numbered into dense slots at
+/// compile time, so the binding store is a flat TermId array (kInvalidTerm
+/// = unbound) and the undo trail is a vector of slot numbers — no hashing
+/// anywhere on the per-row path. `slots` maps variable symbols to slots
+/// and is only consulted by the generic compound/affine fallback
+/// (MatchTermSlots / SubstituteGroundSlots); the compiled fast-path ops
+/// carry their slot numbers directly.
+struct SlotFrame {
+  TermId* frame = nullptr;                            // slot -> binding
+  const std::unordered_map<SymbolId, int>* slots = nullptr;
+  std::vector<int>* trail = nullptr;                  // slots bound, in order
+};
+
+/// MatchTerm over a SlotFrame: one-way structural match of `pattern`
+/// against ground `ground`, binding slots through `f` (bound slots are
+/// pushed on the trail so callers roll back by popping to a mark and
+/// resetting frame entries to kInvalidTerm). Same affine-inversion
+/// semantics as MatchTerm.
+bool MatchTermSlots(const Universe& u, TermId pattern, TermId ground,
+                    const SlotFrame& f);
+
+/// SubstituteGround over a SlotFrame: returns the fully ground instance of
+/// `pattern` under the frame, or kInvalidTerm if some variable is unbound
+/// (or an affine expression is applied to a non-integer binding).
+TermId SubstituteGroundSlots(const Universe& u, TermId pattern,
+                             const SlotFrame& f);
+
 }  // namespace magic
 
 #endif  // MAGIC_EVAL_MATCHER_H_

@@ -1,5 +1,7 @@
 #include "storage/relation.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 #include "util/hash.h"
 
@@ -172,16 +174,7 @@ void Relation::ExtendIndex(uint64_t mask, Index* index) const {
   index->rows_built.store(rows, std::memory_order_release);
 }
 
-void Relation::Probe(uint64_t mask, std::span<const TermId> key,
-                     size_t from_row, size_t to_row,
-                     std::vector<uint32_t>* out) const {
-  MAGIC_CHECK(to_row <= size());
-  if (mask == kNoMask) {
-    for (size_t row = from_row; row < to_row; ++row) {
-      out->push_back(static_cast<uint32_t>(row));
-    }
-    return;
-  }
+const Relation::Index* Relation::EnsureIndex(uint64_t mask) const {
   // Fast path: an index published in the snapshot table was fully built
   // for some row count; while the rows are quiescent (the only state in
   // which concurrent probes are allowed) it stays current, so the hot path
@@ -191,8 +184,7 @@ void Relation::Probe(uint64_t mask, std::span<const TermId> key,
     for (const auto& [entry_mask, index] : table->entries) {
       if (entry_mask != mask) continue;
       if (index->rows_built.load(std::memory_order_acquire) == size()) {
-        ProbeIndex(*index, key, mask, from_row, to_row, out);
-        return;
+        return index;
       }
       break;
     }
@@ -215,7 +207,50 @@ void Relation::Probe(uint64_t mask, std::span<const TermId> key,
     index_table_.store(grown.get(), std::memory_order_release);
     table_owner_.push_back(std::move(grown));
   }
-  ProbeIndex(*index, key, mask, from_row, to_row, out);
+  return index;
+}
+
+void Relation::Probe(uint64_t mask, std::span<const TermId> key,
+                     size_t from_row, size_t to_row,
+                     std::vector<uint32_t>* out) const {
+  MAGIC_CHECK(to_row <= size());
+  if (mask == kNoMask) {
+    for (size_t row = from_row; row < to_row; ++row) {
+      out->push_back(static_cast<uint32_t>(row));
+    }
+    return;
+  }
+  ProbeIndex(*EnsureIndex(mask), key, mask, from_row, to_row, out);
+}
+
+Relation::Cursor Relation::OpenProbe(uint64_t mask,
+                                     std::span<const TermId> key,
+                                     size_t from_row, size_t to_row) const {
+  MAGIC_CHECK(to_row <= size());
+  Cursor c;
+  c.rel_ = this;
+  if (mask == kNoMask) {
+    c.pos_ = from_row;
+    c.end_ = to_row;
+    return c;
+  }
+  const Index* index = EnsureIndex(mask);
+  uint64_t h = HashRange(key.begin(), key.end());
+  auto it = index->buckets.find(h);
+  if (it == index->buckets.end()) return c;  // empty scan: pos_ == end_ == 0
+  const std::vector<uint32_t>& bucket = it->second;
+  // Bucket rows ascend, so the window's start is a binary search and its
+  // end is the Next() early-out at to_.
+  c.bucket_ = &bucket;
+  c.pos_ = static_cast<size_t>(
+      std::lower_bound(bucket.begin(), bucket.end(),
+                       static_cast<uint32_t>(from_row)) -
+      bucket.begin());
+  c.end_ = bucket.size();
+  c.to_ = to_row;
+  c.mask_ = mask;
+  c.key_ = key.data();
+  return c;
 }
 
 void Relation::ProbeIndex(const Index& index, std::span<const TermId> key,

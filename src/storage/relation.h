@@ -136,6 +136,54 @@ class Relation {
   void Probe(uint64_t mask, std::span<const TermId> key, size_t from_row,
              size_t to_row, std::vector<uint32_t>* out) const;
 
+  /// Allocation-free probe: yields the row indices Probe would produce,
+  /// one Next() at a time, with no output vector. The cursor borrows the
+  /// relation, the key storage, and (for mask != 0) the index bucket it
+  /// iterates, so it is only valid while none of those move: rows and
+  /// indices of *this relation for this mask* must not grow while the
+  /// cursor is live (appending to a different relation, or building a
+  /// different mask's index, is fine — Index objects are stable once
+  /// created). The compiled join loop guarantees this by routing
+  /// self-recursive literals (whose relation grows mid-rule) through the
+  /// copy-out Probe instead.
+  class Cursor {
+   public:
+    /// Sentinel returned when the cursor is exhausted.
+    static constexpr uint32_t kDone = 0xFFFFFFFFu;
+
+    /// Next matching row index in ascending order, or kDone.
+    uint32_t Next() {
+      if (bucket_ == nullptr) {  // scan path (mask == 0)
+        if (pos_ >= end_) return kDone;
+        return static_cast<uint32_t>(pos_++);
+      }
+      while (pos_ < end_) {
+        const uint32_t row = (*bucket_)[pos_++];
+        if (row >= to_) return kDone;  // bucket rows ascend: nothing further
+        if (rel_->RowMatchesKey(mask_, key_, row)) return row;
+      }
+      return kDone;
+    }
+
+   private:
+    friend class Relation;
+    const Relation* rel_ = nullptr;
+    const std::vector<uint32_t>* bucket_ = nullptr;  // null => scan path
+    size_t pos_ = 0;   // scan: next row; bucket: next bucket position
+    size_t end_ = 0;   // scan: to_row; bucket: bucket size
+    size_t to_ = 0;    // bucket path: exclusive row bound
+    uint64_t mask_ = 0;
+    const TermId* key_ = nullptr;  // borrowed; caller keeps it alive
+  };
+
+  /// Opens a cursor over the rows Probe(mask, key, from_row, to_row, ...)
+  /// would return. Builds/extends the index for `mask` on demand (same
+  /// ensure logic as Probe); the steady-state open is one acquire load, a
+  /// hash, and a bucket find — no allocation. `key` is borrowed and must
+  /// outlive the cursor.
+  Cursor OpenProbe(uint64_t mask, std::span<const TermId> key,
+                   size_t from_row, size_t to_row) const;
+
   /// All row indices in [from_row, to_row) (scan path, mask == 0).
   static constexpr uint64_t kNoMask = 0;
 
@@ -169,6 +217,23 @@ class Relation {
   void ProbeIndex(const Index& index, std::span<const TermId> key,
                   uint64_t mask, size_t from_row, size_t to_row,
                   std::vector<uint32_t>* out) const;
+  /// Returns the index for `mask`, built up to the current row count
+  /// (lock-free when already current; mutex-guarded build otherwise).
+  const Index* EnsureIndex(uint64_t mask) const;
+
+  /// True when the columns of `row` selected by `mask` equal `key` (k-th
+  /// set bit -> key[k]). Inline: this is the per-row check on the
+  /// cursor hot path.
+  bool RowMatchesKey(uint64_t mask, const TermId* key, size_t row) const {
+    const TermId* r = data_.data() + row * arity_;
+    size_t k = 0;
+    for (uint32_t i = 0; i < arity_; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        if (r[i] != key[k++]) return false;
+      }
+    }
+    return true;
+  }
 
   /// Bumps the mutation epoch (and the bound aggregate, if any); under an
   /// EpochBatch it only records that a bump is owed.

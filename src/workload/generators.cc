@@ -133,6 +133,39 @@ Workload MakeAncestorRandom(int nodes, int edges, uint32_t seed) {
   return w;
 }
 
+Workload MakeAncestorLargeDag(int nodes, int edges, int span, uint32_t seed) {
+  MAGIC_CHECK(nodes >= 2 && span >= 1 && edges >= nodes - 1);
+  Workload w = FromText("ancestor-large-dag-n" + std::to_string(nodes) +
+                            "-e" + std::to_string(edges),
+                        kAncestorProgram);
+  Universe& u = *w.universe;
+  PredId par = PredOf(u, "par", 2);
+  // Intern the node constants once, in order; edge generation below then
+  // never touches the symbol table's string path.
+  std::vector<TermId> node_ids;
+  node_ids.reserve(static_cast<size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) node_ids.push_back(Node(u, "c", i));
+  Relation& rel = w.db.GetOrCreate(par);
+  auto add = [&](int a, int b) {
+    const TermId edge[2] = {node_ids[a], node_ids[b]};
+    return rel.Insert(edge);
+  };
+  int added = 0;
+  for (int i = 0; i + 1 < nodes; ++i) {
+    if (add(i, i + 1)) ++added;
+  }
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> src(0, nodes - 2);
+  std::uniform_int_distribution<int> hop(1, span);
+  while (added < edges) {
+    const int a = src(rng);
+    const int b = std::min(nodes - 1, a + hop(rng));
+    if (add(a, b)) ++added;
+  }
+  SetQuery(&w, "anc", node_ids[static_cast<size_t>(nodes) - 1]);
+  return w;
+}
+
 Workload MakeAncestorCycle(int n) {
   Workload w =
       FromText("ancestor-cycle-" + std::to_string(n), kAncestorProgram);

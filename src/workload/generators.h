@@ -31,6 +31,16 @@ Workload MakeAncestorTree(int depth, int fanout);
 /// Same program; par is a random DAG (edges i->j with i<j). Query node 0.
 Workload MakeAncestorRandom(int nodes, int edges, uint32_t seed);
 
+/// Million-fact-scale ancestor workload: par is a backbone chain
+/// c0 -> c1 -> ... -> c_{nodes-1} plus random forward edges i -> j with
+/// j - i in [1, span] until the relation holds `edges` distinct facts
+/// (span-bounded so per-seed closures stay proportional to the distance
+/// from the seed to the tail, not to the whole graph). The backbone makes
+/// reachability exact: anc(c_k, Y) holds for precisely the nodes after k.
+/// Query anc(c_{nodes-1}, Y); benches cycle seeds over the tail region so
+/// magic sets confine each evaluation to a bounded suffix of a huge EDB.
+Workload MakeAncestorLargeDag(int nodes, int edges, int span, uint32_t seed);
+
 /// Same program; par is a single directed cycle (divergence scenario for
 /// the counting strategies). Query anc(c0, Y).
 Workload MakeAncestorCycle(int n);

@@ -171,6 +171,32 @@ TEST(EvaluatorTest, FactBudgetStopsDivergence) {
   EXPECT_LE(result.stats.new_facts, 110u);
 }
 
+TEST(EvaluatorTest, FactBudgetCountsDuplicateDerivations) {
+  // d(X) :- e(X,Y) derives d(a) once per e-fact: 1 new fact, then pure
+  // duplicates. The budget counts work, not distinct facts — a
+  // duplicate-heavy evaluation must trip it too. (Regression: the check
+  // used to run only on the successful-Insert branch, so this program
+  // sailed past any budget.)
+  std::string text = "d(X) :- e(X,Y).\n";
+  for (int i = 0; i < 100; ++i) {
+    text += "e(a,c" + std::to_string(i) + ").\n";
+  }
+  EvalOptions options;
+  options.max_facts = 10;
+  {
+    Fixture f(text);
+    EvalResult result = Evaluator(options).Run(f.program, f.db);
+    EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_LE(result.stats.new_facts + result.stats.duplicate_facts, 12u);
+  }
+  {
+    Fixture f(text);
+    EvalResult result = Evaluator(options).RunInterpreted(f.program, f.db);
+    EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_LE(result.stats.new_facts + result.stats.duplicate_facts, 12u);
+  }
+}
+
 TEST(EvaluatorTest, ControlSinkStopsFixpointEarly) {
   Fixture f(R"(
     anc(X,Y) :- par(X,Y).

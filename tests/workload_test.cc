@@ -48,6 +48,37 @@ TEST(WorkloadTest, AncestorCycleIsCyclic) {
   EXPECT_EQ(answer.tuples.size(), 5u);  // everything reaches everything
 }
 
+TEST(WorkloadTest, AncestorLargeDagShape) {
+  Workload w = MakeAncestorLargeDag(/*nodes=*/50, /*edges=*/120,
+                                    /*span=*/4, /*seed=*/7);
+  Universe& u = *w.universe;
+  PredId par = *u.predicates().Find(*u.symbols().Find("par"), 2);
+  // Exactly `edges` distinct facts: the generator retries collisions.
+  EXPECT_EQ(w.db.FactCount(par), 120u);
+  // The default query is anchored at the last node, which has no
+  // descendants.
+  QueryAnswer at_tail = QueryEngine().Run(w.program, w.query, w.db);
+  ASSERT_TRUE(at_tail.status.ok());
+  EXPECT_TRUE(at_tail.tuples.empty());
+  // The backbone chain makes reachability exact: from c_k every node after
+  // k is reachable and nothing else (extra edges only go forward).
+  w.query.goal.args[0] = u.Constant("c40");
+  QueryAnswer answer = QueryEngine().Run(w.program, w.query, w.db);
+  ASSERT_TRUE(answer.status.ok());
+  EXPECT_EQ(answer.tuples.size(), 9u);  // c41..c49
+}
+
+TEST(WorkloadTest, AncestorLargeDagIsDeterministic) {
+  Workload a = MakeAncestorLargeDag(40, 90, 3, 99);
+  Workload b = MakeAncestorLargeDag(40, 90, 3, 99);
+  QueryAnswer ra = QueryEngine().Run(a.program, a.query, a.db);
+  QueryAnswer rb = QueryEngine().Run(b.program, b.query, b.db);
+  ASSERT_TRUE(ra.status.ok());
+  ASSERT_TRUE(rb.status.ok());
+  EXPECT_EQ(a.db.TotalFacts(), b.db.TotalFacts());
+  EXPECT_EQ(ra.tuples.size(), rb.tuples.size());
+}
+
 TEST(WorkloadTest, SameGenGridAnswers) {
   Workload w = MakeSameGenNonlinear(3, 4);
   // From the bottom-left node the same-generation relation reaches nodes of
