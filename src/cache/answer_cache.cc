@@ -8,9 +8,9 @@
 
 namespace magic {
 
-size_t AnswerCache::HashOf(uintptr_t tag, uint64_t epoch,
+size_t AnswerCache::HashOf(uintptr_t tag, uint64_t version,
                            std::span<const TermId> seed) {
-  uint64_t h = HashCombine(static_cast<uint64_t>(tag), epoch);
+  uint64_t h = HashCombine(static_cast<uint64_t>(tag), version);
   return static_cast<size_t>(HashRange(seed.begin(), seed.end(), h));
 }
 
@@ -25,9 +25,9 @@ AnswerCache::AnswerCache(AnswerCacheOptions options)
 AnswerCache::~AnswerCache() = default;
 
 std::shared_ptr<const AnswerCache::Tuples> AnswerCache::Get(
-    uintptr_t tag, std::span<const TermId> seed, uint64_t epoch) const {
+    uintptr_t tag, std::span<const TermId> seed, uint64_t version) const {
   if (!enabled()) return nullptr;
-  const size_t hash = HashOf(tag, epoch, seed);
+  const size_t hash = HashOf(tag, version, seed);
   Shard& shard = ShardFor(hash);
   std::shared_ptr<const Tuples> result;
 
@@ -39,7 +39,7 @@ std::shared_ptr<const AnswerCache::Tuples> AnswerCache::Get(
   // reclaimed one.
   shard.active_readers.fetch_add(1, std::memory_order_seq_cst);
   if (const Table* table = shard.table.load(std::memory_order_seq_cst)) {
-    auto it = table->find(KeyView{tag, epoch, seed});
+    auto it = table->find(KeyView{tag, version, seed});
     if (it != table->end()) {
       it->second->last_used.store(
           tick_.fetch_add(1, std::memory_order_relaxed),
@@ -94,11 +94,11 @@ void AnswerCache::PublishTable(Shard& shard,
   }
 }
 
-void AnswerCache::Put(uintptr_t tag, std::vector<TermId> seed, uint64_t epoch,
+void AnswerCache::Put(uintptr_t tag, std::vector<TermId> seed, uint64_t version,
                       std::shared_ptr<const Tuples> tuples) {
   if (!enabled() || tuples == nullptr) return;
-  Key key{tag, epoch, std::move(seed)};
-  const size_t hash = HashOf(key.tag, key.epoch, key.seed);
+  Key key{tag, version, std::move(seed)};
+  const size_t hash = HashOf(key.tag, key.version, key.seed);
   const size_t bytes = EntryBytes(key, *tuples);
   if (bytes > shard_budget_) {
     rejected_oversize_.fetch_add(1, std::memory_order_relaxed);

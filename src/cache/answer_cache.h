@@ -28,18 +28,19 @@ struct AnswerCacheOptions {
 };
 
 /// A concurrent, sharded memo of completed query answers, keyed by
-/// (form tag, seed tuple, database epoch).
+/// (form tag, seed tuple, database version).
 ///
 /// The magic transformation specializes evaluation to a query's binding
 /// seed, so a serving workload with repeated seeds recomputes identical
 /// magic/IDB facts per request; this cache short-circuits that repetition.
 /// The caller supplies an opaque `tag` naming the compiled query form (the
-/// serving layer uses the PreparedQueryForm address) and the mutation
-/// `epoch` of the database the answer was computed against. Epochs make
-/// invalidation free: any EDB write advances Database::epoch(), so every
-/// entry filled before the write becomes unreachable — no flush, no sweep,
-/// no lock on the write path. Stale entries stop being touched and age out
-/// of the byte-budgeted LRU.
+/// serving layer uses the PreparedQueryForm address) and the MVCC
+/// `version` of the database snapshot the answer was computed against
+/// (the serving layer uses VersionChain version numbers). Versions make
+/// invalidation free: any net EDB write publishes a new version, so every
+/// entry filled against an older snapshot becomes unreachable — no flush,
+/// no sweep, no lock on the write path. Stale entries stop being touched
+/// and age out of the byte-budgeted LRU.
 ///
 /// Concurrency contract:
 ///   * Get is lock-free: a reader registers itself in a per-shard active
@@ -72,16 +73,16 @@ class AnswerCache {
 
   bool enabled() const { return options_.max_bytes != 0; }
 
-  /// Returns the cached answer for (tag, seed, epoch), or null on a miss.
+  /// Returns the cached answer for (tag, seed, version), or null on a miss.
   /// Lock-free; stamps the entry's recency on a hit.
   std::shared_ptr<const Tuples> Get(uintptr_t tag,
                                     std::span<const TermId> seed,
-                                    uint64_t epoch) const;
+                                    uint64_t version) const;
 
-  /// Caches `tuples` for (tag, seed, epoch). First writer wins: if the key
+  /// Caches `tuples` for (tag, seed, version). First writer wins: if the key
   /// is already present (two threads missed and evaluated concurrently)
   /// the existing entry is kept. Oversized answers are dropped.
-  void Put(uintptr_t tag, std::vector<TermId> seed, uint64_t epoch,
+  void Put(uintptr_t tag, std::vector<TermId> seed, uint64_t version,
            std::shared_ptr<const Tuples> tuples);
 
   /// Drops every entry (counters are kept).
@@ -105,42 +106,42 @@ class AnswerCache {
  private:
   struct Key {
     uintptr_t tag = 0;
-    uint64_t epoch = 0;
+    uint64_t version = 0;
     std::vector<TermId> seed;
   };
   /// Borrowed view of a Key, so the lock-free Get never allocates.
   struct KeyView {
     uintptr_t tag = 0;
-    uint64_t epoch = 0;
+    uint64_t version = 0;
     std::span<const TermId> seed;
   };
-  static size_t HashOf(uintptr_t tag, uint64_t epoch,
+  static size_t HashOf(uintptr_t tag, uint64_t version,
                        std::span<const TermId> seed);
   struct KeyHash {
     using is_transparent = void;
     size_t operator()(const Key& key) const {
-      return HashOf(key.tag, key.epoch, key.seed);
+      return HashOf(key.tag, key.version, key.seed);
     }
     size_t operator()(const KeyView& key) const {
-      return HashOf(key.tag, key.epoch, key.seed);
+      return HashOf(key.tag, key.version, key.seed);
     }
   };
   struct KeyEqual {
     using is_transparent = void;
-    static bool Eq(uintptr_t tag, uint64_t epoch,
+    static bool Eq(uintptr_t tag, uint64_t version,
                    std::span<const TermId> seed, const Key& key) {
-      return key.tag == tag && key.epoch == epoch &&
+      return key.tag == tag && key.version == version &&
              std::equal(seed.begin(), seed.end(), key.seed.begin(),
                         key.seed.end());
     }
     bool operator()(const Key& a, const Key& b) const {
-      return Eq(a.tag, a.epoch, a.seed, b);
+      return Eq(a.tag, a.version, a.seed, b);
     }
     bool operator()(const KeyView& a, const Key& b) const {
-      return Eq(a.tag, a.epoch, a.seed, b);
+      return Eq(a.tag, a.version, a.seed, b);
     }
     bool operator()(const Key& a, const KeyView& b) const {
-      return Eq(b.tag, b.epoch, b.seed, a);
+      return Eq(b.tag, b.version, b.seed, a);
     }
   };
 

@@ -164,6 +164,7 @@ QueryService::QueryService(const Program& program, const Database& db,
     : program_(program),
       db_(db),
       options_(std::move(options)),
+      versions_(db_),
       slow_log_(options_.obs.slow_query_capacity),
       cache_(AnswerCacheOptions{.max_bytes = options_.cache_bytes}),
       pool_(options_.num_threads != 0 ? options_.num_threads
@@ -195,16 +196,20 @@ QueryService::QueryService(const Program& program, const Database& db,
       "Requests shed because their deadline expired before evaluation");
   writes_applied_ = metrics_.GetCounter(
       "magicdb_writes_applied", {},
-      "Write batches applied through the ApplyWrites seam");
+      "Write batches applied through ApplyWrites");
   request_latency_ = metrics_.GetHistogram(
       "magicdb_request_latency_ns", {},
       "End-to-end request latency, admission to completion");
-  write_drain_ = metrics_.GetHistogram(
-      "magicdb_write_drain_ns", {},
-      "Per-batch ApplyWrites drain wait for the exclusive serve seam");
+  write_publish_ = metrics_.GetHistogram(
+      "magicdb_write_publish_ns", {},
+      "Per-batch version build+publish time (ticket redeemed -> "
+      "published); excludes commit-queue wait");
   compile_latency_ = metrics_.GetHistogram(
       "magicdb_compile_latency_ns", {},
       "Form compilation time (adorn + rewrite), paid once per form");
+  writes_queued_gauge_ = metrics_.GetGauge(
+      "magicdb_writes_queued", {},
+      "Writers waiting for their FIFO commit ticket (live)");
   pending_gauge_ = metrics_.GetGauge(
       "magicdb_pending_requests", {},
       "Requests submitted but not yet completed (refreshed at scrape)");
@@ -214,6 +219,14 @@ QueryService::QueryService(const Program& program, const Database& db,
   cache_bytes_gauge_ = metrics_.GetGauge(
       "magicdb_answer_cache_bytes", {},
       "AnswerCache resident bytes (refreshed at scrape)");
+  versions_live_gauge_ = metrics_.GetGauge(
+      "magicdb_db_versions_live", {},
+      "Database versions alive: the head plus reader-pinned older ones "
+      "(refreshed at scrape)");
+  versions_pinned_gauge_ = metrics_.GetGauge(
+      "magicdb_db_versions_pinned", {},
+      "Retired-from-head versions kept alive only by reader pins "
+      "(refreshed at scrape)");
 }
 
 QueryService::QueryService(const Program& program, Database& db,
@@ -357,26 +370,22 @@ QueryAnswer QueryService::DeadlineShedAnswer() const {
 
 bool QueryService::TryServeCached(CachedForm* cached,
                                   const std::vector<TermId>& bound_values,
-                                  uint64_t epoch, const QueryLimits& limits,
+                                  uint64_t version, const QueryLimits& limits,
                                   const AnswerSink& sink,
                                   const Completion& done) {
   // Instances with a malformed seed must flow to Answer() for its error
   // reporting; they can never have been cached (fills follow successful
   // evaluations only).
   if (bound_values.size() != cached->form->bound_arity()) return false;
+  // No write fence is needed around the probe (the pre-MVCC design
+  // re-checked the epoch here): a hit keyed at version V is the complete
+  // answer for V, and serving it while version V+1 publishes concurrently
+  // is linearizable — the request overlapped the write. Post-write reads
+  // are still never stale, because a publish happens-before ApplyWrites
+  // returns, so a request submitted after the write probes at >= V+1 and
+  // misses every older entry.
   std::shared_ptr<const AnswerCache::Tuples> tuples =
-      cache_.Get(CacheTag(cached->form.get()), bound_values, epoch);
-  // Write-seam fence. Workers probe with an epoch read under the shared
-  // serve lock (a writer holds it exclusive, so this re-check is
-  // vacuously true for them), but the inline path is lock-free: a batch
-  // could have applied entirely between the caller's epoch load and this
-  // probe. Re-check before serving the hit — and before the subsumption
-  // filter below spends O(answer set) producing a fill a racing write
-  // already orphaned — and fall through to dispatch instead, whose
-  // worker waits out the writer and re-probes at the new epoch. A write
-  // landing after this check is fine: the request was in flight before
-  // the write's quiescent point, so the answer linearizes before it.
-  if (db_.epoch() != epoch) return false;
+      cache_.Get(CacheTag(cached->form.get()), bound_values, version);
   bool subsumed = false;
   if (tuples == nullptr && options_.cache_subsumption &&
       !bound_values.empty()) {
@@ -385,10 +394,11 @@ bool QueryService::TryServeCached(CachedForm* cached,
     // filtered result is promoted to an exact entry so the next repeat of
     // this seed skips the filter too.
     if (CachedForm* free_form = FindFreeSibling(cached)) {
-      if (auto all = cache_.Get(CacheTag(free_form->form.get()), {}, epoch)) {
+      if (auto all =
+              cache_.Get(CacheTag(free_form->form.get()), {}, version)) {
         auto filtered = std::make_shared<AnswerCache::Tuples>(FilterSubsumed(
             *all, cached->form->bound_positions(), bound_values));
-        cache_.Put(CacheTag(cached->form.get()), bound_values, epoch,
+        cache_.Put(CacheTag(cached->form.get()), bound_values, version,
                    filtered);
         tuples = std::move(filtered);
         subsumed = true;
@@ -523,14 +533,14 @@ void QueryService::DispatchForm(
   const bool obs_on = options_.obs.enabled;
   const uint64_t t_anchor = obs_on ? ToNs(admitted) : 0;
 
-  // The inline probe's epoch read is lock-free, so it can race an
-  // ApplyWrites; TryServeCached re-checks the epoch before serving a hit
-  // (see the fence there). The worker path below re-reads the epoch under
-  // the shared serve lock instead, where it is pinned.
+  // The inline probe keys by the current version number — one lock-free
+  // counter load, no pin, no shared_ptr traffic. Racing a publish is fine:
+  // a hit at version V is V's complete answer (see TryServeCached), and a
+  // miss just flows to the worker path, which pins a full snapshot.
   const uint64_t probe_start = obs_on ? obs::Trace::NowNs() : 0;
-  const uint64_t epoch = cache_.enabled() ? db_.epoch() : 0;
+  const uint64_t version = cache_.enabled() ? versions_.current_version() : 0;
   if (cache_.enabled() &&
-      TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
+      TryServeCached(cached, bound_values, version, limits, sink, done)) {
     // Warm hit: completed inline — no worker, no admission slot, and no
     // Trace allocation. Two histogram cells record it, under the form's
     // distinct `cache_inline` stage.
@@ -602,20 +612,21 @@ void QueryService::DispatchForm(
                 limits = std::move(limits), sink = std::move(sink),
                 done = std::move(done), admitted, trace = std::move(trace),
                 t_anchor, t_submit]() mutable {
-    ReaderMutexLock serving(serve_mutex_);
+    // Pin a snapshot for the whole evaluation: one atomic load, never
+    // blocks a writer, and the snapshot's relations can never mutate out
+    // from under the fixpoint (writers clone-on-write instead). The
+    // second-chance probe and the fill below are keyed by the pinned
+    // version — the version of the data this evaluation actually reads —
+    // even when the request was dispatched before a write and evaluated
+    // after it.
+    const std::shared_ptr<const DatabaseVersion> pinned = versions_.Pin();
     if (trace != nullptr) {
       trace->Record(obs::Stage::kQueueWait, t_submit, obs::Trace::NowNs());
     }
-    // Epoch re-read under the serve lock: an in-band writer holds it
-    // exclusive, so from here to completion the value is pinned — the
-    // second-chance probe and the fill below are keyed by the epoch of
-    // the data this evaluation actually reads, even when the request was
-    // dispatched before a write and evaluated after it.
-    const uint64_t epoch = cache_.enabled() ? db_.epoch() : 0;
+    const uint64_t version = cache_.enabled() ? pinned->version() : 0;
     // Deadline-aware dispatch: a request whose deadline expired while it
-    // sat in the pool queue (or waited out a write drain) completes
-    // immediately — the client is gone; entering the fixpoint would burn
-    // a worker on an unwanted answer.
+    // sat in the pool queue completes immediately — the client is gone;
+    // entering the fixpoint would burn a worker on an unwanted answer.
     if (limits.deadline.has_value() &&
         std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
       deadline_shed_->Add();
@@ -628,10 +639,10 @@ void QueryService::DispatchForm(
     // Second chance: a fill that completed while this request sat in the
     // pool queue serves it now — a concurrent batch of repeated seeds
     // evaluates once, not once per repeat. The full probe (including the
-    // subsumption sibling lookup) is safe here: form_mutex_ nests inside
-    // the serve lock now that compilation doesn't take serve_mutex_.
+    // subsumption sibling lookup) takes only form_mutex_ and the cache
+    // shard locks; a pin holds no lock at all.
     if (cache_.enabled() &&
-        TryServeCached(cached, bound_values, epoch, limits, sink, done)) {
+        TryServeCached(cached, bound_values, version, limits, sink, done)) {
       if (trace != nullptr) {
         // Served by a leader's fill while queued: latency-wise this is a
         // cache serve, so it records as cache_inline, not eval.
@@ -665,8 +676,8 @@ void QueryService::DispatchForm(
         return sink(tuple);
       };
     }
-    QueryAnswer answer = cached->form->Answer(bound_values, db_, limits,
-                                              counted, admitted);
+    QueryAnswer answer = cached->form->Answer(bound_values, pinned->db(),
+                                              limits, counted, admitted);
     const uint64_t eval_ns =
         static_cast<uint64_t>(watch.ElapsedSeconds() * 1e9);
     cached->queries->Add();
@@ -705,7 +716,7 @@ void QueryService::DispatchForm(
       } else {
         *tuples = answer.tuples;
       }
-      cache_.Put(CacheTag(cached->form.get()), bound_values, epoch,
+      cache_.Put(CacheTag(cached->form.get()), bound_values, version,
                  std::move(tuples));
     }
     // Unpark duplicates only after the fill above, so they hit it.
@@ -744,7 +755,7 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
     const auto admitted = std::chrono::steady_clock::now();
     pool_.Submit([this, query = request.query, limits = request.limits,
                   sink = std::move(sink), done = std::move(done), admitted] {
-      ReaderMutexLock serving(serve_mutex_);
+      const std::shared_ptr<const DatabaseVersion> pinned = versions_.Pin();
       if (limits.deadline.has_value() &&
           std::chrono::steady_clock::now() >= admitted + *limits.deadline) {
         deadline_shed_->Add();
@@ -754,8 +765,8 @@ void QueryService::Dispatch(const QueryRequest& request, AnswerSink sink,
         return;
       }
       QueryEngine engine(options_.engine);
-      QueryAnswer answer = engine.Run(program_, query, db_, limits, sink,
-                                      admitted);
+      QueryAnswer answer = engine.Run(program_, query, pinned->db(), limits,
+                                      sink, admitted);
       queries_served_->Add();
       if (options_.obs.enabled) {
         request_latency_->Record(obs::Trace::NowNs() - ToNs(admitted));
@@ -955,26 +966,36 @@ Result<WriteResult> QueryService::ApplyWrites(const WriteBatch& batch) {
         "service was constructed over a const Database; in-band writes "
         "need the mutable-Database constructor");
   }
-  // Validate before draining: a malformed batch must never stall serving.
+  // Validate before queueing: a malformed batch must never hold a commit
+  // ticket (or even enqueue behind one).
   MAGIC_RETURN_IF_ERROR(batch.Validate(*program_.universe()));
-  Stopwatch drain;
-  // The drain: exclusive acquisition waits for every in-flight evaluation
-  // (workers hold the lock shared for the whole fixpoint) and holds off
-  // new worker dispatch until release. Inline warm hits stay lock-free;
-  // the epoch fence in TryServeCached keeps them out of the write window.
-  WriterMutexLock quiesce(serve_mutex_);
-  // A histogram, not a sum: drain waits are dominated by the slowest
-  // in-flight evaluation, so the tail is the signal.
-  write_drain_->Record(static_cast<uint64_t>(drain.ElapsedSeconds() * 1e9));
-  // Single-threaded application under the seam (validated above, so the
-  // drained window pays no second pass); per-relation epoch bumps and
-  // probe-index rebuilds happen in the storage layer. Holding the seam
-  // exclusive takes no further *service* lock — only the storage layer's
-  // own table/index mutexes while applying — so a writer can never
-  // deadlock against dispatch or compilation. The Debug rank checker
-  // enforces exactly this via serve_mutex_'s exclusive-nest floor.
-  WriteResult result = mutable_db_->ApplyValidated(batch);
+  // Multi-writer FIFO fairness: each writer takes a ticket under
+  // commit_mutex_ and commits strictly in ticket order. The commit itself
+  // runs OUTSIDE the mutex — the ticket already guarantees exclusion — so
+  // the gauge and the wait below measure pure queueing, never the
+  // predecessor's publish work under a held lock.
+  uint64_t ticket;
+  {
+    MutexLock lock(commit_mutex_);
+    ticket = commit_next_ticket_++;
+    writes_queued_gauge_->Add(1);
+    while (ticket != commit_serving_) commit_turn_.wait(lock);
+    writes_queued_gauge_->Add(-1);
+  }
+  // Build version N+1 and publish it with one release store. No drain:
+  // in-flight fixpoints keep their pinned snapshots (the storage layer
+  // clones any relation a snapshot still shares before mutating it), so
+  // publish latency is independent of the longest-running evaluation.
+  Stopwatch publish;
+  WriteResult result = versions_.Commit(*mutable_db_, batch);
+  write_publish_->Record(
+      static_cast<uint64_t>(publish.ElapsedSeconds() * 1e9));
   writes_applied_->Add();
+  {
+    MutexLock lock(commit_mutex_);
+    ++commit_serving_;
+  }
+  commit_turn_.notify_all();
   return result;
 }
 
@@ -999,7 +1020,7 @@ std::string QueryService::Stats::Summary() const {
       "(%zu subsumed), %" PRIu64 " eviction(s), %zu/%zu byte(s); "
       "served %zu (%zu coalesced, %zu deadline-shed, %zu overloaded); "
       "latency p50/p99 %.3f/%.3f ms over %" PRIu64 " request(s); "
-      "%zu write batch(es) applied (drain %.3f ms); "
+      "%zu write batch(es) applied (publish %.3f ms); "
       "form rows %" PRIu64 " (%" PRIu64 " truncated); %zu slow quer(ies)",
       forms_compiled, form_cache_hits, answer_cache.hits,
       answer_cache.misses, answers_from_cache, answers_subsumed,
@@ -1007,7 +1028,7 @@ std::string QueryService::Stats::Summary() const {
       queries_served, coalesced, deadline_shed, overloaded,
       request_latency.Quantile(0.5) / 1e6,
       request_latency.Quantile(0.99) / 1e6, request_latency.count,
-      writes_applied, static_cast<double>(write_drain.sum) / 1e6, all.rows,
+      writes_applied, static_cast<double>(write_publish.sum) / 1e6, all.rows,
       all.truncated, slow_queries.size());
   return buffer;
 }
@@ -1016,8 +1037,9 @@ namespace {
 
 /// The flat counters both JSON shapes share. Key names are the historical
 /// JsonFragment contract the bench trajectory lines parse;
-/// `write_drain_ns` stays the drain-time *sum* for continuity even though
-/// the full distribution now rides in Json()'s histogram object.
+/// `write_publish_ns` is the build+publish *sum* (it replaced the retired
+/// `write_drain_ns` when writes stopped draining readers) even though the
+/// full distribution now rides in Json()'s histogram object.
 void WriteFragmentKeys(const QueryService::Stats& stats, JsonWriter& w) {
   const QueryService::Stats::Totals all = stats.totals();
   w.Key("forms_compiled").Uint(stats.forms_compiled);
@@ -1029,7 +1051,8 @@ void WriteFragmentKeys(const QueryService::Stats& stats, JsonWriter& w) {
   w.Key("coalesced").Uint(stats.coalesced);
   w.Key("deadline_shed").Uint(stats.deadline_shed);
   w.Key("writes_applied").Uint(stats.writes_applied);
-  w.Key("write_drain_ns").Uint(stats.write_drain.sum);
+  w.Key("write_publish_ns").Uint(stats.write_publish.sum);
+  w.Key("versions_published").Uint(stats.versions_published);
   w.Key("answer_evictions").Uint(stats.answer_cache.evictions);
   w.Key("answer_bytes").Uint(stats.answer_cache.bytes);
   w.Key("form_rows").Uint(all.rows);
@@ -1063,8 +1086,8 @@ std::string QueryService::Stats::Json() const {
   w.Key("pending").Uint(pending);
   w.Key("request_latency");
   WriteHistogramJson(request_latency, w);
-  w.Key("write_drain");
-  WriteHistogramJson(write_drain, w);
+  w.Key("write_publish");
+  WriteHistogramJson(write_publish, w);
   w.Key("forms").BeginArray();
   for (const FormStats& form : forms) {
     w.BeginObject();
@@ -1132,7 +1155,10 @@ QueryService::Stats QueryService::stats() const {
   stats.deadline_shed = static_cast<size_t>(deadline_shed_->value());
   stats.writes_applied = static_cast<size_t>(writes_applied_->value());
   stats.pending = pending_.load(std::memory_order_relaxed);
-  stats.write_drain = write_drain_->Snapshot();
+  stats.write_publish = write_publish_->Snapshot();
+  stats.versions_published = static_cast<size_t>(versions_.versions_published());
+  stats.versions_retired = static_cast<size_t>(versions_.versions_retired());
+  stats.writes_queued = static_cast<size_t>(writes_queued_gauge_->value());
   stats.request_latency = request_latency_->Snapshot();
   stats.answer_cache = cache_.stats();
   stats.slow_queries = slow_log_.Snapshot();
@@ -1179,6 +1205,10 @@ std::string QueryService::MetricsText() const {
   const AnswerCache::Stats cache_stats = cache_.stats();
   cache_entries_gauge_->Set(static_cast<int64_t>(cache_stats.entries));
   cache_bytes_gauge_->Set(static_cast<int64_t>(cache_stats.bytes));
+  const uint64_t live = versions_.versions_live();
+  versions_live_gauge_->Set(static_cast<int64_t>(live));
+  // Pinned = live minus the chain head itself (which is always alive).
+  versions_pinned_gauge_->Set(live > 0 ? static_cast<int64_t>(live - 1) : 0);
   return metrics_.PrometheusText();
 }
 

@@ -18,6 +18,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "storage/database.h"
+#include "storage/db_version.h"
 #include "storage/write_batch.h"
 #include "util/annotated_mutex.h"
 #include "util/thread_pool.h"
@@ -115,8 +116,9 @@ class AnswerCursor {
   std::shared_ptr<State> state_;
 };
 
-/// Serves many concurrent queries against one shared Database, quiescent
-/// between ApplyWrites calls (the in-band write seam below).
+/// Serves many concurrent queries against one shared Database, versioned
+/// through an MVCC chain: every evaluation runs against an immutable
+/// pinned snapshot while writers publish new versions without waiting.
 ///
 /// The paper's compile-once/query-many reading of magic sets (Section 4's
 /// query forms) is the seam this exploits: each distinct query form —
@@ -126,7 +128,7 @@ class AnswerCursor {
 /// *every* strategy: naive/semi-naive/top-down compile to plans too (the
 /// plan is the original/adorned program plus the instance machinery), so
 /// there is no exclusive-locked fallback path — all strategies serve in
-/// parallel under the same shared lock. Per-query seeds are independent
+/// parallel against pinned snapshots. Per-query seeds are independent
 /// (Drabent, arXiv:1012.2299), so instances evaluate concurrently on a
 /// fixed thread pool without re-running the transformation — and can stop
 /// early (row limits, deadlines, cancellation) without affecting any other
@@ -138,32 +140,34 @@ class AnswerCursor {
 ///     round-trip), compiling on the calling thread if needed.
 ///   * Handle tier: Prepare returns a FormHandle; the Submit/TrySubmit/
 ///     Answer/Stream overloads taking a handle skip form hashing and the
-///     cache mutex entirely — the steady-state hot path is one shared-lock
-///     acquire plus pool dispatch.
+///     cache mutex entirely — the steady-state hot path is one version
+///     pin (an atomic load) plus pool dispatch.
 ///
 /// Both tiers sit behind the cross-query AnswerCache: a completed clean
-/// answer (outcome kOk) is memoized under (form, seed, database epoch),
+/// answer (outcome kOk) is memoized under (form, seed, database version),
 /// and a repeated seed is then served inline on the calling thread — no
-/// worker, no admission slot. Any EDB write advances Database::epoch() and
-/// makes every earlier entry unreachable, so alternating write/serve
+/// worker, no admission slot. Any net EDB write publishes a new version
+/// and makes every earlier entry unreachable, so alternating write/serve
 /// phases never see stale answers. Truncated, deadline-expired, cancelled,
 /// and failed answers are never cached; base-predicate requests bypass the
 /// cache. Two requests for an identical (form, seed) miss that are in
 /// flight at once coalesce: the first evaluates and fills, the duplicate
 /// parks and is served from the fill (see coalesce_requests).
 ///
-/// The EDB is no longer frozen for the service's lifetime: ApplyWrites is
-/// the sanctioned in-band mutation point. It takes `serve_mutex_`
-/// exclusive — draining every in-flight evaluation and holding off new
-/// worker dispatch — applies the batch single-threaded, lets the storage
-/// layer bump each mutated relation's epoch once and rebuild its probe
-/// indices, and releases. Requests that waited out the drain in the pool
-/// queue are shed `kDeadlineExceeded` if their deadline expired meanwhile.
-/// Correctness rides on the paper's equivalence being per database
-/// instance (Bancilhon et al. §4; Drabent, arXiv:1012.2299): the compiled
-/// plans never depend on the EDB contents, so after a write the same plans
-/// serve the new instance — only the AnswerCache entries keyed to older
-/// epochs become unreachable.
+/// The EDB is not frozen for the service's lifetime: ApplyWrites is the
+/// sanctioned in-band mutation point, and it never waits for readers. It
+/// takes a FIFO commit ticket (writers serialize among themselves, in
+/// arrival order), builds the next database version off to the side —
+/// every relation still shared with a pinned snapshot is cloned before it
+/// is mutated — and publishes it with a single atomic store. In-flight
+/// evaluations keep their pinned version to completion; there is no drain
+/// and no stop-the-world window, so writer publish latency is independent
+/// of the longest-running fixpoint. Correctness rides on the paper's
+/// equivalence being per database instance (Bancilhon et al. §4; Drabent,
+/// arXiv:1012.2299): the compiled plans never depend on the EDB contents,
+/// so each evaluation is a pure function of the version it pinned — a
+/// dispatch concurrent with a commit legally sees version N or N+1, never
+/// a torn mix.
 ///
 /// Concurrency contract:
 ///   * The Program must outlive the service and must not be mutated while
@@ -171,39 +175,41 @@ class AnswerCursor {
 ///     ONLY through ApplyWrites (in-band) or at externally synchronized
 ///     quiescent points (no requests in flight) — the latter remains
 ///     allowed but discouraged now that the in-band path exists. Either
-///     way the next request observes the new epoch and re-evaluates.
-///   * All public methods may be called from any number of threads;
-///     ApplyWrites serializes against evaluation internally.
+///     way the next request observes the new version and re-evaluates
+///     (quiescent-point writes are picked up by the version chain's
+///     resync on the next dispatch).
+///   * All public methods may be called from any number of threads.
+///     Writers never block readers; readers never block writers. Writers
+///     serialize FIFO on the commit ticket.
 ///   * Form compilation — including top-down adornment and the rewrites'
 ///     declarations — writes only into the plan's own Universe overlay
 ///     (the base Universe is frozen underneath it), so compiling needs no
 ///     universe lock and runs concurrently with all in-flight evaluation,
 ///     serialized only on the form-cache mutex.
-///   * The request path takes `serve_mutex_` shared, never exclusive. The
-///     exclusive mode belongs to ApplyWrites alone (the quiescent-point
-///     seam), and code holding it exclusive takes no other service lock —
-///     only data-plane locks (the storage layer's table/index mutexes)
-///     while applying the batch. Machine-checked: ApplyWrites is
-///     EXCLUDES(form_mutex_, inflight_mutex_) and serve_mutex_ carries an
-///     exclusive-nest floor in the Debug rank checker
-///     (util/annotated_mutex.h).
-///   * Workers re-read the database epoch under the shared lock (a writer
-///     holds it exclusive, so the value is pinned for the whole
-///     evaluation), which is what keys every AnswerCache fill to the data
-///     it actually read. The lock-free inline hit path cannot take the
-///     lock, so it is fenced instead: after the probe it re-checks the
-///     epoch and falls through to dispatch if a write landed in between.
+///   * The request path takes NO service-wide lock: a worker pins the
+///     current DatabaseVersion (one atomic load) and evaluates against
+///     that immutable snapshot. ApplyWrites holds commit_mutex_ only to
+///     take/redeem its ticket and touches no dispatch state while
+///     committing — machine-checked: it is EXCLUDES(commit_mutex_,
+///     form_mutex_, inflight_mutex_), and the commit tier ranks above
+///     form/inflight in the Debug rank checker (util/annotated_mutex.h),
+///     so the reverse nesting aborts.
+///   * Workers key every AnswerCache fill to the version they pinned —
+///     by construction the data they actually read. The lock-free inline
+///     hit path probes at the chain's current version number; serving a
+///     hit concurrent with a publish is linearizable (the read overlapped
+///     the write), and post-write reads are fresh because publish
+///     happens-before ApplyWrites returns.
 ///   * Worker-side term interning (the matcher's affine/compound
 ///     construction) is safe because TermArena is internally synchronized.
 ///   * Answer sinks and cursor buffers are touched only by the evaluating
 ///     worker and the consumer, under the cursor's own mutex.
-///   * Lock order: serve_mutex_ (shared) -> inflight_mutex_ -> form_mutex_
-///     -> pool/cursor internals. form_mutex_ nests inside the serve lock
-///     now that compilation no longer takes serve_mutex_, which is what
-///     lets workers run the full cache probe (including the subsumption
-///     sibling lookup) on the second-chance path. The order is encoded as
-///     lock ranks (util/annotated_mutex.h) and asserted on every
-///     acquisition in Debug builds.
+///   * Lock order: inflight_mutex_ -> form_mutex_ -> commit tier
+///     (commit_mutex_, then the version chain's resync mutex) -> data
+///     plane (symbol/relation-index/cache-shard) -> pool/cursor
+///     internals. The order is encoded as lock ranks
+///     (util/annotated_mutex.h) and asserted on every acquisition in
+///     Debug builds.
 class QueryService {
  private:
   struct CachedForm;
@@ -242,8 +248,8 @@ class QueryService {
   /// `request.query`'s binding pattern and returns a stable handle to it.
   /// Requires a derived-predicate query (base-predicate queries need no
   /// preparation; Submit serves them directly). Every strategy compiles —
-  /// naive/semi-naive/top-down handles serve under the shared lock like
-  /// the rewriting ones.
+  /// naive/semi-naive/top-down handles serve against pinned snapshots
+  /// like the rewriting ones.
   Result<FormHandle> Prepare(const QueryRequest& request);
 
   /// Enqueues one query; the future resolves when a worker has evaluated
@@ -291,25 +297,27 @@ class QueryService {
   std::vector<QueryAnswer> AnswerBatch(const std::vector<QueryRequest>& batch);
 
   /// The in-band EDB write path: validates `batch` (declared arities,
-  /// groundness — rejected batches never block serving), then takes the
-  /// serve seam exclusive. That acquisition is the drain: every in-flight
-  /// evaluation finishes, new worker dispatch holds off, and requests
-  /// whose deadline expires while they wait are shed when a worker finally
-  /// picks them up. The batch then applies single-threaded — each mutated
-  /// relation's epoch bumps exactly once and its probe indices are rebuilt
-  /// before release — so every AnswerCache entry keyed to an older epoch
-  /// is unreachable the instant readers resume, and a duplicate-only batch
-  /// invalidates nothing. Callable from any thread, including concurrently
-  /// with Submit/Answer/Stream; writers serialize on the seam itself.
-  /// Requires the mutable-Database constructor.
+  /// groundness — rejected batches never queue), takes a FIFO commit
+  /// ticket (concurrent writers commit in arrival order; a burst cannot
+  /// starve one session — queue depth is the `magicdb_writes_queued`
+  /// gauge), then builds and publishes the next database version: each
+  /// relation still shared with a pinned snapshot is cloned before
+  /// mutation, each NET-mutated relation's epoch bumps exactly once, its
+  /// probe indices are rebuilt, and iff anything net-changed the new
+  /// version is published with one atomic store. In-flight evaluations
+  /// are never waited on and keep their pinned snapshots; AnswerCache
+  /// entries keyed to older versions become unreachable at publish, and a
+  /// no-op batch (duplicate-only, or net-zero including Clear-then-
+  /// identical-reinsert) publishes nothing and invalidates nothing.
+  /// Callable from any thread, including concurrently with Submit/Answer/
+  /// Stream. Requires the mutable-Database constructor.
   ///
-  /// EXCLUDES names the whole service tier: the seam must enter with no
-  /// service lock held, and — the contract's sharpest edge — code holding
-  /// `serve_mutex_` exclusive must never take `form_mutex_` or
-  /// `inflight_mutex_` (a parked duplicate's re-dispatch would deadlock
-  /// against the drain).
+  /// EXCLUDES names the dispatch tier plus the ticket lock: ApplyWrites
+  /// must enter with none of them held, and the committing writer touches
+  /// no dispatch state (commit ranks above form/inflight, so the reverse
+  /// nesting aborts in the Debug rank checker).
   Result<WriteResult> ApplyWrites(const WriteBatch& batch)
-      EXCLUDES(serve_mutex_, form_mutex_, inflight_mutex_);
+      EXCLUDES(commit_mutex_, form_mutex_, inflight_mutex_);
 
   /// Serving counters, snapshotted from the metrics registry — the ONE
   /// aggregation path every reporter (magicdb --stats, STATS/METRICS wire
@@ -342,10 +350,18 @@ class QueryService {
     size_t writes_applied = 0;
     /// Requests submitted but not yet completed at snapshot time.
     size_t pending = 0;
-    /// Per-batch ApplyWrites drain time (ns spent waiting for the
-    /// exclusive serve lock while in-flight evaluations finished) — a
-    /// histogram now, so drain tails are visible, not averaged away.
-    obs::HistogramSnapshot write_drain;
+    /// Database versions published by the MVCC chain (the initial
+    /// snapshot counts; no-op batches publish nothing).
+    size_t versions_published = 0;
+    /// Versions fully retired (last pin dropped, snapshot freed).
+    size_t versions_retired = 0;
+    /// Writers queued for their FIFO commit ticket at snapshot time.
+    size_t writes_queued = 0;
+    /// Per-batch version build+publish time (ns, commit ticket redeemed
+    /// -> version published) — a histogram, so publish tails are visible.
+    /// Excludes ticket-queue wait; independent of in-flight fixpoints by
+    /// construction (there is no drain).
+    obs::HistogramSnapshot write_publish;
     /// End-to-end request latency (ns, admission anchor -> completion)
     /// across every served request: inline warm hits and evaluated ones.
     obs::HistogramSnapshot request_latency;
@@ -506,9 +522,10 @@ class QueryService {
   void Dispatch(const QueryRequest& request, AnswerSink sink,
                 bool enforce_admission, Completion done);
 
-  /// The handle hot path: an answer-cache probe, then (on a miss) one
-  /// shared-lock acquire plus pool dispatch; clean complete answers fill
-  /// the cache on the way out. Identical in-flight misses coalesce here:
+  /// The handle hot path: an answer-cache probe, then (on a miss) pool
+  /// dispatch — the worker pins the current database version and
+  /// evaluates against that snapshot; clean complete answers fill the
+  /// cache on the way out. Identical in-flight misses coalesce here:
   /// a duplicate is admitted first (it holds an admission slot while
   /// parked, so max_pending backpressure sees it), then parks behind the
   /// leader. `admitted_at` is the request's original admission anchor —
@@ -526,17 +543,20 @@ class QueryService {
       EXCLUDES(form_mutex_, inflight_mutex_);
 
   /// Serves `cached`'s instance from the AnswerCache when possible
-  /// (exact-key hit, or the fully-free subsumption fast path). `epoch` is
-  /// the database epoch the caller probes under: workers read it beneath
-  /// the shared serve lock (pinned — a writer holds the lock exclusive),
-  /// while the inline path reads it lock-free and is fenced by an epoch
-  /// re-check before the hit is served (see the fence in this function).
-  /// Returns true when `done` was invoked — inline, on the calling
-  /// thread, with no worker or admission slot involved.
+  /// (exact-key hit, or the fully-free subsumption fast path). `version`
+  /// is the database version the caller probes under: workers pass the
+  /// version they pinned at dispatch, the inline path passes the chain's
+  /// lock-free current version number. No fence is needed in either case
+  /// — a hit keyed at version V is the complete answer for V, and serving
+  /// it while V+1 publishes concurrently is linearizable (the request
+  /// overlapped the write). Returns true when `done` was invoked —
+  /// inline, on the calling thread, with no worker or admission slot
+  /// involved.
   bool TryServeCached(CachedForm* cached,
-                      const std::vector<TermId>& bound_values, uint64_t epoch,
-                      const QueryLimits& limits, const AnswerSink& sink,
-                      const Completion& done) EXCLUDES(form_mutex_);
+                      const std::vector<TermId>& bound_values,
+                      uint64_t version, const QueryLimits& limits,
+                      const AnswerSink& sink, const Completion& done)
+      EXCLUDES(form_mutex_);
 
   /// Completes a request from a cached tuple set: applies the row limit,
   /// feeds the sink (streaming) or materializes `tuples` (unary), and
@@ -579,23 +599,29 @@ class QueryService {
   const Program& program_;
   const Database& db_;
   /// Non-null iff the service was constructed over a mutable Database;
-  /// ApplyWrites is the only code that writes through it, always under
-  /// serve_mutex_ exclusive (PT_GUARDED_BY: the *pointee* write needs the
-  /// seam; reading the pointer itself is free).
-  Database* mutable_db_ PT_GUARDED_BY(serve_mutex_) = nullptr;
+  /// ApplyWrites is the only code that writes through it, serialized by
+  /// the FIFO commit ticket (pinned snapshot readers need no exclusion —
+  /// shared relations are cloned before mutation).
+  Database* mutable_db_ = nullptr;
   QueryServiceOptions options_;
 
-  /// Shared = every request (all strategies; compilation does not touch
-  /// it). Exclusive = ApplyWrites only — the quiescent-point write seam;
-  /// nothing on the request path takes it exclusive, and the exclusive
-  /// holder takes no further *service* lock — only data-plane locks
-  /// (symbol/predicate tables, relation indices) at or above the
-  /// exclusive-nest floor, which the rank checker enforces at runtime.
-  SharedMutex serve_mutex_{lock_rank::kServe, lock_rank::kExclusiveNestFloor};
+  /// The MVCC spine over db_: readers pin the head version at dispatch,
+  /// ApplyWrites commits and publishes through it. Declared before pool_
+  /// so it outlives workers still holding pins at teardown.
+  VersionChain versions_;
 
-  /// Guards forms_. Nests inside serve_mutex_ (workers may probe the form
-  /// cache for the subsumption sibling) and inside inflight_mutex_ never —
-  /// see the lock order above.
+  /// FIFO writer fairness: tickets are issued and redeemed under this
+  /// mutex; the commit itself (clone + apply + publish) runs OUTSIDE it —
+  /// exclusion among writers is the ticket, so an arriving writer queues
+  /// behind the running one in strict arrival order (no barging). Ranked
+  /// above form/inflight: a committing writer touches no dispatch state.
+  Mutex commit_mutex_{lock_rank::kCommit};
+  std::condition_variable_any commit_turn_;
+  uint64_t commit_next_ticket_ GUARDED_BY(commit_mutex_) = 0;
+  uint64_t commit_serving_ GUARDED_BY(commit_mutex_) = 0;
+
+  /// Guards forms_. Nests inside inflight_mutex_ never — see the lock
+  /// order above.
   mutable Mutex form_mutex_{lock_rank::kForm};
   std::unordered_map<FormKey, CachedForm, FormKeyHash> forms_
       GUARDED_BY(form_mutex_);
@@ -621,14 +647,21 @@ class QueryService {
   obs::Counter* writes_applied_ = nullptr;
   /// End-to-end latency of every served request (inline hits included).
   obs::Histogram* request_latency_ = nullptr;
-  /// Per-batch ApplyWrites drain wait.
-  obs::Histogram* write_drain_ = nullptr;
+  /// Per-batch version build+publish time (ticket redeemed -> published).
+  obs::Histogram* write_publish_ = nullptr;
   /// Request-tier form compilation time.
   obs::Histogram* compile_latency_ = nullptr;
+  /// Live queue depth of writers waiting for their commit ticket
+  /// (maintained on the write path: +1 on arrival, -1 on redemption).
+  obs::Gauge* writes_queued_gauge_ = nullptr;
   /// Scrape-time mirrors (refreshed by MetricsText/stats, not hot-path).
   obs::Gauge* pending_gauge_ = nullptr;
   obs::Gauge* cache_entries_gauge_ = nullptr;
   obs::Gauge* cache_bytes_gauge_ = nullptr;
+  /// Versions alive (head + reader-pinned) and pinned-only (alive minus
+  /// the head), mirrored at scrape time from the chain's counters.
+  obs::Gauge* versions_live_gauge_ = nullptr;
+  obs::Gauge* versions_pinned_gauge_ = nullptr;
 
   /// Requests submitted but not yet completed (admission-control depth).
   /// Stays a raw atomic: Admit's fetch_add is also the admission check,

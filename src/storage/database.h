@@ -14,10 +14,26 @@ namespace magic {
 
 /// The extensional database D: a finite set of finite relations over a
 /// Universe shared with the programs evaluated against it.
+///
+/// Relations live behind shared_ptr slots, which makes copying a Database
+/// an O(#relations) structural-sharing snapshot: the copy shares every
+/// Relation object (and the epoch counter) with the original. Mutation is
+/// copy-on-write — GetOrCreate and ApplyValidated clone a relation whose
+/// slot is shared before touching it — so a snapshot taken before a write
+/// keeps observing the exact pre-write tuple sets forever. This is the
+/// storage half of the MVCC serving design: VersionChain publishes these
+/// snapshots as immutable DatabaseVersions that readers pin for the whole
+/// evaluation while writers mutate the base without waiting for them.
 class Database {
  public:
   explicit Database(std::shared_ptr<Universe> universe)
       : universe_(std::move(universe)) {}
+
+  /// Structural-sharing snapshot (see class comment). The copy shares the
+  /// epoch counter with the source, so each relation's bound aggregate
+  /// pointer stays valid no matter which of the two dies first.
+  Database(const Database&) = default;
+  Database& operator=(const Database&) = delete;
 
   const std::shared_ptr<Universe>& universe() const { return universe_; }
   Universe& u() const { return *universe_; }
@@ -38,35 +54,41 @@ class Database {
   /// bumped exactly once per relation whose tuple set NET-changed — a
   /// duplicate-only batch moves no epoch, and neither does one whose
   /// transient changes cancel out (an insert of an absent tuple followed
-  /// by its retract); readers never see intermediate states, so no
-  /// invalidation is owed. Touched relations' probe indices are rebuilt
-  /// before returning so the first post-write probe pays no build. Returns what changed, or the batch's validation error
-  /// with nothing applied. Requires exclusive access over the whole call,
-  /// like AddFact — QueryService::ApplyWrites provides that in-band by
-  /// draining the service on its serve seam.
+  /// by its retract, or a Clear followed by reinsertion of the identical
+  /// content); snapshots never see intermediate states, so no invalidation
+  /// is owed. Touched relations' probe indices are rebuilt before
+  /// returning so the first post-write probe pays no build. Returns what
+  /// changed, or the batch's validation error with nothing applied.
+  /// Requires exclusive access over the whole call, like AddFact —
+  /// QueryService::ApplyWrites provides that with its FIFO commit ticket;
+  /// pinned snapshot readers need no exclusion at all because every
+  /// shared relation is cloned before it is mutated.
   Result<WriteResult> Apply(const WriteBatch& batch);
 
   /// Apply without re-validating: the caller vouches that
   /// `batch.Validate(*universe())` passed (QueryService::ApplyWrites runs
-  /// the check before taking its drain, so the drained window pays no
-  /// second pass over the batch). Applying an unvalidated batch is a
-  /// checked error on arity mismatches and undefined on the rest.
+  /// the check before queueing for its commit ticket, so the serialized
+  /// window pays no second pass over the batch). Applying an unvalidated
+  /// batch is a checked error on arity mismatches and undefined on the
+  /// rest.
   WriteResult ApplyValidated(const WriteBatch& batch);
 
   /// The database's monotonically increasing mutation epoch. Every
   /// relation handed out by GetOrCreate is bound to one shared counter
-  /// (heap-owned, so its address survives Database moves), so *any* EDB
-  /// write — including one made directly through a GetOrCreate reference
-  /// — advances it in O(1), and reading it is a single atomic load (it
-  /// sits on the serving layer's per-request fast path). Duplicate
-  /// inserts and reads leave it unchanged. Cross-query caches
-  /// (AnswerCache) key entries by the epoch observed at fill time; a later
-  /// epoch makes those entries unreachable, which is how invalidation
-  /// works without a flush.
+  /// (heap-owned and shared across snapshots, so its address survives both
+  /// Database moves and copies), so *any* EDB write — including one made
+  /// directly through a GetOrCreate reference — advances it in O(1), and
+  /// reading it is a single atomic load. VersionChain compares this
+  /// counter against its head version's fill epoch to detect writes that
+  /// bypassed Commit (quiescent-point test mutations) and resynchronize.
   uint64_t epoch() const {
     return epoch_counter_->load(std::memory_order_acquire);
   }
 
+  /// Mutable access to one relation, cloning it first when the slot is
+  /// shared with a snapshot (copy-on-write) so the snapshot's view never
+  /// changes. The reference is stable until the next COW of the same
+  /// pred; don't hold it across snapshot creation if you mean to mutate.
   Relation& GetOrCreate(PredId pred);
   const Relation* Find(PredId pred) const;
 
@@ -76,13 +98,14 @@ class Database {
   }
   size_t TotalFacts() const;
 
-  const std::unordered_map<PredId, Relation>& relations() const {
+  const std::unordered_map<PredId, std::shared_ptr<Relation>>& relations()
+      const {
     return relations_;
   }
 
  private:
   std::shared_ptr<Universe> universe_;
-  std::unordered_map<PredId, Relation> relations_;
+  std::unordered_map<PredId, std::shared_ptr<Relation>> relations_;
   std::shared_ptr<std::atomic<uint64_t>> epoch_counter_ =
       std::make_shared<std::atomic<uint64_t>>(0);
 };

@@ -7,6 +7,40 @@
 
 namespace magic {
 
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_),
+      epoch_(other.epoch_.load(std::memory_order_acquire)),
+      aggregate_epoch_(other.aggregate_epoch_),
+      data_(other.data_),
+      zero_ary_count_(other.zero_ary_count_),
+      dedup_(other.dedup_) {
+  // Copy the source's built-mask set under its lock — pinned readers may
+  // be adding masks via EnsureIndex concurrently. Only the mask keys are
+  // taken; the Index objects themselves stay with the source (their
+  // buckets would be stale against our future mutations anyway).
+  std::vector<uint64_t> masks;
+  {
+    MutexLock source_lock(other.index_mutex_);
+    masks.reserve(other.indices_.size());
+    for (const auto& [mask, index] : other.indices_) masks.push_back(mask);
+  }
+  if (masks.empty()) return;
+  // Seed an empty, unbuilt index per mask and publish the table now:
+  // EnsureIndex's fast path sees rows_built != size() and falls through
+  // to the build, so the first probe per mask pays one lazy rebuild and
+  // every later probe is lock-free again.
+  MutexLock lock(index_mutex_);
+  auto table = std::make_unique<IndexTable>();
+  table->entries.reserve(masks.size());
+  for (uint64_t mask : masks) {
+    auto [it, inserted] = indices_.try_emplace(mask);
+    if (inserted) it->second = std::make_unique<Index>();
+    table->entries.emplace_back(mask, it->second.get());
+  }
+  index_table_.store(table.get(), std::memory_order_release);
+  table_owner_.push_back(std::move(table));
+}
+
 bool Relation::Insert(std::span<const TermId> tuple) {
   MAGIC_CHECK(tuple.size() == arity_);
   if (arity_ == 0) {

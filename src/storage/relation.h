@@ -34,11 +34,24 @@ namespace magic {
 /// once it is fully built for the current row count. Steady-state probes
 /// are therefore a single acquire load with no read-side lock at all —
 /// this is what lets QueryService serve many queries against one shared
-/// quiescent Database without the probe hot path contending on anything
-/// (its write seam restores quiescence around every mutation batch).
+/// Relation without the probe hot path contending on anything. Under the
+/// MVCC write path a relation shared with a pinned DatabaseVersion is
+/// never mutated at all: Database copy-on-writes it (the copy constructor
+/// below), so "exclusive access" for mutation means exclusive access to
+/// the writer's private clone.
 class Relation {
  public:
   explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  /// Copy-on-write clone: copies the tuple set, the dedup map, and the
+  /// epoch value, and seeds an empty index per mask the source had built
+  /// (published immediately, rows_built = 0, so the first probe on the
+  /// clone rebuilds lazily instead of paying the build up front for masks
+  /// the workload may never touch again). Safe to call while other
+  /// threads probe the SOURCE (its index set is read under its mutex);
+  /// the clone itself is invisible to them until the caller publishes it.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation&) = delete;
 
   uint32_t arity() const { return arity_; }
   size_t size() const { return arity_ == 0 ? zero_ary_count_ : data_.size() / arity_; }

@@ -50,7 +50,7 @@ class WriteBatch {
   /// Checks every op against `u`'s declarations: the predicate id must be
   /// declared, insert/retract tuples must match its declared arity, and
   /// every term must be ground. Validation is separate from application so
-  /// a malformed batch can be rejected before any drain or lock is taken.
+  /// a malformed batch can be rejected before any ticket or lock is taken.
   Status Validate(const Universe& u) const;
 
  private:

@@ -30,20 +30,24 @@
 ///      deadlock in production. Compiled out entirely under NDEBUG
 ///      (Release/RelWithDebInfo), so the serving hot path pays nothing.
 ///
-/// The rank order encodes the ROADMAP invariant directly:
+/// The rank order encodes the ROADMAP invariant directly. Readers take no
+/// service-wide lock at all (they pin an MVCC database version with one
+/// atomic load); what remains ranked is
 ///
-///   serve (100) -> inflight (200) -> form (300) || data plane (>= 400)
+///   sessions (60) -> inflight (200) -> form (300)
+///     -> commit (340) -> version-resync (360) || data plane (>= 400)
 ///
 /// with two refinements the prose contract always had but nothing
 /// enforced:
 ///
-///   * "Code holding serve_mutex_ exclusive takes no other *service* lock"
-///     — expressed as an exclusive-nest floor on the serve mutex: while it
-///     is held exclusively, acquisitions below kExclusiveNestFloor (i.e.
-///     inflight, form, or another serve) abort. Data-plane locks (root
-///     symbol/predicate tables, relation indices, cache shards) stay legal
-///     because ApplyWrites legitimately reaches them while applying the
-///     batch.
+///   * "The write path takes no service-tier lock" — the commit tier
+///     (kCommit, kVersionResync) ranks ABOVE inflight and form, so a
+///     writer that tried to touch dispatch state while holding its commit
+///     ticket mutex would abort by rank descent. SharedMutex additionally
+///     supports an exclusive-nest floor (acquisitions below the floor
+///     abort while the mutex is held exclusively) for seams that need a
+///     hard tier wall; the feature is rank-table-independent and covered
+///     by a synthetic death test.
 ///   * "Overlay tables lock strictly overlay -> base" — overlay
 ///     symbol/predicate tables take a rank a step BELOW their base's, so
 ///     the reverse order (base held, overlay wanted) aborts.
@@ -54,13 +58,20 @@ namespace lock_rank {
 /// Ranks ascend along the sanctioned acquisition order; a thread may only
 /// acquire strictly upward. Gaps are deliberate room for future tiers.
 inline constexpr int kServerSessions = 60;  // net::MagicServer session map
-inline constexpr int kServe = 100;          // QueryService::serve_mutex_
 inline constexpr int kInflight = 200;       // QueryService::inflight_mutex_
 inline constexpr int kForm = 300;           // QueryService::form_mutex_
-/// While serve_mutex_ is held EXCLUSIVE (the ApplyWrites seam), only locks
-/// at or above this rank may be taken: the data plane (symbol/predicate
-/// tables, relation indices, cache shards) is reachable from the writer,
-/// the service tier (inflight/form) never is.
+/// The MVCC write tier: the FIFO commit ticket lock and the version
+/// chain's resync lock. Both rank above the dispatch tier (a writer never
+/// touches inflight/form state) and below the data plane (a committing
+/// writer clones relations and rebuilds their indices, so it takes
+/// kRelationIndex and symbol-table locks underneath).
+inline constexpr int kCommit = 340;         // QueryService::commit_mutex_
+inline constexpr int kVersionResync = 360;  // VersionChain::resync_mutex_
+/// SharedMutex exclusive-nest floor boundary: a seam constructed with this
+/// floor confines its exclusive holder to the data plane (>= 400). No
+/// production mutex currently uses it — the MVCC write path has no
+/// stop-the-world seam left — but the checker feature stays, tested
+/// synthetically, for the next tier wall that needs it.
 inline constexpr int kExclusiveNestFloor = 400;
 /// Root symbol/predicate tables. An overlay's tables sit kOverlayStep
 /// below their base's rank, so the legal order is overlay -> base and the
@@ -226,8 +237,8 @@ inline void OnAcquire(const void* mutex, int rank, bool exclusive,
     }
     if (held.exclusive && held.exclusive_nest_floor != 0 &&
         rank < held.exclusive_nest_floor) {
-      Fail("service-tier acquisition under an exclusively held seam "
-           "(serve exclusive -> data plane only)",
+      Fail("below-floor acquisition under an exclusively held seam "
+           "(exclusive holder -> data plane only)",
            rank, held.rank);
     }
   }
@@ -307,8 +318,8 @@ class CAPABILITY("mutex") Mutex {
 
 /// std::shared_mutex with a Thread Safety capability, a lock rank, and an
 /// optional exclusive-nest floor: while held exclusively, this thread may
-/// only acquire locks ranked at or above the floor. This is how the write
-/// seam's "serve exclusive -> nothing in the service tier" rule becomes a
+/// only acquire locks ranked at or above the floor. This is how a seam's
+/// "exclusive holder touches nothing in the service tier" rule becomes a
 /// runtime abort instead of a comment.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:

@@ -1,7 +1,7 @@
-// AnswerCache unit tests: exact get/put semantics, epoch-keyed
+// AnswerCache unit tests: exact get/put semantics, version-keyed
 // invalidation, byte-budgeted LRU eviction, disabled mode, and the
 // concurrency hammer the issue calls for — 8 threads mixing hits, misses,
-// fills, and epoch advances against one cache. Run under TSan/ASan in CI.
+// fills, and version advances against one cache. Run under TSan/ASan in CI.
 
 #include "cache/answer_cache.h"
 
@@ -41,7 +41,7 @@ TEST(AnswerCacheTest, ExactKeyGetPutRoundTrip) {
   AnswerCache cache;
   std::vector<TermId> seed = {7};
 
-  EXPECT_EQ(cache.Get(kFormA, seed, /*epoch=*/1), nullptr);
+  EXPECT_EQ(cache.Get(kFormA, seed, /*version=*/1), nullptr);
   cache.Put(kFormA, seed, 1, MakeTuples({{8}, {9}}));
 
   auto hit = cache.Get(kFormA, seed, 1);
@@ -53,7 +53,7 @@ TEST(AnswerCacheTest, ExactKeyGetPutRoundTrip) {
   EXPECT_EQ(cache.Get(kFormB, seed, 1), nullptr);      // other form
   std::vector<TermId> other_seed = {8};
   EXPECT_EQ(cache.Get(kFormA, other_seed, 1), nullptr);  // other seed
-  EXPECT_EQ(cache.Get(kFormA, seed, 2), nullptr);        // other epoch
+  EXPECT_EQ(cache.Get(kFormA, seed, 2), nullptr);        // other version
 
   AnswerCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1u);
@@ -63,13 +63,13 @@ TEST(AnswerCacheTest, ExactKeyGetPutRoundTrip) {
   EXPECT_GT(stats.bytes, 0u);
 }
 
-TEST(AnswerCacheTest, EpochAdvanceMakesStaleEntriesUnreachable) {
+TEST(AnswerCacheTest, VersionAdvanceMakesStaleEntriesUnreachable) {
   AnswerCache cache;
   std::vector<TermId> seed = {1};
-  cache.Put(kFormA, seed, /*epoch=*/10, MakeTuples({{1}}));
+  cache.Put(kFormA, seed, /*version=*/10, MakeTuples({{1}}));
   ASSERT_NE(cache.Get(kFormA, seed, 10), nullptr);
 
-  // A database write advanced the epoch: the old answer must not serve.
+  // A database write advanced the version: the old answer must not serve.
   EXPECT_EQ(cache.Get(kFormA, seed, 11), nullptr);
   cache.Put(kFormA, seed, 11, MakeTuples({{1}, {2}}));
   auto fresh = cache.Get(kFormA, seed, 11);
@@ -176,18 +176,18 @@ TEST(AnswerCacheTest, ClearDropsEverything) {
 
 TEST(AnswerCacheTest, EightThreadMixedHitMissInvalidateHammer) {
   // The issue's concurrency bar: 8 threads hammer one cache with a mix of
-  // lookups (hits and misses), fills, and epoch advances (the shared
-  // "database epoch" each thread reads before lookup, as QueryService
+  // lookups (hits and misses), fills, and version advances (the shared
+  // "database version number" each thread reads before lookup, as QueryService
   // does), plus periodic Clear calls. Correctness invariants checked
   // per-operation: a hit's payload always matches its key (first tuple
-  // encodes the seed and epoch), i.e. invalidation never serves a stale
-  // epoch's answer. TSan/ASan validate the reclamation protocol.
+  // encodes the seed and version), i.e. invalidation never serves a stale
+  // version's answer. TSan/ASan validate the reclamation protocol.
   AnswerCacheOptions options;
   options.shards = 4;
   options.max_bytes = 64 << 10;  // small enough to force eviction churn
   AnswerCache cache(options);
 
-  std::atomic<uint64_t> db_epoch{0};
+  std::atomic<uint64_t> db_version{0};
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 4000;
   std::atomic<int> wrong_payloads{0};
@@ -207,24 +207,24 @@ TEST(AnswerCacheTest, EightThreadMixedHitMissInvalidateHammer) {
         const uint64_t roll = next() % 100;
         const uintptr_t tag = (next() % 2) ? kFormA : kFormB;
         std::vector<TermId> seed = {static_cast<TermId>(next() % 64)};
-        const uint64_t epoch = db_epoch.load(std::memory_order_acquire);
+        const uint64_t version = db_version.load(std::memory_order_acquire);
         if (roll < 70) {  // lookup, fill on miss (the serving pattern)
-          auto hit = cache.Get(tag, seed, epoch);
+          auto hit = cache.Get(tag, seed, version);
           if (hit != nullptr) {
             if (hit->size() != 1 || (*hit)[0].size() != 2 ||
                 (*hit)[0][0] != seed[0] ||
-                (*hit)[0][1] != static_cast<TermId>(epoch)) {
+                (*hit)[0][1] != static_cast<TermId>(version)) {
               wrong_payloads.fetch_add(1, std::memory_order_relaxed);
             }
           } else {
             auto tuples = std::make_shared<Tuples>();
-            tuples->push_back({seed[0], static_cast<TermId>(epoch)});
-            cache.Put(tag, std::move(seed), epoch, std::move(tuples));
+            tuples->push_back({seed[0], static_cast<TermId>(version)});
+            cache.Put(tag, std::move(seed), version, std::move(tuples));
           }
         } else if (roll < 95) {  // pure lookup
-          (void)cache.Get(tag, seed, epoch);
+          (void)cache.Get(tag, seed, version);
         } else if (roll < 99) {  // invalidate: a simulated EDB write
-          db_epoch.fetch_add(1, std::memory_order_acq_rel);
+          db_version.fetch_add(1, std::memory_order_acq_rel);
         } else {
           cache.Clear();
         }

@@ -10,6 +10,7 @@
 #include "ast/parser.h"
 #include "storage/database.h"
 #include "storage/relation.h"
+#include "storage/write_batch.h"
 
 namespace magic {
 namespace {
@@ -215,6 +216,40 @@ TEST_F(DatabaseEpochTest, ClearBumpsAndDirectRelationWritesAreObserved) {
       *universe_->predicates().Find(*universe_->symbols().Find("anc"), 2);
   db.Clear(anc);
   EXPECT_EQ(db.epoch(), now);
+}
+
+TEST_F(DatabaseEpochTest, ClearThenIdenticalReinsertIsNetZero) {
+  // Regression: a batch that clears a relation and reinserts exactly the
+  // tuples it held used to bump the epoch twice (once for the clear, once
+  // for the reinserts), invalidating every cached answer even though the
+  // final content is byte-identical. Net accounting must compare the
+  // final tuple set against the pre-batch one and leave the epoch alone.
+  Database db(universe_);
+  for (const Fact& fact : facts_) ASSERT_TRUE(db.AddFact(fact).ok());
+  const uint64_t before = db.epoch();
+
+  WriteBatch same;
+  same.Clear(par_);
+  same.Insert(par_, facts_[0].args);
+  same.Insert(par_, facts_[1].args);
+  Result<WriteResult> applied = db.Apply(same);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->cleared, 1u);  // the clear did run on a non-empty rel
+  EXPECT_EQ(applied->inserted, 2u);
+  EXPECT_EQ(applied->relations_mutated, 0u);  // ...but the net effect is nil
+  EXPECT_EQ(db.epoch(), before);
+  EXPECT_EQ(db.FactCount(par_), 2u);
+
+  // Same-size but different content after the clear: a real mutation.
+  WriteBatch different;
+  different.Clear(par_);
+  different.Insert(par_, facts_[0].args);
+  different.Insert(par_, {universe_->Constant("c8"), universe_->Constant("c9")});
+  applied = db.Apply(different);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->relations_mutated, 1u);
+  EXPECT_EQ(db.epoch(), before + 1);
+  EXPECT_EQ(db.FactCount(par_), 2u);
 }
 
 }  // namespace

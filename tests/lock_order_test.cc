@@ -1,11 +1,12 @@
 // The Debug lock-rank checker (util/annotated_mutex.h): death tests prove
 // it aborts on every contract violation the static analysis cannot see —
-// out-of-rank acquisition, recursive acquisition, taking a service-tier
-// lock under the exclusively held serve seam, and base -> overlay
-// symbol-table order — and pass-through tests prove every sanctioned
-// order (including real QueryService traffic with a live write seam) is
-// silent. In Release the checker compiles out, so the death tests skip
-// and the pass-throughs double as plain smoke tests.
+// out-of-rank acquisition, recursive acquisition, taking a control-plane
+// lock under the commit tier, below-floor acquisition under a synthetic
+// exclusive seam, and base -> overlay symbol-table order — and
+// pass-through tests prove every sanctioned order (including real
+// QueryService traffic with live MVCC commits) is silent. In Release the
+// checker compiles out, so the death tests skip and the pass-throughs
+// double as plain smoke tests.
 
 #include <gtest/gtest.h>
 
@@ -33,10 +34,10 @@ QueryRequest MakeRequest(const Query& query) {
 // reject — so each body lives in a NO_THREAD_SAFETY_ANALYSIS helper.
 
 [[maybe_unused]] void LockDescendingRanks() NO_THREAD_SAFETY_ANALYSIS {
+  Mutex form(lock_rank::kForm);
   Mutex inflight(lock_rank::kInflight);
-  Mutex serve_tier(lock_rank::kServe);
-  inflight.Lock();
-  serve_tier.Lock();  // rank 100 under rank 200: out of order
+  form.Lock();
+  inflight.Lock();  // rank 200 under rank 300: out of order
 }
 
 [[maybe_unused]] void LockEqualRanks() NO_THREAD_SAFETY_ANALYSIS {
@@ -52,18 +53,29 @@ QueryRequest MakeRequest(const Query& query) {
   m.Lock();
 }
 
-[[maybe_unused]] void LockFormUnderExclusiveServe() NO_THREAD_SAFETY_ANALYSIS {
-  SharedMutex serve(lock_rank::kServe, lock_rank::kExclusiveNestFloor);
+[[maybe_unused]] void LockFormUnderCommit() NO_THREAD_SAFETY_ANALYSIS {
+  Mutex commit(lock_rank::kCommit);
   Mutex form(lock_rank::kForm);
-  serve.Lock();  // the write seam
-  form.Lock();   // service tier under the exclusive seam: forbidden
+  commit.Lock();  // the writer's FIFO ticket lock
+  form.Lock();    // control plane under the commit tier: forbidden
 }
 
-[[maybe_unused]] void LockInflightUnderExclusiveServe() NO_THREAD_SAFETY_ANALYSIS {
-  SharedMutex serve(lock_rank::kServe, lock_rank::kExclusiveNestFloor);
+[[maybe_unused]] void LockInflightUnderResync() NO_THREAD_SAFETY_ANALYSIS {
+  Mutex resync(lock_rank::kVersionResync);
   Mutex inflight(lock_rank::kInflight);
-  serve.Lock();
+  resync.Lock();  // the version chain's publish window
   inflight.Lock();
+}
+
+[[maybe_unused]] void LockBelowFloorUnderExclusiveSeam()
+    NO_THREAD_SAFETY_ANALYSIS {
+  // No production mutex carries an exclusive-nest floor today (the write
+  // drain that did is retired); the feature is kept and proven on a
+  // synthetic seam.
+  SharedMutex seam(100, lock_rank::kExclusiveNestFloor);
+  Mutex form(lock_rank::kForm);
+  seam.Lock();  // held exclusive
+  form.Lock();  // rank 300 < floor 400: forbidden
 }
 
 [[maybe_unused]] void LockBaseThenOverlay() NO_THREAD_SAFETY_ANALYSIS {
@@ -91,10 +103,15 @@ TEST(LockRankDeathTest, RecursiveAcquisitionAborts) {
   EXPECT_DEATH(LockRecursively(), "lock-rank violation");
 }
 
-TEST(LockRankDeathTest, ServiceTierUnderExclusiveServeAborts) {
+TEST(LockRankDeathTest, ControlPlaneUnderCommitTierAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  EXPECT_DEATH(LockFormUnderExclusiveServe(), "lock-rank violation");
-  EXPECT_DEATH(LockInflightUnderExclusiveServe(), "lock-rank violation");
+  EXPECT_DEATH(LockFormUnderCommit(), "lock-rank violation");
+  EXPECT_DEATH(LockInflightUnderResync(), "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, BelowFloorUnderExclusiveSeamAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(LockBelowFloorUnderExclusiveSeam(), "lock-rank violation");
 }
 
 TEST(LockRankDeathTest, BaseThenOverlaySymbolOrderAborts) {
@@ -118,9 +135,9 @@ TEST(LockRankDeathTest, CheckerCompiledOutInRelease) {
 // --- Sanctioned orders must be silent ---------------------------------------
 
 TEST(LockRankTest, WorkerOrderIsSilent) {
-  // serve (shared) -> inflight -> form -> data plane -> pool -> cursor:
-  // the full worker chain, deepest sanctioned nesting in the tree.
-  SharedMutex serve(lock_rank::kServe, lock_rank::kExclusiveNestFloor);
+  // inflight -> form -> data plane -> pool -> cursor: the full reader
+  // chain (readers pin a version instead of taking a seam lock, so no
+  // serve-tier mutex appears), deepest sanctioned nesting in the tree.
   Mutex inflight(lock_rank::kInflight);
   Mutex form(lock_rank::kForm);
   SharedMutex symbols(lock_rank::kSymbolRoot);
@@ -130,7 +147,6 @@ TEST(LockRankTest, WorkerOrderIsSilent) {
   Mutex pool(lock_rank::kPool);
   Mutex cursor(lock_rank::kCursor);
   {
-    ReaderMutexLock serving(serve);
     MutexLock coalesce(inflight);
     MutexLock compile(form);
     {
@@ -145,29 +161,35 @@ TEST(LockRankTest, WorkerOrderIsSilent) {
   SUCCEED();
 }
 
-TEST(LockRankTest, ExclusiveSeamMayTakeDataPlaneLocks) {
-  // ApplyWrites under the exclusive seam reaches the storage layer: root
-  // predicate/symbol tables and relation index mutexes are at or above
-  // the exclusive-nest floor, so they must stay legal.
-  SharedMutex serve(lock_rank::kServe, lock_rank::kExclusiveNestFloor);
+TEST(LockRankTest, CommitTierMayTakeDataPlaneLocks) {
+  // ApplyWrites holds its FIFO ticket lock, Commit holds the version
+  // chain's resync mutex across the mutate+publish window, and the
+  // storage layer's table/index mutexes nest inside both — the whole
+  // writer chain must stay legal.
+  Mutex commit(lock_rank::kCommit);
+  Mutex resync(lock_rank::kVersionResync);
   SharedMutex symbols(lock_rank::kSymbolRoot);
   Mutex index(lock_rank::kRelationIndex);
   {
-    WriterMutexLock seam(serve);
+    MutexLock ticket(commit);
+    MutexLock publish(resync);
     ReaderMutexLock names(symbols);
     MutexLock rebuild(index);
   }
   SUCCEED();
 }
 
-TEST(LockRankTest, OverlayThenBaseIsSilent) {
-  SharedMutex base(lock_rank::kSymbolRoot);
-  SharedMutex overlay(lock_rank::kSymbolRoot - lock_rank::kOverlayStep);
-  SharedMutex deeper(lock_rank::kSymbolRoot - 2 * lock_rank::kOverlayStep);
+TEST(LockRankTest, ExclusiveSeamMayTakeDataPlaneLocks) {
+  // The exclusive-nest floor forbids only BELOW-floor locks; data-plane
+  // mutexes at or above the floor stay legal under a held seam. Proven on
+  // a synthetic seam (no production SharedMutex carries a floor today).
+  SharedMutex seam(100, lock_rank::kExclusiveNestFloor);
+  SharedMutex symbols(lock_rank::kSymbolRoot);
+  Mutex index(lock_rank::kRelationIndex);
   {
-    ReaderMutexLock l2(deeper);
-    ReaderMutexLock l1(overlay);
-    ReaderMutexLock l0(base);
+    WriterMutexLock exclusive(seam);
+    ReaderMutexLock names(symbols);
+    MutexLock rebuild(index);
   }
   SUCCEED();
 }
@@ -190,7 +212,7 @@ TEST(LockRankTest, FailedTryLockLeavesNoHeldRecord) {
 TEST(LockRankTest, OutOfLifoReleaseIsSupported) {
   // Guards of interleaved scopes release out of stack order; the checker
   // must find the entry by identity, not by position.
-  Mutex low(lock_rank::kServe);
+  Mutex low(lock_rank::kInflight);
   Mutex high(lock_rank::kForm);
   low.Lock();
   high.Lock();
@@ -200,10 +222,10 @@ TEST(LockRankTest, OutOfLifoReleaseIsSupported) {
 }
 
 TEST(LockRankTest, RealServiceTrafficIsSilent) {
-  // End-to-end: compile, evaluate concurrently, stream, write through the
-  // seam, and read after it — every lock the service takes runs through
-  // the checker (in Debug). The assertions are ordinary; the test's real
-  // teeth are "no abort".
+  // End-to-end: compile, evaluate concurrently, stream, commit a version
+  // through the FIFO ticket, and read after it — every lock the service
+  // takes runs through the checker (in Debug). The assertions are
+  // ordinary; the test's real teeth are "no abort".
   Workload w = MakeAncestorChain(32);
   QueryServiceOptions options;
   options.num_threads = 4;

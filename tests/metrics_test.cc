@@ -287,7 +287,7 @@ TEST(MetricsServiceTest, EndToEndObservability) {
   EXPECT_NE(json.find("\"slow_queries\""), std::string::npos);
 }
 
-TEST(MetricsServiceTest, WriteDrainIsAHistogram) {
+TEST(MetricsServiceTest, WritePublishIsAHistogram) {
   Workload w = MakeAncestorChain(8);
   QueryServiceOptions options;
   options.num_threads = 1;
@@ -301,7 +301,10 @@ TEST(MetricsServiceTest, WriteDrainIsAHistogram) {
 
   QueryService::Stats stats = service.stats();
   EXPECT_EQ(stats.writes_applied, 1u);
-  EXPECT_EQ(stats.write_drain.count, 1u);
+  EXPECT_EQ(stats.write_publish.count, 1u);
+  // The batch net-changed the EDB, so a version published on top of the
+  // constructor's version 1.
+  EXPECT_EQ(stats.versions_published, 2u);
 }
 
 }  // namespace

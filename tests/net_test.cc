@@ -376,10 +376,11 @@ TEST_F(NetServerStreamTest, MidStreamDisconnectCancelsAndReleasesTheSlot) {
     client.Close();
   }
 
-  // The abandoned cursor must cancel and retire its evaluation: APPLY
-  // drains every in-flight evaluation, so a leaked one would hang this
-  // call (and the ctest timeout would flag it); a leaked admission slot
-  // (max_pending=1) would wedge the follow-up query.
+  // The abandoned cursor must cancel and retire its evaluation: a leaked
+  // admission slot (max_pending=1) would wedge the follow-up query, and a
+  // leaked evaluation would pin its database version forever. APPLY no
+  // longer waits for in-flight work (MVCC publish), so the wedged-slot
+  // check is what has teeth here.
   MagicClient fresh = Connect();
   auto applied = fresh.Call("APPLY\n+par(c399, c400).");
   ASSERT_TRUE(applied.ok());

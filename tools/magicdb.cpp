@@ -430,10 +430,10 @@ int RunBench(const Args& args, const ParsedUnit& parsed, Database& db) {
                                      *parsed.program.universe());
   size_t passes = 1;
   if (!args.apply_path.empty()) {
-    // Apply to the LIVE service — no teardown, no rebuild. The write seam
-    // drains in-flight work (the first pass already finished here, so the
-    // drain is instant) and the epoch bump retires every cached answer
-    // the mutations invalidated; the second pass shows the new database.
+    // Apply to the LIVE service — no teardown, no rebuild. The write
+    // publishes a new database version (without waiting on in-flight
+    // work) and retires every cached answer keyed to the old one; the
+    // second pass shows the new database.
     auto applied = service.ApplyWrites(edits);
     if (!applied.ok()) {
       std::fprintf(stderr, "magicdb: apply failed: %s\n",
